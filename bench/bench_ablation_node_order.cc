@@ -1,0 +1,102 @@
+// Ablation: node/storage ordering and PowerPush's sequential scans.
+//
+// §5 credits part of PowerPush's win to its storage format: nodes sorted
+// by id with adjacency lists concatenated in the same order, which turns
+// the dense-frontier phase into cache-friendly sequential sweeps. The
+// effect of *which* ids nodes get is measurable: this bench relabels
+// each dataset by degree-descending, BFS and random orders and re-times
+// PowerPush and FIFO-FwdPush.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/forward_push.h"
+#include "core/power_push.h"
+#include "eval/experiment.h"
+#include "eval/query_gen.h"
+#include "graph/permute.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace ppr;
+
+double TimePowerPush(const Graph& graph,
+                     const std::vector<NodeId>& sources, double lambda) {
+  PprEstimate estimate;
+  auto times = TimePerQuery(sources, [&](NodeId s) {
+    PowerPushOptions options;
+    options.lambda = lambda;
+    PowerPush(graph, s, options, &estimate);
+  });
+  return Mean(times);
+}
+
+double TimeFwdPush(const Graph& graph, const std::vector<NodeId>& sources,
+                   double lambda) {
+  PprEstimate estimate;
+  auto times = TimePerQuery(sources, [&](NodeId s) {
+    ForwardPushOptions options;
+    options.rmax = lambda / static_cast<double>(graph.num_edges());
+    FifoForwardPush(graph, s, options, &estimate);
+  });
+  return Mean(times);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: node relabeling vs scan locality",
+      "PowerPush and FwdPush query time under different node-id\n"
+      "assignments of the same graph (lambda = min(1e-8, 1/m)).");
+
+  const size_t query_count = BenchQueryCount(3);
+
+  for (auto& named : LoadBenchDatasets(bench::kDefaultScale, /*max=*/4)) {
+    Graph& graph = named.graph;
+    const double lambda = PaperLambda(graph);
+    auto sources = SampleQuerySources(graph, query_count);
+    std::printf("\n--- %s ---\n", named.paper_name.c_str());
+
+    TablePrinter table({"ordering", "PowerPush(s)", "FwdPush(s)"});
+
+    table.AddRow({"original", HumanSeconds(TimePowerPush(graph, sources, lambda)),
+                  HumanSeconds(TimeFwdPush(graph, sources, lambda))});
+
+    {
+      std::vector<NodeId> perm = DegreeDescendingOrder(graph);
+      Graph relabeled = PermuteGraph(graph, perm);
+      std::vector<NodeId> mapped;
+      for (NodeId s : sources) mapped.push_back(perm[s]);
+      table.AddRow({"degree-desc",
+                    HumanSeconds(TimePowerPush(relabeled, mapped, lambda)),
+                    HumanSeconds(TimeFwdPush(relabeled, mapped, lambda))});
+    }
+    {
+      std::vector<NodeId> perm = BfsOrder(graph, sources[0]);
+      Graph relabeled = PermuteGraph(graph, perm);
+      std::vector<NodeId> mapped;
+      for (NodeId s : sources) mapped.push_back(perm[s]);
+      table.AddRow({"bfs",
+                    HumanSeconds(TimePowerPush(relabeled, mapped, lambda)),
+                    HumanSeconds(TimeFwdPush(relabeled, mapped, lambda))});
+    }
+    {
+      Rng rng(13);
+      std::vector<NodeId> perm = RandomOrder(graph.num_nodes(), rng);
+      Graph relabeled = PermuteGraph(graph, perm);
+      std::vector<NodeId> mapped;
+      for (NodeId s : sources) mapped.push_back(perm[s]);
+      table.AddRow({"random",
+                    HumanSeconds(TimePowerPush(relabeled, mapped, lambda)),
+                    HumanSeconds(TimeFwdPush(relabeled, mapped, lambda))});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::printf("\nExpected: orderings with locality (degree-desc, bfs) at "
+              "or below 'random'; PowerPush less sensitive than FwdPush "
+              "thanks to its sequential scans.\n");
+  return 0;
+}

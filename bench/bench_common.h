@@ -1,0 +1,36 @@
+#ifndef PPR_BENCH_BENCH_COMMON_H_
+#define PPR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+// Shared conventions for the reproduction harness. Every binary:
+//   * prints which paper table/figure it regenerates and the workload,
+//   * honours PPR_BENCH_SCALE (dataset size multiplier),
+//     PPR_BENCH_DATASETS (comma-separated subset) and PPR_BENCH_QUERIES
+//     (#query sources),
+//   * reports via ppr::TablePrinter so outputs diff cleanly.
+
+namespace ppr {
+namespace bench {
+
+/// Default dataset scale for the harness: half of the registry's base
+/// sizes keeps the full 9-binary sweep in single-digit minutes on a
+/// laptop while preserving every qualitative shape. Override with
+/// PPR_BENCH_SCALE.
+inline constexpr double kDefaultScale = 0.5;
+
+/// Smaller default for the approximate-query sweeps, whose per-query
+/// Monte-Carlo budgets grow with n.
+inline constexpr double kApproxScale = 0.25;
+
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace ppr
+
+#endif  // PPR_BENCH_BENCH_COMMON_H_

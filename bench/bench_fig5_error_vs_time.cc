@@ -1,0 +1,118 @@
+// Regenerates Figure 5 of the paper: actual l1-error versus execution
+// time for PowerPush, PowItr and FIFO-FwdPush (checkpoints every 4m edge
+// pushes, as in the paper), and for BePI a sweep of decreasing
+// convergence deltas (it exposes no per-iteration hook, as in the paper).
+//
+// Expected shape: straight lines on log-y (exponential decay, matching
+// O(m log 1/lambda)); PowerPush converges fastest.
+
+#include <cstdio>
+
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "bepi/bepi.h"
+#include "core/forward_push.h"
+#include "core/power_iteration.h"
+#include "core/power_push.h"
+#include "core/trace.h"
+#include "eval/experiment.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
+#include "eval/trace_export.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+void PrintTrace(const char* algo, const ppr::ConvergenceTrace& trace) {
+  std::printf("  %-10s", algo);
+  for (const auto& p : trace.points()) {
+    std::printf(" (%.3fs, %.1e)", p.seconds, p.rsum);
+  }
+  std::printf("\n");
+}
+
+/// If PPR_BENCH_CSV_DIR is set, dump the series for external plotting.
+void MaybeWriteCsv(const std::string& dataset,
+                   const std::vector<ppr::TraceSeries>& series) {
+  const char* dir = std::getenv("PPR_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/fig5_" + dataset + ".csv";
+  ppr::Status status = ppr::WriteTracesCsv(path, series);
+  if (!status.ok()) {
+    std::fprintf(stderr, "csv export failed: %s\n",
+                 status.ToString().c_str());
+  } else {
+    std::printf("  [csv written to %s]\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppr;
+  bench::PrintHeader(
+      "Figure 5: actual l1-error vs execution time",
+      "Median query source; series = (seconds, l1-error) checkpoints\n"
+      "every 4m edge pushes. BePI: one (time, error) point per delta.");
+
+  for (auto& named : LoadBenchDatasets(bench::kDefaultScale)) {
+    Graph& graph = named.graph;
+    const double lambda = PaperLambda(graph);
+    const NodeId source = SampleQuerySources(graph, 1)[0];
+    const uint64_t interval = 4 * graph.num_edges();
+    std::printf("\n--- %s (n=%u, m=%llu, lambda=%.1e, s=%u) ---\n",
+                named.paper_name.c_str(), graph.num_nodes(),
+                static_cast<unsigned long long>(graph.num_edges()), lambda,
+                source);
+
+    PprEstimate estimate;
+    std::vector<TraceSeries> series;
+    {
+      ConvergenceTrace trace(interval);
+      PowerPushOptions options;
+      options.lambda = lambda;
+      PowerPush(graph, source, options, &estimate, &trace);
+      PrintTrace("PowerPush", trace);
+      series.push_back({"PowerPush", trace.points()});
+    }
+    {
+      ConvergenceTrace trace(interval);
+      PowerIterationOptions options;
+      options.lambda = lambda;
+      PowerIteration(graph, source, options, &estimate, &trace);
+      PrintTrace("PowItr", trace);
+      series.push_back({"PowItr", trace.points()});
+    }
+    {
+      ConvergenceTrace trace(interval);
+      ForwardPushOptions options;
+      options.rmax = lambda / static_cast<double>(graph.num_edges());
+      FifoForwardPush(graph, source, options, &estimate, &trace);
+      PrintTrace("FwdPush", trace);
+      series.push_back({"FwdPush", trace.points()});
+    }
+    MaybeWriteCsv(named.name, series);
+    {
+      graph.BuildInAdjacency();
+      BepiOptions options;
+      auto bepi = BepiSolver::Preprocess(graph, options);
+      std::vector<double> gt = ComputeGroundTruth(graph, source);
+      std::printf("  %-10s", "BePI");
+      double cumulative = 0.0;
+      for (double delta : {1e-2, 1e-4, 1e-6, 1e-8, lambda}) {
+        std::vector<double> out;
+        Timer timer;
+        bepi->Solve(source, delta, &out);
+        cumulative += timer.ElapsedSeconds();
+        std::printf(" (%.3fs, %.1e)", cumulative, L1Distance(out, gt));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape: log-scale errors fall linearly with time "
+              "(exponential convergence); PowerPush steepest.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Regenerates Figure 7 of the paper: approximate-SSPPR query time versus
+// epsilon in {0.5, 0.4, 0.3, 0.2, 0.1} for SpeedPPR, SpeedPPR-Index,
+// FORA, FORA-Index, ResAcc, with high-precision PowerPush included as a
+// baseline (as the paper deliberately does).
+//
+// FORA's index is built once for eps=0.1 and reused for larger eps;
+// SpeedPPR's index is eps-independent by construction.
+//
+// Expected shape: SpeedPPR-Index fastest; SpeedPPR ~ FORA-Index;
+// FORA / ResAcc slowest; PowerPush flat in eps.
+
+#include <cstdio>
+
+#include "approx/fora.h"
+#include "approx/resacc.h"
+#include "approx/speedppr.h"
+#include "bench_common.h"
+#include "core/power_push.h"
+#include "eval/experiment.h"
+#include "eval/query_gen.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace ppr;
+  bench::PrintHeader(
+      "Figure 7: approximate query time (seconds) vs epsilon",
+      "mu = 1/n, averaged over query sources. FORA index built at\n"
+      "eps=0.1 and reused; SpeedPPR index is eps-independent.");
+
+  const size_t query_count = BenchQueryCount(2);
+  const std::vector<double> epsilons = {0.5, 0.4, 0.3, 0.2, 0.1};
+
+  for (auto& named : LoadBenchDatasets(bench::kApproxScale)) {
+    Graph& graph = named.graph;
+    const NodeId n = graph.num_nodes();
+    auto sources = SampleQuerySources(graph, query_count);
+    std::printf("\n--- %s (n=%u, m=%llu) ---\n", named.paper_name.c_str(), n,
+                static_cast<unsigned long long>(graph.num_edges()));
+
+    const uint64_t w_small = ChernoffWalkCount(n, 0.1, 1.0 / n);
+    Rng fora_index_rng(11);
+    WalkIndex fora_index = WalkIndex::Build(
+        graph, 0.2, WalkIndex::Sizing::kForaPlus, w_small, fora_index_rng);
+    Rng speed_index_rng(12);
+    WalkIndex speed_index = WalkIndex::Build(
+        graph, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, speed_index_rng);
+
+    TablePrinter table({"eps", "SpeedPPR", "SpeedPPR-Idx", "FORA",
+                        "FORA-Idx", "ResAcc", "PowerPush"});
+    for (double eps : epsilons) {
+      ApproxOptions options;
+      options.epsilon = eps;
+      Rng rng(1000 + static_cast<uint64_t>(eps * 100));
+      std::vector<double> out;
+      PprEstimate estimate;
+
+      double speed = Mean(TimePerQuery(sources, [&](NodeId s) {
+        SpeedPpr(graph, s, options, rng, &out);
+      }));
+      double speed_idx = Mean(TimePerQuery(sources, [&](NodeId s) {
+        SpeedPpr(graph, s, options, rng, &out, &speed_index);
+      }));
+      double fora = Mean(TimePerQuery(sources, [&](NodeId s) {
+        Fora(graph, s, options, rng, &out);
+      }));
+      double fora_idx = Mean(TimePerQuery(sources, [&](NodeId s) {
+        Fora(graph, s, options, rng, &out, &fora_index);
+      }));
+      double resacc = Mean(TimePerQuery(sources, [&](NodeId s) {
+        ResAcc(graph, s, options, rng, &out);
+      }));
+      double power_push = Mean(TimePerQuery(sources, [&](NodeId s) {
+        PowerPushOptions pp;
+        pp.lambda = PaperLambda(graph);
+        PowerPush(graph, s, pp, &estimate);
+      }));
+
+      char eps_buf[16];
+      std::snprintf(eps_buf, sizeof(eps_buf), "%.1f", eps);
+      table.AddRow({eps_buf, HumanSeconds(speed), HumanSeconds(speed_idx),
+                    HumanSeconds(fora), HumanSeconds(fora_idx),
+                    HumanSeconds(resacc), HumanSeconds(power_push)});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::printf("\nExpected shape: SpeedPPR-Index fastest; index-free "
+              "SpeedPPR ~ FORA-Index; PowerPush flat in eps.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Regenerates Table 2 of the paper: index size and construction time for
+//   * BePI (high-precision, matrix-based index),
+//   * FORA-Index (walk index sized for epsilon = 0.1, its smallest
+//     benchmarked epsilon),
+//   * SpeedPPR-Index (walk index of at most m walks, epsilon-independent).
+//
+// Expected shape (paper): SpeedPPR's index is ~10x smaller and ~10x
+// faster to build than FORA's; BePI's blows up with graph density
+// (Orkut is its worst case).
+
+#include <cstdio>
+
+#include "approx/monte_carlo.h"
+#include "approx/walk_index.h"
+#include "bench_common.h"
+#include "bepi/bepi.h"
+#include "eval/experiment.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ppr;
+  bench::PrintHeader(
+      "Table 2: index size and construction time",
+      "FORA index built for eps=0.1 (the paper's smallest); SpeedPPR's\n"
+      "index is eps-independent. Sizes in bytes of the in-memory index.");
+
+  TablePrinter table({"Dataset", "BePI size", "FORA size", "SpeedPPR size",
+                      "BePI build(s)", "FORA build(s)", "SpeedPPR build(s)"});
+
+  for (auto& named : LoadBenchDatasets(bench::kApproxScale)) {
+    Graph& graph = named.graph;
+    const NodeId n = graph.num_nodes();
+
+    graph.BuildInAdjacency();
+    BepiOptions bepi_options;
+    auto bepi = BepiSolver::Preprocess(graph, bepi_options);
+
+    const double eps = 0.1;
+    const uint64_t w = ChernoffWalkCount(n, eps, 1.0 / n);
+    Rng fora_rng(1);
+    Timer fora_timer;
+    WalkIndex fora_index = WalkIndex::Build(
+        graph, 0.2, WalkIndex::Sizing::kForaPlus, w, fora_rng);
+    const double fora_seconds = fora_timer.ElapsedSeconds();
+
+    Rng speed_rng(2);
+    Timer speed_timer;
+    WalkIndex speed_index = WalkIndex::Build(
+        graph, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, speed_rng);
+    const double speed_seconds = speed_timer.ElapsedSeconds();
+
+    table.AddRow({named.paper_name, HumanBytes(bepi->IndexBytes()),
+                  HumanBytes(fora_index.SizeBytes()),
+                  HumanBytes(speed_index.SizeBytes()),
+                  HumanSeconds(bepi->preprocess_seconds()),
+                  HumanSeconds(fora_seconds), HumanSeconds(speed_seconds)});
+    std::printf("  %-12s fora_walks=%s speed_walks=%s (m=%s) hubs=%u\n",
+                named.name.c_str(),
+                HumanCount(fora_index.total_walks()).c_str(),
+                HumanCount(speed_index.total_walks()).c_str(),
+                HumanCount(graph.num_edges()).c_str(), bepi->num_hubs());
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("Expected shape: SpeedPPR index ~10x smaller / faster than "
+              "FORA; BePI heaviest on dense graphs (Orkut).\n");
+  return 0;
+}

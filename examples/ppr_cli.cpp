@@ -1,0 +1,149 @@
+// ppr_cli: answer SSPPR queries from the command line on your own graph.
+//
+// Usage:
+//   ppr_cli <edge-list-file | dataset-name> <source> [options]
+//     --algo=powerpush|powitr|fwdpush|speedppr|fora|mc   (default powerpush)
+//     --lambda=1e-8      l1-error target (high-precision algorithms)
+//     --eps=0.5          relative error (approximate algorithms)
+//     --alpha=0.2        teleport probability
+//     --topk=10          number of results printed
+//     --undirected       symmetrize the input edge list
+//
+// The first argument is either a SNAP-format edge list ("src dst" per
+// line, '#' comments) or a built-in dataset name such as "pokec-sim".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "approx/fora.h"
+#include "approx/monte_carlo.h"
+#include "approx/speedppr.h"
+#include "core/forward_push.h"
+#include "core/power_iteration.h"
+#include "core/power_push.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "graph/edge_list_io.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ppr;
+
+bool IsDatasetName(const std::string& name) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name == name || spec.paper_name == name) return true;
+  }
+  return false;
+}
+
+int Usage(const FlagParser& parser) {
+  std::fprintf(stderr,
+               "usage: ppr_cli <edge-list | dataset-name> <source> [flags]\n"
+               "%s",
+               parser.Usage().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algo = "powerpush";
+  double lambda = 1e-8;
+  double eps = 0.5;
+  double alpha = 0.2;
+  uint64_t topk = 10;
+  bool undirected = false;
+
+  FlagParser parser;
+  parser.AddString("algo", &algo,
+                   "powerpush|powitr|fwdpush|speedppr|fora|mc");
+  parser.AddDouble("lambda", &lambda, "l1-error target (high-precision)");
+  parser.AddDouble("eps", &eps, "relative error (approximate)");
+  parser.AddDouble("alpha", &alpha, "teleport probability");
+  parser.AddUint64("topk", &topk, "number of results printed");
+  parser.AddBool("undirected", &undirected, "symmetrize the edge list");
+
+  Status parse_status = parser.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::fprintf(stderr, "%s\n", parse_status.ToString().c_str());
+    return Usage(parser);
+  }
+  if (parser.positional().size() != 2) return Usage(parser);
+  const std::string input = parser.positional()[0];
+  const NodeId source = static_cast<NodeId>(
+      std::strtoul(parser.positional()[1].c_str(), nullptr, 10));
+
+  Graph graph;
+  if (IsDatasetName(input)) {
+    graph = MakeDataset(FindDataset(input), /*scale=*/0.25);
+  } else {
+    BuildOptions options;
+    options.symmetrize = undirected;
+    auto loaded = LoadGraphFromEdgeList(input, options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded).ValueOrDie();
+  }
+  if (source >= graph.num_nodes()) {
+    std::fprintf(stderr, "source %u out of range (n=%u)\n", source,
+                 graph.num_nodes());
+    return 1;
+  }
+  std::printf("graph: n=%u m=%llu | algo=%s source=%u\n", graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              algo.c_str(), source);
+
+  std::vector<double> scores;
+  Rng rng(1);
+  Timer timer;
+  if (algo == "powerpush") {
+    PowerPushOptions options;
+    options.alpha = alpha;
+    options.lambda = lambda;
+    PprEstimate estimate;
+    PowerPush(graph, source, options, &estimate);
+    scores = std::move(estimate.reserve);
+  } else if (algo == "powitr") {
+    PowerIterationOptions options;
+    options.alpha = alpha;
+    options.lambda = lambda;
+    PprEstimate estimate;
+    PowerIteration(graph, source, options, &estimate);
+    scores = std::move(estimate.reserve);
+  } else if (algo == "fwdpush") {
+    ForwardPushOptions options;
+    options.alpha = alpha;
+    options.rmax = lambda / static_cast<double>(graph.num_edges());
+    PprEstimate estimate;
+    FifoForwardPush(graph, source, options, &estimate);
+    scores = std::move(estimate.reserve);
+  } else if (algo == "speedppr" || algo == "fora" || algo == "mc") {
+    ApproxOptions options;
+    options.alpha = alpha;
+    options.epsilon = eps;
+    if (algo == "speedppr") {
+      SpeedPpr(graph, source, options, rng, &scores);
+    } else if (algo == "fora") {
+      Fora(graph, source, options, rng, &scores);
+    } else {
+      MonteCarlo(graph, source, options, rng, &scores);
+    }
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", algo.c_str());
+    return Usage(parser);
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  std::printf("query time: %.4fs\ntop-%zu nodes by PPR:\n", seconds, topk);
+  for (NodeId v : TopK(scores, topk)) {
+    std::printf("  %8u  %.8f\n", v, scores[v]);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "approx/bippr.h"
+
+#include <cmath>
+
+#include "core/backward_push.h"
+#include "util/timer.h"
+
+namespace ppr {
+
+namespace {
+
+/// One α-walk from `source`, accumulating α·residue(v) at every visited
+/// node v. Unbiasedness: E[#visits to v] = π(s,v)/α, so the per-walk
+/// contribution has expectation Σ_v π(s,v)·residue(v) — exactly the
+/// residual term of the BiPPR identity. Accumulating along the whole
+/// walk (rather than only at the stop node) reuses each walk for every
+/// prefix length, which lowers variance at no extra cost.
+double WalkContribution(const Graph& graph, NodeId source, double alpha,
+                        const std::vector<double>& residue, Rng& rng,
+                        uint64_t* steps) {
+  double contribution = 0.0;
+  NodeId current = source;
+  for (;;) {
+    contribution += alpha * residue[current];
+    if (rng.NextBernoulli(alpha)) break;
+    auto neighbors = graph.OutNeighbors(current);
+    PPR_DCHECK(!neighbors.empty());
+    current = neighbors[rng.NextBounded(neighbors.size())];
+    (*steps)++;
+  }
+  return contribution;
+}
+
+}  // namespace
+
+BiPprResult BiPpr(const Graph& graph, NodeId source, NodeId target,
+                  const BiPprOptions& options, Rng& rng) {
+  PPR_CHECK(source < graph.num_nodes() && target < graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  const double delta =
+      options.delta > 0.0 ? options.delta : 1.0 / static_cast<double>(n);
+  Timer timer;
+
+  // Backward phase.
+  BackwardPushOptions backward;
+  backward.alpha = options.alpha;
+  if (options.rmax > 0.0) {
+    backward.rmax = options.rmax;
+  } else {
+    const double m = static_cast<double>(graph.num_edges());
+    backward.rmax =
+        options.epsilon *
+        std::sqrt(delta * m / static_cast<double>(n) / std::log(n));
+  }
+  PprEstimate est;
+  SolveStats backward_stats = BackwardPush(graph, target, backward, &est);
+
+  // Forward phase: walks refine the residual expectation. Chernoff-style
+  // count for relative error epsilon at magnitude delta, scaled by the
+  // max residue (the per-sample range).
+  const double rmax = backward.rmax;
+  uint64_t walks = static_cast<uint64_t>(
+      std::ceil(8.0 * rmax * std::log(2.0 * n) /
+                (options.epsilon * options.epsilon * delta)));
+  walks = std::max<uint64_t>(walks, 16);
+
+  // The identity needs E over the *alive-visit* distribution; each
+  // walk's contribution sums alpha * residue(v) over visited nodes v.
+  double total = 0.0;
+  uint64_t steps = 0;
+  for (uint64_t i = 0; i < walks; ++i) {
+    total +=
+        WalkContribution(graph, source, options.alpha, est.residue, rng,
+                         &steps);
+  }
+
+  BiPprResult result;
+  result.estimate = est.reserve[source] + total / static_cast<double>(walks);
+  result.walks = walks;
+  result.backward_pushes = backward_stats.push_operations;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppr

@@ -1,0 +1,44 @@
+#ifndef PPR_APPROX_BIPPR_H_
+#define PPR_APPROX_BIPPR_H_
+
+#include "core/workspace.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+/// Options for the bidirectional single-pair estimator.
+struct BiPprOptions {
+  double alpha = 0.2;
+  /// Target relative accuracy for pairs with π(s,t) ≥ delta.
+  double epsilon = 0.5;
+  /// PPR magnitude threshold; 0 selects 1/n.
+  double delta = 0.0;
+  /// Backward-push residue threshold; 0 selects the balanced
+  /// sqrt-tradeoff value epsilon * sqrt(delta · m / n / log n).
+  double rmax = 0.0;
+};
+
+/// Result of a single-pair query.
+struct BiPprResult {
+  double estimate = 0.0;
+  uint64_t walks = 0;
+  uint64_t backward_pushes = 0;
+  double seconds = 0.0;
+};
+
+/// BiPPR (Lofgren et al., WSDM'16) — the bidirectional single-pair
+/// baseline from the paper's related work (§7). Estimates π(s, t) by
+/// combining a Backward Push from t (giving reserve/residue vectors)
+/// with forward random walks from s:
+///
+///     π(s, t) = reserve[s] + E_{v ~ walk from s}[ residue[v] ]
+///
+/// which is an unbiased identity; the walks estimate the expectation.
+/// Requires in-adjacency and a dead-end-free graph (see BackwardPush).
+BiPprResult BiPpr(const Graph& graph, NodeId source, NodeId target,
+                  const BiPprOptions& options, Rng& rng);
+
+}  // namespace ppr
+
+#endif  // PPR_APPROX_BIPPR_H_

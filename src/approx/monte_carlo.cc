@@ -1,0 +1,41 @@
+#include "approx/monte_carlo.h"
+
+#include <cmath>
+
+#include "approx/random_walk.h"
+#include "util/timer.h"
+
+namespace ppr {
+
+uint64_t ChernoffWalkCount(NodeId n, double epsilon, double mu) {
+  PPR_CHECK(n >= 2);
+  PPR_CHECK(epsilon > 0.0);
+  PPR_CHECK(mu > 0.0);
+  double w = 2.0 * (2.0 * epsilon / 3.0 + 2.0) * std::log(n) /
+             (epsilon * epsilon * mu);
+  return static_cast<uint64_t>(std::ceil(w));
+}
+
+SolveStats MonteCarlo(const Graph& graph, NodeId source,
+                      const ApproxOptions& options, Rng& rng,
+                      std::vector<double>* out) {
+  PPR_CHECK(source < graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  const uint64_t walks =
+      ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
+
+  Timer timer;
+  SolveStats stats;
+  out->assign(n, 0.0);
+  const double weight = 1.0 / static_cast<double>(walks);
+  for (uint64_t i = 0; i < walks; ++i) {
+    WalkOutcome outcome = RandomWalk(graph, source, options.alpha, rng);
+    (*out)[outcome.stop] += weight;
+    stats.walk_steps += outcome.steps;
+  }
+  stats.random_walks = walks;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace ppr

@@ -1,0 +1,40 @@
+#ifndef PPR_APPROX_MONTE_CARLO_H_
+#define PPR_APPROX_MONTE_CARLO_H_
+
+#include <vector>
+
+#include "core/workspace.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+/// Parameters shared by every approximate-SSPPR algorithm. The guarantee
+/// (§2): for every node v with π(s,v) ≥ mu, the estimate satisfies
+/// |π̂(s,v) − π(s,v)| ≤ epsilon·π(s,v) with probability ≥ 1 − 1/n.
+struct ApproxOptions {
+  double alpha = 0.2;
+  double epsilon = 0.5;
+  /// PPR threshold μ; 0 means the conventional default 1/n.
+  double mu = 0.0;
+
+  double ResolvedMu(NodeId n) const {
+    return mu > 0.0 ? mu : 1.0 / static_cast<double>(n);
+  }
+};
+
+/// Number of walks W required by the Chernoff bound, Equation (12):
+/// W = 2(2ε/3 + 2)·log n / (ε²·μ).
+uint64_t ChernoffWalkCount(NodeId n, double epsilon, double mu);
+
+/// The plain Monte-Carlo method: W independent α-walks from the source;
+/// π̂(s,v) = (walks stopped at v) / W. Expected time O(W/α) — the
+/// baseline every other approximate algorithm improves on. `out` is
+/// resized to n.
+SolveStats MonteCarlo(const Graph& graph, NodeId source,
+                      const ApproxOptions& options, Rng& rng,
+                      std::vector<double>* out);
+
+}  // namespace ppr
+
+#endif  // PPR_APPROX_MONTE_CARLO_H_

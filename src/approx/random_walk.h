@@ -1,0 +1,34 @@
+#ifndef PPR_APPROX_RANDOM_WALK_H_
+#define PPR_APPROX_RANDOM_WALK_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+/// The α-random-walk engine shared by every Monte-Carlo-phase algorithm.
+///
+/// Semantics follow §2 of the paper: at each step the walk stops at the
+/// current node with probability α, otherwise moves to a uniformly random
+/// out-neighbor. A dead end conceptually has an edge back to the walk's
+/// *origin* — for index-based algorithms the walks are pre-generated
+/// before the query source is known, so the origin (not the query source)
+/// is the only consistent redirect target; for walks started at the query
+/// source the two coincide.
+struct WalkOutcome {
+  NodeId stop;       ///< the node the walk stopped at
+  uint32_t steps;    ///< number of moves made (0 = stopped at the origin)
+};
+
+/// Performs one α-random walk from `origin` and returns where it stopped.
+WalkOutcome RandomWalk(const Graph& graph, NodeId origin, double alpha,
+                       Rng& rng);
+
+/// Expected walk length is (1−α)/α; used by cost accounting and tests.
+inline double ExpectedWalkSteps(double alpha) {
+  return (1.0 - alpha) / alpha;
+}
+
+}  // namespace ppr
+
+#endif  // PPR_APPROX_RANDOM_WALK_H_

@@ -1,0 +1,101 @@
+#include "approx/resacc.h"
+
+#include <cmath>
+
+#include "approx/fora.h"
+#include "approx/random_walk.h"
+#include "core/workspace.h"
+#include "util/fifo_queue.h"
+#include "util/timer.h"
+
+namespace ppr {
+
+SolveStats ResAcc(const Graph& graph, NodeId source,
+                  const ApproxOptions& options, Rng& rng,
+                  std::vector<double>* out) {
+  PPR_CHECK(source < graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  const uint64_t w =
+      ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
+  const double rmax = ForaRmax(graph, w);
+  const double alpha = options.alpha;
+
+  Timer timer;
+  SolveStats stats;
+
+  // Push phase. The source is pushed once to seed the frontier; residue
+  // that later returns to it is accumulated rather than re-pushed.
+  PprEstimate estimate;
+  estimate.Reset(n, source);
+  std::vector<double>& reserve = estimate.reserve;
+  std::vector<double>& residue = estimate.residue;
+
+  FifoQueue queue(n);
+  queue.PushIfAbsent(source);
+  bool source_seeded = false;
+  while (!queue.empty()) {
+    const NodeId v = queue.Pop();
+    if (v == source && source_seeded) continue;  // accumulate, don't re-push
+    const double r = residue[v];
+    if (r == 0.0) continue;
+    if (v == source) source_seeded = true;
+    reserve[v] += alpha * r;
+    const double push = (1.0 - alpha) * r;
+    const NodeId d = graph.OutDegree(v);
+    residue[v] = 0.0;
+    if (d == 0) {
+      residue[source] += push;
+      stats.edge_pushes += 1;
+    } else {
+      const double inc = push / d;
+      for (NodeId u : graph.OutNeighbors(v)) {
+        residue[u] += inc;
+        if (u != source &&
+            residue[u] >
+                static_cast<double>(EffectiveDegree(graph, u)) * rmax) {
+          queue.PushIfAbsent(u);
+        }
+      }
+      stats.edge_pushes += d;
+    }
+    stats.push_operations++;
+  }
+
+  // Distribute the accumulated source residue: mass that returned to s
+  // will eventually spread as a fresh PPR vector from s, i.e.
+  // proportionally to the final distribution. Renormalizing reserve and
+  // the other residues by 1/(1 - r_acc) realizes exactly that.
+  const double accumulated = residue[source];
+  if (accumulated > 0.0 && accumulated < 1.0) {
+    const double scale = 1.0 / (1.0 - accumulated);
+    residue[source] = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      reserve[v] *= scale;
+      residue[v] *= scale;
+    }
+  }
+
+  // Monte-Carlo phase, identical to FORA's.
+  *out = reserve;
+  const double dw = static_cast<double>(w);
+  double rsum = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const double r = residue[v];
+    if (r <= 0.0) continue;
+    rsum += r;
+    const uint64_t wv = static_cast<uint64_t>(std::ceil(r * dw));
+    const double contribution = r / static_cast<double>(wv);
+    for (uint64_t i = 0; i < wv; ++i) {
+      WalkOutcome outcome = RandomWalk(graph, v, alpha, rng);
+      (*out)[outcome.stop] += contribution;
+      stats.walk_steps += outcome.steps;
+    }
+    stats.random_walks += wv;
+  }
+
+  stats.final_rsum = rsum;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace ppr

@@ -1,0 +1,39 @@
+#ifndef PPR_APPROX_SPEEDPPR_H_
+#define PPR_APPROX_SPEEDPPR_H_
+
+#include <vector>
+
+#include "approx/monte_carlo.h"
+#include "approx/walk_index.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+/// SpeedPPR (Algorithm 4) — the paper's approximate-SSPPR contribution.
+///
+/// Structure-wise it is FORA with the first phase replaced by PowerPush at
+/// λ = m/W plus an O(m) FIFO refinement that guarantees no node is active
+/// w.r.t. r_max = 1/W. The consequences (§6.2):
+///
+///  * every leftover residue satisfies r(s,v) ≤ d_v/W, so the Monte-Carlo
+///    phase needs W_v = ceil(r(s,v)·W) ≤ d_v walks — at most m in total —
+///    giving O(m·log(W/m)) = O(n log n log(1/ε)) expected time on
+///    scale-free graphs, beating FORA's O(n log n / ε);
+///  * an index of exactly d_v pre-generated walks per node (≤ graph size)
+///    serves *every* ε — built once, reused forever (Table 2's 10×
+///    index-size/preprocessing win).
+///
+/// If W ≤ m the code falls back to plain MonteCarlo, as the paper notes
+/// that regime is better served by MC directly.
+///
+/// Pass a WalkIndex built with Sizing::kSpeedPpr for the indexed variant
+/// (SpeedPPR-Index); nullptr simulates walks on the fly.
+SolveStats SpeedPpr(const Graph& graph, NodeId source,
+                    const ApproxOptions& options, Rng& rng,
+                    std::vector<double>* out,
+                    const WalkIndex* index = nullptr);
+
+}  // namespace ppr
+
+#endif  // PPR_APPROX_SPEEDPPR_H_

@@ -1,0 +1,139 @@
+#include "approx/walk_index.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "approx/random_walk.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace ppr {
+
+namespace {
+
+constexpr uint64_t kIndexMagic = 0x5050523157494458ULL;  // "PPR1WIDX"
+
+/// Offsets for the chosen sizing rule; shared by both build paths.
+std::vector<uint64_t> SizingOffsets(const Graph& graph,
+                                    WalkIndex::Sizing sizing,
+                                    uint64_t walk_count_w) {
+  const NodeId n = graph.num_nodes();
+  const double fora_ratio =
+      sizing == WalkIndex::Sizing::kForaPlus
+          ? std::sqrt(static_cast<double>(walk_count_w) /
+                      static_cast<double>(graph.num_edges()))
+          : 0.0;
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId d = graph.OutDegree(v);
+    uint64_t k;
+    if (sizing == WalkIndex::Sizing::kForaPlus) {
+      k = static_cast<uint64_t>(std::ceil(d * fora_ratio)) + 1;
+    } else {
+      k = d == 0 ? 1 : d;  // SpeedPPR: at most m walks in total
+    }
+    offsets[v + 1] = offsets[v] + k;
+  }
+  return offsets;
+}
+
+}  // namespace
+
+WalkIndex WalkIndex::Build(const Graph& graph, double alpha, Sizing sizing,
+                           uint64_t walk_count_w, Rng& rng) {
+  PPR_CHECK(alpha > 0.0 && alpha < 1.0);
+  const NodeId n = graph.num_nodes();
+  WalkIndex index;
+  index.alpha_ = alpha;
+  Timer timer;
+
+  index.offsets_ = SizingOffsets(graph, sizing, walk_count_w);
+  index.endpoints_.resize(index.offsets_.back());
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint64_t i = index.offsets_[v]; i < index.offsets_[v + 1]; ++i) {
+      index.endpoints_[i] = RandomWalk(graph, v, alpha, rng).stop;
+    }
+  }
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+WalkIndex WalkIndex::BuildParallel(const Graph& graph, double alpha,
+                                   Sizing sizing, uint64_t walk_count_w,
+                                   uint64_t seed) {
+  PPR_CHECK(alpha > 0.0 && alpha < 1.0);
+  const NodeId n = graph.num_nodes();
+  WalkIndex index;
+  index.alpha_ = alpha;
+  Timer timer;
+
+  index.offsets_ = SizingOffsets(graph, sizing, walk_count_w);
+  index.endpoints_.resize(index.offsets_.back());
+  // Each worker writes a disjoint slice; each node gets its own stream
+  // seeded from (seed, v), so the output is thread-count independent.
+  ParallelFor(0, n, [&](uint64_t lo, uint64_t hi, unsigned) {
+    for (uint64_t v = lo; v < hi; ++v) {
+      Rng rng(SplitMix64(seed ^ (v * 0x9e3779b97f4a7c15ULL)).Next());
+      for (uint64_t i = index.offsets_[v]; i < index.offsets_[v + 1]; ++i) {
+        index.endpoints_[i] =
+            RandomWalk(graph, static_cast<NodeId>(v), alpha, rng).stop;
+      }
+    }
+  });
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+Status WalkIndex::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  auto write_u64 = [&](uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u64(kIndexMagic);
+  write_u64(num_nodes());
+  write_u64(endpoints_.size());
+  out.write(reinterpret_cast<const char*>(&alpha_), sizeof(alpha_));
+  out.write(reinterpret_cast<const char*>(offsets_.data()),
+            static_cast<std::streamsize>(offsets_.size() * sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(endpoints_.data()),
+            static_cast<std::streamsize>(endpoints_.size() * sizeof(NodeId)));
+  out.flush();
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<WalkIndex> WalkIndex::LoadFrom(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  auto read_u64 = [&](uint64_t* v) {
+    in.read(reinterpret_cast<char*>(v), sizeof(*v));
+    return static_cast<bool>(in);
+  };
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  uint64_t total = 0;
+  if (!read_u64(&magic) || magic != kIndexMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (!read_u64(&n) || !read_u64(&total)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  WalkIndex index;
+  in.read(reinterpret_cast<char*>(&index.alpha_), sizeof(index.alpha_));
+  index.offsets_.resize(n + 1);
+  index.endpoints_.resize(total);
+  in.read(reinterpret_cast<char*>(index.offsets_.data()),
+          static_cast<std::streamsize>(index.offsets_.size() *
+                                       sizeof(uint64_t)));
+  in.read(reinterpret_cast<char*>(index.endpoints_.data()),
+          static_cast<std::streamsize>(index.endpoints_.size() *
+                                       sizeof(NodeId)));
+  if (!in) return Status::Corruption(path + ": truncated body");
+  if (index.offsets_.front() != 0 || index.offsets_.back() != total) {
+    return Status::Corruption(path + ": inconsistent offsets");
+  }
+  return index;
+}
+
+}  // namespace ppr

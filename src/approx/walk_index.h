@@ -1,0 +1,78 @@
+#ifndef PPR_APPROX_WALK_INDEX_H_
+#define PPR_APPROX_WALK_INDEX_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ppr {
+
+/// Pre-generated α-random-walk endpoints, the index structure behind
+/// FORA+ and SpeedPPR-Index. For each node v the index stores the stop
+/// nodes of K_v independent walks from v; a query consumes the first
+/// W_v = ceil(r(s,v)·W) of them instead of simulating walks.
+///
+/// The two sizing rules are the crux of the paper's Table 2 comparison:
+///
+///  * kForaPlus:  K_v = ceil(d_v·sqrt(W/m)) + 1, which depends on W and
+///    therefore on ε — an index built for ε₁ cannot serve ε₂ < ε₁
+///    without topping up with fresh walks.
+///  * kSpeedPpr:  K_v = d_v (1 for dead ends), at most m walks in total —
+///    never larger than the graph and valid for *every* ε, because
+///    SpeedPPR's refinement guarantees W_v ≤ d_v.
+class WalkIndex {
+ public:
+  enum class Sizing { kForaPlus, kSpeedPpr };
+
+  /// Generates the index. `walk_count_w` (the W of Equation (12)) is only
+  /// used by the kForaPlus sizing. Deterministic given the Rng.
+  static WalkIndex Build(const Graph& graph, double alpha, Sizing sizing,
+                         uint64_t walk_count_w, Rng& rng);
+
+  /// Multi-threaded build (ParallelFor over nodes). Each node's walks are
+  /// seeded from (seed, node id), so the result is identical regardless
+  /// of thread count — including to a single-threaded BuildParallel run —
+  /// but differs from Build(), which consumes one sequential stream.
+  static WalkIndex BuildParallel(const Graph& graph, double alpha,
+                                 Sizing sizing, uint64_t walk_count_w,
+                                 uint64_t seed);
+
+  /// Endpoints of the pre-generated walks from v (size K_v).
+  std::span<const NodeId> Endpoints(NodeId v) const {
+    PPR_DCHECK(v + 1 < offsets_.size());
+    return {endpoints_.data() + offsets_[v],
+            endpoints_.data() + offsets_[v + 1]};
+  }
+
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  uint64_t total_walks() const { return endpoints_.size(); }
+  /// In-memory/bottom-line index size: what Table 2 reports.
+  uint64_t SizeBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           endpoints_.size() * sizeof(NodeId);
+  }
+  double build_seconds() const { return build_seconds_; }
+  double alpha() const { return alpha_; }
+
+  /// Serialization, so index size can also be verified on disk.
+  Status SaveTo(const std::string& path) const;
+  static Result<WalkIndex> LoadFrom(const std::string& path);
+
+ private:
+  WalkIndex() = default;
+
+  std::vector<uint64_t> offsets_;
+  std::vector<NodeId> endpoints_;
+  double alpha_ = 0.2;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_APPROX_WALK_INDEX_H_

@@ -1,0 +1,201 @@
+#include "bepi/bepi.h"
+
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace ppr {
+
+std::unique_ptr<BepiSolver> BepiSolver::Preprocess(const Graph& graph,
+                                                   const BepiOptions& options) {
+  PPR_CHECK(graph.has_in_adjacency())
+      << "BePI needs the transpose; call Graph::BuildInAdjacency first";
+  Timer timer;
+  auto solver = std::unique_ptr<BepiSolver>(new BepiSolver());
+  solver->graph_ = &graph;
+  solver->alpha_ = options.alpha;
+  solver->max_iterations_ = options.max_iterations;
+  solver->order_ = SlashBurn(graph, options.slashburn);
+
+  const NodeId n = graph.num_nodes();
+  const NodeId n1 = solver->order_.num_spokes;
+  const NodeId n2 = n - n1;
+  const double scale = -(1.0 - options.alpha);
+  const std::vector<NodeId>& perm = solver->order_.perm;
+
+  solver->dead_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (graph.OutDegree(v) == 0) solver->dead_[perm[v]] = 1;
+  }
+
+  // Map every permuted spoke position to its diagonal block.
+  std::vector<uint32_t> block_of(n1, 0);
+  for (uint32_t b = 0; b < solver->order_.blocks.size(); ++b) {
+    auto [begin, end] = solver->order_.blocks[b];
+    for (NodeId p = begin; p < end; ++p) block_of[p] = b;
+  }
+
+  // Assemble the partitions of H = I − (1−α)P₀ᵀ in permuted space. The
+  // off-diagonal entry for edge (u → w) lands at H[perm[w]][perm[u]] with
+  // value −(1−α)/d_u; dead-end rows of P₀ are zero, contributing nothing.
+  std::vector<Triplet> t12;
+  std::vector<Triplet> t21;
+  std::vector<Triplet> t22;
+  // H22's identity diagonal (H11's is added into the dense blocks below;
+  // H12/H21 are purely off-diagonal partitions).
+  for (NodeId i = 0; i < n2; ++i) t22.push_back({i, i, 1.0});
+  std::vector<std::vector<double>> blocks_dense(
+      solver->order_.blocks.size());
+  for (uint32_t b = 0; b < solver->order_.blocks.size(); ++b) {
+    auto [begin, end] = solver->order_.blocks[b];
+    const size_t size = end - begin;
+    blocks_dense[b].assign(size * size, 0.0);
+    for (size_t i = 0; i < size; ++i) blocks_dense[b][i * size + i] = 1.0;
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId d = graph.OutDegree(u);
+    if (d == 0) continue;
+    const double value = scale / d;
+    const NodeId cu = perm[u];
+    for (NodeId w : graph.OutNeighbors(u)) {
+      const NodeId rw = perm[w];
+      if (rw < n1 && cu < n1) {
+        const uint32_t b = block_of[rw];
+        PPR_CHECK(block_of[cu] == b)
+            << "SlashBurn produced a cross-block spoke edge";
+        const NodeId begin = solver->order_.blocks[b].first;
+        const size_t size =
+            solver->order_.blocks[b].second - begin;
+        blocks_dense[b][static_cast<size_t>(rw - begin) * size +
+                        (cu - begin)] += value;
+      } else if (rw < n1) {
+        t12.push_back({rw, static_cast<uint32_t>(cu - n1), value});
+      } else if (cu < n1) {
+        t21.push_back({static_cast<uint32_t>(rw - n1), cu, value});
+      } else {
+        t22.push_back({static_cast<uint32_t>(rw - n1),
+                       static_cast<uint32_t>(cu - n1), value});
+      }
+    }
+  }
+
+  solver->block_lu_.reserve(blocks_dense.size());
+  for (uint32_t b = 0; b < blocks_dense.size(); ++b) {
+    auto [begin, end] = solver->order_.blocks[b];
+    solver->block_lu_.push_back(DenseLu::Factorize(
+        std::move(blocks_dense[b]), static_cast<uint32_t>(end - begin)));
+  }
+  solver->h12_ = CsrMatrix::FromTriplets(n1, n2, std::move(t12));
+  solver->h21_ = CsrMatrix::FromTriplets(n2, n1, std::move(t21));
+  solver->h22_ = CsrMatrix::FromTriplets(n2, n2, std::move(t22));
+
+  solver->preprocess_seconds_ = timer.ElapsedSeconds();
+  return solver;
+}
+
+void BepiSolver::SolveH11InPlace(std::vector<double>* y) const {
+  for (size_t b = 0; b < block_lu_.size(); ++b) {
+    auto [begin, end] = order_.blocks[b];
+    std::span<double> slice(y->data() + begin, end - begin);
+    bool nonzero = false;
+    for (double v : slice) {
+      if (v != 0.0) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (nonzero) block_lu_[b].Solve(slice);
+  }
+}
+
+SolveStats BepiSolver::Solve(NodeId source, double delta,
+                             std::vector<double>* out) const {
+  const NodeId n = graph_->num_nodes();
+  PPR_CHECK(source < n);
+  const NodeId n1 = order_.num_spokes;
+  const NodeId n2 = n - n1;
+  Timer timer;
+  SolveStats stats;
+
+  // Right-hand side q = α·e_{perm(source)} split into (q1, q2).
+  std::vector<double> q1(n1, 0.0);
+  std::vector<double> q2(n2, 0.0);
+  const NodeId ps = order_.perm[source];
+  if (ps < n1) {
+    q1[ps] = alpha_;
+  } else {
+    q2[ps - n1] = alpha_;
+  }
+
+  // t1 = H11⁻¹ q1;  b2 = q2 − H21 t1.
+  std::vector<double> t1 = q1;
+  SolveH11InPlace(&t1);
+  std::vector<double> b2 = q2;
+  if (n2 > 0 && n1 > 0) h21_.MultiplySubtract(t1, b2);
+
+  // Richardson iteration on the Schur complement S = H22 − H21 H11⁻¹ H12:
+  //   x2 ← b2 + (I − S)·x2.
+  std::vector<double> x2(n2, 0.0);
+  if (n2 > 0) {
+    std::vector<double> w1(n1, 0.0);
+    std::vector<double> sx(n2, 0.0);
+    std::vector<double> next(n2, 0.0);
+    for (uint64_t it = 0; it < max_iterations_; ++it) {
+      if (n1 > 0) {
+        h12_.Multiply(x2, w1);
+        SolveH11InPlace(&w1);
+      }
+      h22_.Multiply(x2, sx);                    // sx = H22 x2
+      if (n1 > 0) h21_.MultiplySubtract(w1, sx);  // sx = S x2
+      double diff2 = 0.0;
+      for (NodeId i = 0; i < n2; ++i) {
+        next[i] = b2[i] + x2[i] - sx[i];
+        const double d = next[i] - x2[i];
+        diff2 += d * d;
+      }
+      x2.swap(next);
+      stats.iterations++;
+      stats.edge_pushes += h12_.nnz() + h21_.nnz() + h22_.nnz();
+      if (std::sqrt(diff2) <= delta) break;
+    }
+  }
+
+  // Back-substitute the spoke part: x1 = H11⁻¹ (q1 − H12 x2).
+  std::vector<double> x1 = q1;
+  if (n1 > 0 && n2 > 0) h12_.MultiplySubtract(x2, x1);
+  SolveH11InPlace(&x1);
+
+  // Dead-end correction: rescale the absorbing solution so it matches the
+  // dead-end→source random-walk convention exactly.
+  double dead_mass = 0.0;
+  for (NodeId p = 0; p < n1; ++p) {
+    if (dead_[p]) dead_mass += x1[p];
+  }
+  for (NodeId p = n1; p < n; ++p) {
+    if (dead_[p]) dead_mass += x2[p - n1];
+  }
+  double rescale = 1.0;
+  const double denom = alpha_ - (1.0 - alpha_) * dead_mass;
+  PPR_CHECK(denom > 0.0) << "dead-end mass too large for rescaling";
+  rescale = alpha_ / denom;
+
+  out->assign(n, 0.0);
+  for (NodeId p = 0; p < n1; ++p) (*out)[order_.inverse[p]] = x1[p] * rescale;
+  for (NodeId p = n1; p < n; ++p) {
+    (*out)[order_.inverse[p]] = x2[p - n1] * rescale;
+  }
+
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+uint64_t BepiSolver::IndexBytes() const {
+  uint64_t bytes = 0;
+  for (const DenseLu& lu : block_lu_) bytes += lu.SizeBytes();
+  bytes += h12_.SizeBytes() + h21_.SizeBytes() + h22_.SizeBytes();
+  bytes += order_.perm.size() * sizeof(NodeId) * 2;
+  return bytes;
+}
+
+}  // namespace ppr

@@ -1,0 +1,85 @@
+#ifndef PPR_BEPI_BEPI_H_
+#define PPR_BEPI_BEPI_H_
+
+#include <memory>
+#include <vector>
+
+#include "bepi/slashburn.h"
+#include "bepi/sparse_matrix.h"
+#include "core/workspace.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Options for the BePI reimplementation (Jung et al., SIGMOD'17), the
+/// paper's high-precision index-based competitor.
+struct BepiOptions {
+  double alpha = 0.2;
+  SlashBurnOptions slashburn;
+  /// Cap on Schur-complement iterations per query.
+  uint64_t max_iterations = 1000;
+};
+
+/// Block-elimination PPR solver. Preprocessing reorders the nodes with
+/// SlashBurn so that the spoke-spoke block H11 of
+///
+///     H = I − (1−α)·P₀ᵀ      (P₀ = transition matrix with dead-end rows
+///                             zeroed; see the dead-end note below)
+///
+/// is block diagonal, factorizes each diagonal block with a dense LU, and
+/// stores the H12 / H21 / H22 partitions. A query solves H·x = α·e_s by
+/// eliminating the spoke block exactly and running a Richardson (power-
+/// iteration-style) loop on the hub Schur complement — the structure that
+/// gives BePI its fast queries and its large, density-sensitive index.
+///
+/// Dead ends: the paper's convention sends a dead end's mass back to the
+/// query source, which would make H source-dependent. We instead solve
+/// the absorbing system (zero rows in P₀) and rescale by
+/// t = α / (α − (1−α)·D₀), D₀ = Σ_{dead v} x₀(v) — algebraically exact,
+/// so BePI's output matches the other solvers' convention bit-for-bit in
+/// the limit.
+class BepiSolver {
+ public:
+  /// Builds the index. The graph's in-adjacency is required (call
+  /// BuildInAdjacency() first). The graph must outlive the solver.
+  static std::unique_ptr<BepiSolver> Preprocess(const Graph& graph,
+                                                const BepiOptions& options);
+
+  /// Solves for one source. `delta` is the convergence parameter: the
+  /// loop stops when the ℓ2 distance between successive hub iterates
+  /// drops below it (the BePI stopping rule used in the paper's §8). The
+  /// result is written densely into *out (size n).
+  SolveStats Solve(NodeId source, double delta,
+                   std::vector<double>* out) const;
+
+  /// Index footprint: LU factors + partition matrices + permutations —
+  /// what Table 2 reports for BePI.
+  uint64_t IndexBytes() const;
+  double preprocess_seconds() const { return preprocess_seconds_; }
+  NodeId num_spokes() const { return order_.num_spokes; }
+  NodeId num_hubs() const {
+    return static_cast<NodeId>(order_.perm.size()) - order_.num_spokes;
+  }
+  int slashburn_levels() const { return order_.levels; }
+
+ private:
+  BepiSolver() = default;
+
+  /// y = H11⁻¹ · y, block by block (skips all-zero block slices).
+  void SolveH11InPlace(std::vector<double>* y) const;
+
+  const Graph* graph_ = nullptr;
+  double alpha_ = 0.2;
+  uint64_t max_iterations_ = 1000;
+  SlashBurnResult order_;
+  std::vector<DenseLu> block_lu_;   // one per diagonal block of H11
+  CsrMatrix h12_;                   // spokes x hubs
+  CsrMatrix h21_;                   // hubs x spokes
+  CsrMatrix h22_;                   // hubs x hubs
+  std::vector<uint8_t> dead_;       // permuted dead-end flags
+  double preprocess_seconds_ = 0.0;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_BEPI_BEPI_H_

@@ -1,0 +1,123 @@
+#include "bepi/slashburn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/components.h"
+#include "util/logging.h"
+
+namespace ppr {
+
+namespace {
+
+/// Undirected degree of v within the still-active node set.
+uint64_t ActiveDegree(const Graph& graph, NodeId v,
+                      const std::vector<uint8_t>& alive) {
+  uint64_t degree = 0;
+  for (NodeId u : graph.OutNeighbors(v)) degree += alive[u];
+  for (NodeId u : graph.InNeighbors(v)) degree += alive[u];
+  return degree;
+}
+
+}  // namespace
+
+SlashBurnResult SlashBurn(const Graph& graph,
+                          const SlashBurnOptions& options) {
+  PPR_CHECK(graph.has_in_adjacency())
+      << "SlashBurn needs the transpose; call Graph::BuildInAdjacency first";
+  const NodeId n = graph.num_nodes();
+  PPR_CHECK(n > 0);
+  const NodeId k = options.hubs_per_round > 0
+                       ? options.hubs_per_round
+                       : std::max<NodeId>(1, static_cast<NodeId>(
+                                                 std::ceil(0.005 * n)));
+  const NodeId max_block = std::max<NodeId>(1, options.max_block);
+
+  SlashBurnResult result;
+  std::vector<uint8_t> alive(n, 1);
+  NodeId active_count = n;
+
+  std::vector<NodeId> spokes;        // old ids in final spoke order
+  std::vector<NodeId> hubs;          // old ids in final hub order
+  spokes.reserve(n);
+
+  std::vector<NodeId> component;
+  std::vector<NodeId> candidates;
+
+  auto emit_block = [&](const std::vector<NodeId>& nodes) {
+    NodeId begin = static_cast<NodeId>(spokes.size());
+    spokes.insert(spokes.end(), nodes.begin(), nodes.end());
+    result.blocks.emplace_back(begin, static_cast<NodeId>(spokes.size()));
+  };
+
+  while (active_count > 0) {
+    if (active_count <= max_block) {
+      // The final remnant fits in one diagonal block.
+      component.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v]) component.push_back(v);
+      }
+      for (NodeId v : component) alive[v] = 0;
+      active_count = 0;
+      emit_block(component);
+      break;
+    }
+
+    // 1. Remove the k highest-degree active nodes ("slash").
+    candidates.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v]) candidates.push_back(v);
+    }
+    const NodeId take = std::min<NodeId>(k, active_count);
+    std::nth_element(candidates.begin(), candidates.begin() + take - 1,
+                     candidates.end(), [&](NodeId a, NodeId b) {
+                       return ActiveDegree(graph, a, alive) >
+                              ActiveDegree(graph, b, alive);
+                     });
+    for (NodeId i = 0; i < take; ++i) {
+      hubs.push_back(candidates[i]);
+      alive[candidates[i]] = 0;
+    }
+    active_count -= take;
+    result.levels++;
+
+    if (active_count == 0) break;
+
+    // 2. Decompose the remainder into connected components ("burn");
+    //    the giant component survives to the next round, the rest become
+    //    spoke blocks (or hubs, if too large for a dense LU block).
+    ComponentResult decomposition = WeaklyConnectedComponents(graph, alive);
+    std::vector<std::vector<NodeId>> components(
+        decomposition.num_components());
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v]) components[decomposition.component_of[v]].push_back(v);
+    }
+    const size_t giant = decomposition.giant;
+
+    for (size_t c = 0; c < components.size(); ++c) {
+      if (c == giant) continue;  // survives to the next round
+      const std::vector<NodeId>& nodes = components[c];
+      if (nodes.size() <= max_block) {
+        emit_block(nodes);
+      } else {
+        // An oversized satellite component cannot be a dense-LU block;
+        // promote its nodes to hubs (rare on heavy-tailed graphs).
+        hubs.insert(hubs.end(), nodes.begin(), nodes.end());
+      }
+      for (NodeId v : nodes) alive[v] = 0;
+      active_count -= static_cast<NodeId>(nodes.size());
+    }
+  }
+
+  result.num_spokes = static_cast<NodeId>(spokes.size());
+  result.inverse = std::move(spokes);
+  result.inverse.insert(result.inverse.end(), hubs.begin(), hubs.end());
+  PPR_CHECK(result.inverse.size() == n);
+  result.perm.assign(n, 0);
+  for (NodeId pos = 0; pos < n; ++pos) {
+    result.perm[result.inverse[pos]] = pos;
+  }
+  return result;
+}
+
+}  // namespace ppr

@@ -1,0 +1,49 @@
+#ifndef PPR_BEPI_SLASHBURN_H_
+#define PPR_BEPI_SLASHBURN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Result of the SlashBurn-style hub/spoke reordering (Kang & Faloutsos,
+/// ICDM'11 — the ordering BePI builds on).
+///
+/// Nodes are permuted so that positions [0, num_spokes) hold "spoke"
+/// nodes whose induced subgraph decomposes into the listed connected
+/// blocks (no edges between different blocks in either direction), and
+/// positions [num_spokes, n) hold the "hub" nodes removed along the way.
+/// This makes the H11 partition of BePI's linear system block diagonal.
+struct SlashBurnResult {
+  /// old id -> new position.
+  std::vector<NodeId> perm;
+  /// new position -> old id.
+  std::vector<NodeId> inverse;
+  /// Number of spoke positions (n1 in BePI's notation).
+  NodeId num_spokes = 0;
+  /// [begin, end) position ranges of the diagonal blocks within the spoke
+  /// region, in increasing position order.
+  std::vector<std::pair<NodeId, NodeId>> blocks;
+  /// Number of hub-removal rounds performed.
+  int levels = 0;
+};
+
+struct SlashBurnOptions {
+  /// Hubs removed per round; 0 selects ceil(0.005 * n).
+  NodeId hubs_per_round = 0;
+  /// Spoke components larger than this are promoted to hubs so that every
+  /// diagonal block stays small enough for a dense LU factorization.
+  NodeId max_block = 256;
+};
+
+/// Runs the reordering. Connectivity is taken over the undirected version
+/// of the graph (the union of out- and in-edges), so block diagonality
+/// holds for both H12/H21 directions. Requires/loads the in-adjacency.
+SlashBurnResult SlashBurn(const Graph& graph, const SlashBurnOptions& options);
+
+}  // namespace ppr
+
+#endif  // PPR_BEPI_SLASHBURN_H_

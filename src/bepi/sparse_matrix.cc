@@ -1,0 +1,126 @@
+#include "bepi/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppr {
+
+CsrMatrix CsrMatrix::FromTriplets(uint32_t rows, uint32_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    PPR_CHECK(t.row < rows && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Sum duplicates.
+  size_t out = 0;
+  for (size_t i = 0; i < triplets.size(); ++i) {
+    if (out > 0 && triplets[out - 1].row == triplets[i].row &&
+        triplets[out - 1].col == triplets[i].col) {
+      triplets[out - 1].value += triplets[i].value;
+    } else {
+      triplets[out++] = triplets[i];
+    }
+  }
+  triplets.resize(out);
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.offsets_.assign(static_cast<size_t>(rows) + 1, 0);
+  for (const Triplet& t : triplets) m.offsets_[t.row + 1]++;
+  for (uint32_t r = 0; r < rows; ++r) m.offsets_[r + 1] += m.offsets_[r];
+  m.cols_idx_.resize(triplets.size());
+  m.values_.resize(triplets.size());
+  for (size_t i = 0; i < triplets.size(); ++i) {
+    m.cols_idx_[i] = triplets[i].col;
+    m.values_[i] = triplets[i].value;
+  }
+  return m;
+}
+
+void CsrMatrix::Multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  PPR_DCHECK(x.size() == cols_ && y.size() == rows_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (uint64_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      sum += values_[i] * x[cols_idx_[i]];
+    }
+    y[r] = sum;
+  }
+}
+
+void CsrMatrix::MultiplySubtract(std::span<const double> x,
+                                 std::span<double> y) const {
+  PPR_DCHECK(x.size() == cols_ && y.size() == rows_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (uint64_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      sum += values_[i] * x[cols_idx_[i]];
+    }
+    y[r] -= sum;
+  }
+}
+
+DenseLu DenseLu::Factorize(std::vector<double> a, uint32_t b) {
+  PPR_CHECK(a.size() == static_cast<size_t>(b) * b);
+  DenseLu lu;
+  lu.b_ = b;
+  lu.pivots_.resize(b);
+  auto at = [&a, b](uint32_t r, uint32_t c) -> double& {
+    return a[static_cast<size_t>(r) * b + c];
+  };
+
+  for (uint32_t k = 0; k < b; ++k) {
+    // Partial pivoting.
+    uint32_t pivot = k;
+    double best = std::fabs(at(k, k));
+    for (uint32_t r = k + 1; r < b; ++r) {
+      double mag = std::fabs(at(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    PPR_CHECK(best > 0.0) << "singular block in H11 LU";
+    lu.pivots_[k] = pivot;
+    if (pivot != k) {
+      for (uint32_t c = 0; c < b; ++c) std::swap(at(k, c), at(pivot, c));
+    }
+    const double inv = 1.0 / at(k, k);
+    for (uint32_t r = k + 1; r < b; ++r) {
+      const double factor = at(r, k) * inv;
+      at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (uint32_t c = k + 1; c < b; ++c) at(r, c) -= factor * at(k, c);
+    }
+  }
+  lu.lu_ = std::move(a);
+  return lu;
+}
+
+void DenseLu::Solve(std::span<double> b_in) const {
+  PPR_DCHECK(b_in.size() == b_);
+  const auto at = [this](uint32_t r, uint32_t c) {
+    return lu_[static_cast<size_t>(r) * b_ + c];
+  };
+  // Apply the pivot permutation, then forward/backward substitution.
+  for (uint32_t k = 0; k < b_; ++k) {
+    if (pivots_[k] != k) std::swap(b_in[k], b_in[pivots_[k]]);
+  }
+  for (uint32_t r = 1; r < b_; ++r) {
+    double sum = b_in[r];
+    for (uint32_t c = 0; c < r; ++c) sum -= at(r, c) * b_in[c];
+    b_in[r] = sum;
+  }
+  for (uint32_t r = b_; r-- > 0;) {
+    double sum = b_in[r];
+    for (uint32_t c = r + 1; c < b_; ++c) sum -= at(r, c) * b_in[c];
+    b_in[r] = sum / at(r, r);
+  }
+}
+
+}  // namespace ppr

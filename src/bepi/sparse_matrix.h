@@ -1,0 +1,89 @@
+#ifndef PPR_BEPI_SPARSE_MATRIX_H_
+#define PPR_BEPI_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+/// A sparse (row, col, value) entry used to assemble CSR matrices.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  double value;
+};
+
+/// Double-precision CSR sparse matrix — the numerical substrate of the
+/// BePI reimplementation (partition blocks of H = I − (1−α)P₀ᵀ).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Assembles from triplets (need not be sorted; duplicates are summed).
+  static CsrMatrix FromTriplets(uint32_t rows, uint32_t cols,
+                                std::vector<Triplet> triplets);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint64_t nnz() const { return values_.size(); }
+
+  /// y = A·x. x.size() == cols(), y.size() == rows().
+  void Multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y -= A·x (fused form used by the Schur iteration).
+  void MultiplySubtract(std::span<const double> x, std::span<double> y) const;
+
+  /// Row access for algorithms that stream rows.
+  std::span<const uint32_t> RowCols(uint32_t r) const {
+    PPR_DCHECK(r < rows_);
+    return {cols_idx_.data() + offsets_[r], cols_idx_.data() + offsets_[r + 1]};
+  }
+  std::span<const double> RowValues(uint32_t r) const {
+    PPR_DCHECK(r < rows_);
+    return {values_.data() + offsets_[r], values_.data() + offsets_[r + 1]};
+  }
+
+  uint64_t SizeBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           cols_idx_.size() * sizeof(uint32_t) +
+           values_.size() * sizeof(double);
+  }
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> cols_idx_;
+  std::vector<double> values_;
+};
+
+/// Dense LU factorization with partial pivoting for the small diagonal
+/// blocks of H11. Factor once at preprocessing time, then Solve per query
+/// in O(b²) for block size b.
+class DenseLu {
+ public:
+  /// Factorizes the b×b row-major matrix `a`. Aborts on exact singularity
+  /// (cannot happen for H11 blocks, which are strictly diagonally
+  /// dominant M-matrix blocks).
+  static DenseLu Factorize(std::vector<double> a, uint32_t b);
+
+  /// Solves L·U·x = b_in (in place: b_in becomes x).
+  void Solve(std::span<double> b_in) const;
+
+  uint32_t size() const { return b_; }
+  uint64_t SizeBytes() const {
+    return lu_.size() * sizeof(double) + pivots_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  uint32_t b_ = 0;
+  std::vector<double> lu_;        // packed L (unit diag) and U
+  std::vector<uint32_t> pivots_;  // row permutation
+};
+
+}  // namespace ppr
+
+#endif  // PPR_BEPI_SPARSE_MATRIX_H_

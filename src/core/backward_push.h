@@ -1,0 +1,41 @@
+#ifndef PPR_CORE_BACKWARD_PUSH_H_
+#define PPR_CORE_BACKWARD_PUSH_H_
+
+#include "core/workspace.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Options for Backward Push (Andersen et al., FOCS'06 "local
+/// computation of PageRank contributions").
+struct BackwardPushOptions {
+  double alpha = 0.2;
+  /// Per-node absolute error threshold: on termination every node v
+  /// satisfies |π̂(v, t) − π(v, t)| ≤ rmax.
+  double rmax = 1e-6;
+};
+
+/// Single-Target PPR by Backward Push — the dual of Forward Push and the
+/// second half of the bidirectional estimators (BiPPR) discussed in the
+/// paper's related work (§7). Computes, for a fixed target t, an
+/// estimate of π(v, t) for *every* source v.
+///
+/// Invariant maintained for each v (van der Hofstad / Lofgren form):
+///     π(v, t) = reserve[v] + Σ_u residue[u] · π(v, u)
+/// A backward push on u moves α·r(u) into reserve[u] and propagates
+/// (1−α)·r(u)/d_w to each in-neighbor w of u. On termination all
+/// residues are ≤ rmax, giving the per-node bound above (since
+/// Σ_u π(v,u) ≤ 1).
+///
+/// Requires the graph's in-adjacency (Graph::BuildInAdjacency).
+/// Dead-end caveat: the dead-end→source convention makes π
+/// source-dependent, which a single backward pass cannot capture, so
+/// this solver requires a dead-end-free graph (the classic setting of
+/// backward search; callers with dead ends should pre-process them
+/// away).
+SolveStats BackwardPush(const Graph& graph, NodeId target,
+                        const BackwardPushOptions& options, PprEstimate* out);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_BACKWARD_PUSH_H_

@@ -1,0 +1,94 @@
+#include "core/dynamic_ppr.h"
+
+#include <cmath>
+
+#include "util/fifo_queue.h"
+
+namespace ppr {
+
+DynamicSsppr::DynamicSsppr(DynamicGraph* graph, NodeId source,
+                           const Options& options)
+    : graph_(graph), source_(source), options_(options) {
+  PPR_CHECK(graph != nullptr);
+  PPR_CHECK(source < graph->num_nodes());
+  PPR_CHECK(options.rmax > 0.0);
+  PPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+  estimate_.Reset(graph->num_nodes(), source);
+  Refresh();
+}
+
+bool DynamicSsppr::IsActive(NodeId v) const {
+  return std::fabs(estimate_.residue[v]) >
+         static_cast<double>(EffectiveDegreeOf(v)) * options_.rmax;
+}
+
+uint64_t DynamicSsppr::PushLoop() {
+  const double alpha = options_.alpha;
+  FifoQueue queue(graph_->num_nodes());
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    if (IsActive(v)) queue.PushIfAbsent(v);
+  }
+  uint64_t pushes = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.Pop();
+    const double r = estimate_.residue[v];
+    if (r == 0.0) continue;
+    // Pushes work symmetrically for negative residue (insertions shrink
+    // old neighbors' transition probability, so corrections can be
+    // negative): reserve decreases and negative mass propagates.
+    estimate_.reserve[v] += alpha * r;
+    estimate_.residue[v] = 0.0;
+    const double push = (1.0 - alpha) * r;
+    const NodeId d = graph_->OutDegree(v);
+    if (d == 0) {
+      estimate_.residue[source_] += push;
+      if (IsActive(source_)) queue.PushIfAbsent(source_);
+    } else {
+      const double inc = push / d;
+      for (NodeId u : graph_->OutNeighbors(v)) {
+        estimate_.residue[u] += inc;
+        if (IsActive(u)) queue.PushIfAbsent(u);
+      }
+    }
+    pushes++;
+  }
+  return pushes;
+}
+
+uint64_t DynamicSsppr::Refresh() { return PushLoop(); }
+
+uint64_t DynamicSsppr::AddEdge(NodeId u, NodeId w) {
+  PPR_CHECK(u < graph_->num_nodes() && w < graph_->num_nodes());
+  // Validate before touching residues: DynamicGraph::AddEdge rejects
+  // self-loops, and the correction below must not run for an edge that
+  // will never be inserted.
+  PPR_CHECK(u != w) << "self-loops are not supported";
+  const double alpha = options_.alpha;
+  const double scale = (1.0 - alpha) / alpha * estimate_.reserve[u];
+  const NodeId d_old = graph_->OutDegree(u);
+
+  // Δr = (1−α)/α · π̂(u) · (P'[u] − P[u]).
+  if (d_old == 0) {
+    // u was a dead end whose effective row was e_source; the new row is
+    // e_w.
+    estimate_.residue[source_] -= scale;
+    estimate_.residue[w] += scale;
+  } else {
+    const double shrink =
+        1.0 / (d_old + 1.0) - 1.0 / static_cast<double>(d_old);
+    for (NodeId x : graph_->OutNeighbors(u)) {
+      estimate_.residue[x] += scale * shrink;
+    }
+    estimate_.residue[w] += scale / (d_old + 1.0);
+  }
+  graph_->AddEdge(u, w);
+  return PushLoop();
+}
+
+double DynamicSsppr::ResidueL1() const {
+  double sum = 0.0;
+  for (double r : estimate_.residue) sum += std::fabs(r);
+  return sum;
+}
+
+}  // namespace ppr

@@ -1,0 +1,72 @@
+#ifndef PPR_CORE_DYNAMIC_PPR_H_
+#define PPR_CORE_DYNAMIC_PPR_H_
+
+#include "core/workspace.h"
+#include "graph/dynamic_graph.h"
+
+namespace ppr {
+
+/// Single-source PPR on an evolving graph — the dynamic setting of the
+/// paper's related work (§7: Ohsaka et al. KDD'15, Zhang et al. KDD'16).
+/// Maintains a (reserve, residue) pair whose push invariant
+///
+///     r = e_s − (1/α)·π̂·(I − (1−α)P)
+///
+/// is restored *algebraically* after every edge insertion: only row u of
+/// P changes when (u, w) arrives, so the exact correction is local,
+///
+///     Δr(x) = (1−α)/α · π̂(u) · (P'[u][x] − P[u][x]),
+///
+/// touching u's old neighbors (their transition probability shrinks from
+/// 1/d to 1/(d+1) — residues may go *negative*, which the tracker and
+/// its error bound handle via |r|) and the new neighbor w. Cost: O(d_u)
+/// per insertion plus local pushes, versus O(m log 1/λ) from scratch.
+///
+/// Error guarantee at any point: ‖π̂ − π‖₁ ≤ Σ_v |r(v)| ≤ (m+k)·r_max
+/// after Refresh() (k = dead ends), mirroring Equation (7).
+class DynamicSsppr {
+ public:
+  struct Options {
+    double alpha = 0.2;
+    /// Activity threshold: a node is pushed while |r| > deff·rmax.
+    double rmax = 1e-7;
+  };
+
+  /// The tracker keeps a reference to `graph`; insert edges through
+  /// AddEdge below (mutating `graph` behind the tracker's back breaks
+  /// the invariant).
+  DynamicSsppr(DynamicGraph* graph, NodeId source, const Options& options);
+
+  /// Applies the insertion to the graph and repairs the estimate.
+  /// Returns the number of push operations performed.
+  uint64_t AddEdge(NodeId u, NodeId w);
+
+  /// Pushes until no node is active (call after a batch of insertions if
+  /// intermediate accuracy does not matter; AddEdge already refreshes).
+  uint64_t Refresh();
+
+  /// Current estimate; reserve ≈ π_s within the bound above.
+  const PprEstimate& estimate() const { return estimate_; }
+
+  /// Σ|r| — the current ℓ1-error bound.
+  double ResidueL1() const;
+
+  NodeId source() const { return source_; }
+
+ private:
+  NodeId EffectiveDegreeOf(NodeId v) const {
+    NodeId d = graph_->OutDegree(v);
+    return d == 0 ? 1 : d;
+  }
+  bool IsActive(NodeId v) const;
+  uint64_t PushLoop();
+
+  DynamicGraph* graph_;
+  NodeId source_;
+  Options options_;
+  PprEstimate estimate_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_DYNAMIC_PPR_H_

@@ -1,0 +1,98 @@
+#include "core/forward_push.h"
+
+#include "util/fifo_queue.h"
+#include "util/timer.h"
+
+namespace ppr {
+
+namespace {
+
+/// Shared FIFO push loop. Seeds the queue with every currently-active
+/// node and pushes until the queue drains (or rsum falls to stop_rsum).
+SolveStats RunFifoLoop(const Graph& graph, NodeId source, double alpha,
+                       double rmax, double stop_rsum, PprEstimate* estimate,
+                       ConvergenceTrace* trace) {
+  const NodeId n = graph.num_nodes();
+  FifoQueue queue(n);
+  double rsum = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const double r = estimate->residue[v];
+    rsum += r;
+    if (r > static_cast<double>(EffectiveDegree(graph, v)) * rmax) {
+      queue.PushIfAbsent(v);
+    }
+  }
+
+  SolveStats stats;
+  Timer timer;
+  std::vector<double>& reserve = estimate->reserve;
+  std::vector<double>& residue = estimate->residue;
+
+  while (!queue.empty() && (stop_rsum <= 0.0 || rsum > stop_rsum)) {
+    const NodeId v = queue.Pop();
+    const double r = residue[v];
+    if (r == 0.0) continue;
+    reserve[v] += alpha * r;
+    rsum -= alpha * r;
+    const double push = (1.0 - alpha) * r;
+    const NodeId d = graph.OutDegree(v);
+    residue[v] = 0.0;
+    if (d == 0) {
+      // Dead end: the remaining mass jumps back to the source.
+      residue[source] += push;
+      if (residue[source] >
+          static_cast<double>(EffectiveDegree(graph, source)) * rmax) {
+        queue.PushIfAbsent(source);
+      }
+      stats.edge_pushes += 1;
+    } else {
+      const double inc = push / d;
+      for (NodeId u : graph.OutNeighbors(v)) {
+        residue[u] += inc;
+        if (residue[u] >
+            static_cast<double>(EffectiveDegree(graph, u)) * rmax) {
+          queue.PushIfAbsent(u);
+        }
+      }
+      stats.edge_pushes += d;
+    }
+    stats.push_operations++;
+    if (trace != nullptr && trace->Due(stats.edge_pushes)) {
+      trace->Record(stats.edge_pushes, rsum);
+    }
+  }
+
+  stats.final_rsum = rsum;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace
+
+SolveStats FifoForwardPush(const Graph& graph, NodeId source,
+                           const ForwardPushOptions& options, PprEstimate* out,
+                           ConvergenceTrace* trace) {
+  PPR_CHECK(source < graph.num_nodes());
+  PPR_CHECK(options.rmax > 0.0);
+  PPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+
+  if (trace != nullptr) trace->Start();
+  out->Reset(graph.num_nodes(), source);
+  SolveStats stats = RunFifoLoop(graph, source, options.alpha, options.rmax,
+                                 options.stop_rsum, out, trace);
+  if (trace != nullptr) trace->Record(stats.edge_pushes, stats.final_rsum);
+  return stats;
+}
+
+SolveStats FifoForwardPushRefine(const Graph& graph, NodeId source,
+                                 double alpha, double rmax,
+                                 PprEstimate* estimate) {
+  PPR_CHECK(source < graph.num_nodes());
+  PPR_CHECK(rmax > 0.0);
+  PPR_CHECK(estimate->reserve.size() == graph.num_nodes());
+  PPR_CHECK(estimate->residue.size() == graph.num_nodes());
+  return RunFifoLoop(graph, source, alpha, rmax, /*stop_rsum=*/0.0, estimate,
+                     /*trace=*/nullptr);
+}
+
+}  // namespace ppr

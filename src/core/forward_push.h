@@ -1,0 +1,41 @@
+#ifndef PPR_CORE_FORWARD_PUSH_H_
+#define PPR_CORE_FORWARD_PUSH_H_
+
+#include "core/trace.h"
+#include "core/workspace.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Options for FIFO-FwdPush (Algorithm 2 of the paper).
+struct ForwardPushOptions {
+  double alpha = 0.2;
+  /// Residue threshold: v is active iff r(s,v) > d_v * rmax. With
+  /// rmax = λ/m, termination guarantees ‖π̂ − π‖₁ ≤ λ (Equation (7)),
+  /// and Theorem 4.3 bounds the running time by O(m log(1/λ)).
+  double rmax = 1e-8;
+  /// Optional early stop: additionally stop once rsum ≤ stop_rsum
+  /// (0 disables; the classic algorithm runs until no node is active).
+  double stop_rsum = 0.0;
+};
+
+/// First-In-First-Out Forward Push — the "common implementation" whose
+/// O(m log(1/λ)) bound is the paper's headline theoretical result. Active
+/// nodes are organized in a FIFO ring with O(1) membership tests; a push
+/// converts α of a node's residue into reserve and spreads the rest over
+/// its out-neighbors. Dead-end mass is redirected to the source.
+SolveStats FifoForwardPush(const Graph& graph, NodeId source,
+                           const ForwardPushOptions& options, PprEstimate* out,
+                           ConvergenceTrace* trace = nullptr);
+
+/// Continues pushing from an existing (reserve, residue) state until no
+/// node is active w.r.t. rmax. This is the O(m) post-refinement step that
+/// SpeedPPR (Algorithm 4, line 3) applies after PowerPush: by Lemma 4.5,
+/// starting from rsum ≤ m*rmax it costs only O(m).
+SolveStats FifoForwardPushRefine(const Graph& graph, NodeId source,
+                                 double alpha, double rmax,
+                                 PprEstimate* estimate);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_FORWARD_PUSH_H_

@@ -1,0 +1,60 @@
+#ifndef PPR_CORE_POWER_PUSH_H_
+#define PPR_CORE_POWER_PUSH_H_
+
+#include "core/trace.h"
+#include "core/workspace.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Options for PowerPush (Algorithm 3 of the paper). The defaults are the
+/// paper's: epochNum = 8, scanThreshold = n/4. The two booleans exist for
+/// the ablation bench (bench_ablation_powerpush) and leave the algorithm
+/// exactly as published when true.
+struct PowerPushOptions {
+  double alpha = 0.2;
+  /// ℓ1-error threshold λ. The paper uses min(1e-8, 1/m).
+  double lambda = 1e-8;
+  /// Number of dynamic-threshold epochs in the scan phase.
+  int epoch_num = 8;
+  /// Switch from the FIFO queue to global sequential scans once the
+  /// active frontier exceeds this fraction of n.
+  double scan_threshold_fraction = 0.25;
+  /// Ablation: skip the local FIFO phase (scan from the start).
+  bool use_queue_phase = true;
+  /// Ablation: disable the dynamic ℓ1 threshold (single epoch at λ).
+  bool use_epochs = true;
+};
+
+/// The λ value the paper uses for high-precision experiments:
+/// min(1e-8, 1/m).
+double PaperLambda(const Graph& graph);
+
+/// Power Iteration with Forward Push — the paper's primary contribution.
+/// Unifies the local and global approaches:
+///
+///  1. *Local phase.* FIFO-FwdPush with r_max = λ/m while the active
+///     frontier is small: work is proportional to the touched
+///     neighborhood only.
+///  2. *Global phase.* Once more than scanThreshold nodes are active, the
+///     queue's random access patterns lose to a cache-friendly sequential
+///     scan over the CSR arrays, so the algorithm switches to scanning
+///     all nodes and pushing the active ones *asynchronously* (a push
+///     sees residue accumulated earlier in the same scan — §5 explains
+///     why this beats simultaneous pushes).
+///  3. *Dynamic threshold.* The scan phase runs in epochs with shrinking
+///     ℓ1 targets λ^(i/epochNum), i = 1..epochNum, so that early pushes
+///     have high unit-cost benefit and nodes accumulate residue before
+///     being pushed.
+///
+/// Running time is O(m log(1/λ)) (Theorem 4.3). On return out->reserve
+/// satisfies ‖π̂ − π‖₁ = rsum ≤ λ on dead-end-free graphs; with k dead
+/// ends the bound relaxes to λ·(1 + k/m), matching classic FwdPush
+/// termination (every node inactive w.r.t. λ/m).
+SolveStats PowerPush(const Graph& graph, NodeId source,
+                     const PowerPushOptions& options, PprEstimate* out,
+                     ConvergenceTrace* trace = nullptr);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_POWER_PUSH_H_

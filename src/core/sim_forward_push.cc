@@ -1,0 +1,62 @@
+#include "core/sim_forward_push.h"
+
+#include <vector>
+
+#include "util/timer.h"
+
+namespace ppr {
+
+SolveStats SimForwardPush(const Graph& graph, NodeId source, double alpha,
+                          double lambda, PprEstimate* out,
+                          ConvergenceTrace* trace, uint64_t max_iterations) {
+  PPR_CHECK(source < graph.num_nodes());
+  PPR_CHECK(lambda > 0.0);
+  PPR_CHECK(alpha > 0.0 && alpha < 1.0);
+
+  const NodeId n = graph.num_nodes();
+  Timer timer;
+  if (trace != nullptr) trace->Start();
+
+  out->Reset(n, source);
+  std::vector<double>& residue = out->residue;  // r^(j)
+  std::vector<double> next(n, 0.0);             // r^(j+1)
+
+  SolveStats stats;
+  double rsum = 1.0;
+  while (rsum > lambda && stats.iterations < max_iterations) {
+    // Push every node with a non-zero residue, based on the residues at
+    // the start of the iteration ("simultaneous" pushes).
+    double next_rsum = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double r = residue[v];
+      if (r == 0.0) continue;
+      out->reserve[v] += alpha * r;
+      const double push = (1.0 - alpha) * r;
+      const NodeId d = graph.OutDegree(v);
+      if (d == 0) {
+        next[source] += push;
+        stats.edge_pushes += 1;
+      } else {
+        const double inc = push / d;
+        for (NodeId u : graph.OutNeighbors(v)) next[u] += inc;
+        stats.edge_pushes += d;
+      }
+      next_rsum += push;
+      stats.push_operations++;
+    }
+    residue.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
+    rsum = next_rsum;
+    stats.iterations++;
+    if (trace != nullptr && trace->Due(stats.edge_pushes)) {
+      trace->Record(stats.edge_pushes, rsum);
+    }
+  }
+
+  if (trace != nullptr) trace->Record(stats.edge_pushes, rsum);
+  stats.final_rsum = rsum;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace ppr

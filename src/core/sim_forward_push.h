@@ -1,0 +1,27 @@
+#ifndef PPR_CORE_SIM_FORWARD_PUSH_H_
+#define PPR_CORE_SIM_FORWARD_PUSH_H_
+
+#include "core/trace.h"
+#include "core/workspace.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Simultaneous Forward Push (§4.1) — the special FwdPush variant that is
+/// *exactly* equivalent to Power Iteration (Lemma 4.1): every node with a
+/// non-zero residue is pushed simultaneously in each iteration
+/// (r_max = 0), so the residue vector after j iterations equals γ_j of
+/// PowItr and the reserve vector equals π̂^(j).
+///
+/// The implementation deliberately performs its floating-point operations
+/// in the same order as PowerIteration() so the equivalence holds not only
+/// mathematically but bit-for-bit — the equivalence test in
+/// tests/sim_equivalence_test.cc asserts exact equality.
+SolveStats SimForwardPush(const Graph& graph, NodeId source, double alpha,
+                          double lambda, PprEstimate* out,
+                          ConvergenceTrace* trace = nullptr,
+                          uint64_t max_iterations = 100000);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_SIM_FORWARD_PUSH_H_

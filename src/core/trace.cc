@@ -1,0 +1,3 @@
+#include "core/trace.h"
+
+// Header-only; anchor translation unit.

@@ -1,0 +1,4 @@
+#include "core/workspace.h"
+
+// Header-only at present; this translation unit anchors the library and
+// keeps a stable home for future out-of-line members.

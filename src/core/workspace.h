@@ -1,0 +1,73 @@
+#ifndef PPR_CORE_WORKSPACE_H_
+#define PPR_CORE_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// The (reserve, residue) pair every push-style SSPPR algorithm maintains
+/// (§3.2 of the paper):
+///
+///  * reserve[v] = π̂(s, v), an underestimate of the true PPR π(s, v);
+///  * residue[v] = r(s, v), probability mass of the alive random walk not
+///    yet converted into reserve.
+///
+/// Invariant (mass conservation): ReserveSum() + ResidueSum() == 1 up to
+/// floating-point error, at every point of every algorithm.
+struct PprEstimate {
+  std::vector<double> reserve;
+  std::vector<double> residue;
+
+  /// Initializes to the algorithms' common start state: all reserves 0,
+  /// all residues 0 except residue[source] = 1.
+  void Reset(NodeId n, NodeId source) {
+    reserve.assign(n, 0.0);
+    residue.assign(n, 0.0);
+    residue[source] = 1.0;
+  }
+
+  double ReserveSum() const {
+    double sum = 0.0;
+    for (double x : reserve) sum += x;
+    return sum;
+  }
+
+  /// The exact ℓ1-error of `reserve` against the true PPR vector
+  /// (Equation (7) of the paper).
+  double ResidueSum() const {
+    double sum = 0.0;
+    for (double x : residue) sum += x;
+    return sum;
+  }
+};
+
+/// Counters common to all solvers. "Edge pushes" is the paper's residue-
+/// update count (Figure 6's x-axis): a push on v costs d_v updates (1 for
+/// a dead end, whose mass is redirected to the source).
+struct SolveStats {
+  uint64_t push_operations = 0;
+  uint64_t edge_pushes = 0;
+  uint64_t iterations = 0;
+  /// Monte-Carlo phase counters (approximate algorithms only).
+  uint64_t random_walks = 0;
+  uint64_t walk_steps = 0;
+  double seconds = 0.0;
+  /// ℓ1 error bound (= residue sum) at termination of the push phase.
+  double final_rsum = 0.0;
+};
+
+/// Effective degree used in the active-node test r(s,v) > d_v * rmax.
+/// Dead ends use 1 so that the test stays meaningful (the paper assumes no
+/// dead ends; we instead redirect their mass to the source, and a dead end
+/// is considered active while it still holds more than rmax mass).
+inline NodeId EffectiveDegree(const Graph& graph, NodeId v) {
+  NodeId d = graph.OutDegree(v);
+  return d == 0 ? 1 : d;
+}
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_WORKSPACE_H_

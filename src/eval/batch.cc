@@ -1,0 +1,44 @@
+#include "eval/batch.h"
+
+#include "approx/speedppr.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+std::vector<std::vector<double>> BatchPowerPush(
+    const Graph& graph, const std::vector<NodeId>& sources,
+    const PowerPushOptions& options) {
+  std::vector<std::vector<double>> rows(sources.size());
+  // Sources are few but heavy: grain=1 lets even a handful of queries
+  // spread across threads.
+  ParallelFor(
+      0, sources.size(),
+      [&](uint64_t lo, uint64_t hi, unsigned) {
+        PprEstimate estimate;
+        for (uint64_t i = lo; i < hi; ++i) {
+          PowerPush(graph, sources[i], options, &estimate);
+          rows[i] = estimate.reserve;
+        }
+      },
+      /*grain=*/1);
+  return rows;
+}
+
+std::vector<std::vector<double>> BatchSpeedPpr(
+    const Graph& graph, const std::vector<NodeId>& sources,
+    const ApproxOptions& options, uint64_t seed, const WalkIndex* index) {
+  std::vector<std::vector<double>> rows(sources.size());
+  ParallelFor(
+      0, sources.size(),
+      [&](uint64_t lo, uint64_t hi, unsigned) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          Rng rng(SplitMix64(seed ^ (i * 0xbf58476d1ce4e5b9ULL)).Next());
+          SpeedPpr(graph, sources[i], options, rng, &rows[i], index);
+        }
+      },
+      /*grain=*/1);
+  return rows;
+}
+
+}  // namespace ppr

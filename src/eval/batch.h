@@ -1,0 +1,33 @@
+#ifndef PPR_EVAL_BATCH_H_
+#define PPR_EVAL_BATCH_H_
+
+#include <vector>
+
+#include "approx/monte_carlo.h"
+#include "approx/walk_index.h"
+#include "core/power_push.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Multi-source query batches — the workload of the embedding
+/// applications (§1: HOPE/STRAP/Verse compute PPR rows for *every* node).
+/// Sources are processed in parallel across threads; each source gets an
+/// independent RNG stream derived from (seed, source index), so results
+/// are identical for any thread count.
+
+/// High-precision rows via PowerPush. Returns one reserve vector per
+/// source, aligned with `sources`.
+std::vector<std::vector<double>> BatchPowerPush(
+    const Graph& graph, const std::vector<NodeId>& sources,
+    const PowerPushOptions& options);
+
+/// Approximate rows via SpeedPPR (optionally indexed).
+std::vector<std::vector<double>> BatchSpeedPpr(
+    const Graph& graph, const std::vector<NodeId>& sources,
+    const ApproxOptions& options, uint64_t seed,
+    const WalkIndex* index = nullptr);
+
+}  // namespace ppr
+
+#endif  // PPR_EVAL_BATCH_H_

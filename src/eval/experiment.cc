@@ -1,0 +1,72 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+#include "util/timer.h"
+
+namespace ppr {
+
+std::vector<NamedGraph> LoadBenchDatasets(double scale, size_t max_count) {
+  const double env_scale = BenchScaleFromEnv();
+  std::vector<std::string> filter;
+  if (const char* env = std::getenv("PPR_BENCH_DATASETS")) {
+    for (std::string_view piece : SplitAndTrim(env, ", ")) {
+      filter.emplace_back(piece);
+    }
+  }
+
+  std::vector<NamedGraph> result;
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (!filter.empty() &&
+        std::find(filter.begin(), filter.end(), spec.name) == filter.end() &&
+        std::find(filter.begin(), filter.end(), spec.paper_name) ==
+            filter.end()) {
+      continue;
+    }
+    if (max_count != 0 && result.size() >= max_count) break;
+    PPR_LOG(Info) << "generating " << spec.name << " (stand-in for "
+                  << spec.paper_name << ") at scale " << scale * env_scale;
+    result.push_back(
+        {spec.name, spec.paper_name, MakeDataset(spec, scale * env_scale)});
+  }
+  return result;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+std::vector<double> TimePerQuery(const std::vector<NodeId>& sources,
+                                 const std::function<void(NodeId)>& fn) {
+  std::vector<double> seconds;
+  seconds.reserve(sources.size());
+  for (NodeId s : sources) {
+    Timer timer;
+    fn(s);
+    seconds.push_back(timer.ElapsedSeconds());
+  }
+  return seconds;
+}
+
+size_t BenchQueryCount(size_t default_count) {
+  if (const char* env = std::getenv("PPR_BENCH_QUERIES")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return default_count;
+}
+
+}  // namespace ppr

@@ -1,0 +1,41 @@
+#ifndef PPR_EVAL_EXPERIMENT_H_
+#define PPR_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// A materialized bench dataset.
+struct NamedGraph {
+  std::string name;        ///< e.g. "dblp-sim"
+  std::string paper_name;  ///< e.g. "DBLP"
+  Graph graph;
+};
+
+/// Materializes the six paper stand-ins at the given scale (multiplied by
+/// PPR_BENCH_SCALE). If PPR_BENCH_DATASETS is set to a comma-separated
+/// list of names, only those are produced — handy for quick iterations.
+/// `max_count` (0 = all) truncates the list for expensive benches.
+std::vector<NamedGraph> LoadBenchDatasets(double scale = 1.0,
+                                          size_t max_count = 0);
+
+/// Mean and median of a sample (seconds, errors, ...).
+double Mean(const std::vector<double>& values);
+double Median(std::vector<double> values);
+
+/// Times `fn` over each source and returns per-source seconds.
+std::vector<double> TimePerQuery(const std::vector<NodeId>& sources,
+                                 const std::function<void(NodeId)>& fn);
+
+/// Bench-wide query count: the paper's 30 sources, scaled down via
+/// PPR_BENCH_QUERIES if set.
+size_t BenchQueryCount(size_t default_count = 5);
+
+}  // namespace ppr
+
+#endif  // PPR_EVAL_EXPERIMENT_H_

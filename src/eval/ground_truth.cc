@@ -1,0 +1,17 @@
+#include "eval/ground_truth.h"
+
+#include "core/power_push.h"
+
+namespace ppr {
+
+std::vector<double> ComputeGroundTruth(const Graph& graph, NodeId source,
+                                       double alpha, double lambda) {
+  PowerPushOptions options;
+  options.alpha = alpha;
+  options.lambda = lambda;
+  PprEstimate estimate;
+  PowerPush(graph, source, options, &estimate);
+  return std::move(estimate.reserve);
+}
+
+}  // namespace ppr

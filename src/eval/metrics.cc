@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+double L1Distance(std::span<const double> a, std::span<const double> b) {
+  PPR_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double L2Distance(std::span<const double> a, std::span<const double> b) {
+  PPR_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double MaxRelativeError(std::span<const double> estimate,
+                        std::span<const double> truth, double threshold) {
+  PPR_CHECK(estimate.size() == truth.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < threshold || truth[i] <= 0.0) continue;
+    worst = std::max(worst, std::fabs(estimate[i] - truth[i]) / truth[i]);
+  }
+  return worst;
+}
+
+std::vector<uint32_t> TopK(std::span<const double> values, size_t k) {
+  k = std::min(k, values.size());
+  std::vector<uint32_t> ids(values.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+double PrecisionAtK(std::span<const double> estimate,
+                    std::span<const double> truth, size_t k) {
+  PPR_CHECK(estimate.size() == truth.size());
+  if (k == 0) return 1.0;
+  std::vector<uint32_t> est_top = TopK(estimate, k);
+  std::vector<uint32_t> true_top = TopK(truth, k);
+  std::sort(est_top.begin(), est_top.end());
+  std::sort(true_top.begin(), true_top.end());
+  std::vector<uint32_t> common;
+  std::set_intersection(est_top.begin(), est_top.end(), true_top.begin(),
+                        true_top.end(), std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(true_top.size());
+}
+
+}  // namespace ppr

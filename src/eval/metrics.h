@@ -1,0 +1,32 @@
+#ifndef PPR_EVAL_METRICS_H_
+#define PPR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppr {
+
+/// ‖a − b‖₁ — the paper's high-precision error measure.
+double L1Distance(std::span<const double> a, std::span<const double> b);
+
+/// ‖a − b‖₂ — BePI's convergence measure (§8.1).
+double L2Distance(std::span<const double> a, std::span<const double> b);
+
+/// max over {v : truth[v] ≥ threshold} of |estimate[v] − truth[v]| /
+/// truth[v] — the approximate-query guarantee metric (§2). Returns 0 for
+/// an empty qualifying set.
+double MaxRelativeError(std::span<const double> estimate,
+                        std::span<const double> truth, double threshold);
+
+/// Fraction of the true top-k (by PPR) recovered in the estimated top-k.
+/// Ties broken by node id, matching common PPR evaluation practice.
+double PrecisionAtK(std::span<const double> estimate,
+                    std::span<const double> truth, size_t k);
+
+/// Indices of the k largest values (ties by lower id first).
+std::vector<uint32_t> TopK(std::span<const double> values, size_t k);
+
+}  // namespace ppr
+
+#endif  // PPR_EVAL_METRICS_H_

@@ -1,0 +1,26 @@
+#include "eval/query_gen.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+std::vector<NodeId> SampleQuerySources(const Graph& graph, size_t count,
+                                       uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  PPR_CHECK(n > 0);
+  count = std::min<size_t>(count, n);
+  Rng rng(seed);
+  std::unordered_set<NodeId> chosen;
+  std::vector<NodeId> sources;
+  sources.reserve(count);
+  while (sources.size() < count) {
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (chosen.insert(v).second) sources.push_back(v);
+  }
+  return sources;
+}
+
+}  // namespace ppr

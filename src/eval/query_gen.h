@@ -1,0 +1,18 @@
+#ifndef PPR_EVAL_QUERY_GEN_H_
+#define PPR_EVAL_QUERY_GEN_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Samples `count` distinct query source nodes uniformly at random — the
+/// paper's protocol ("30 query source nodes generated uniformly at
+/// random"). Deterministic in (n, count, seed).
+std::vector<NodeId> SampleQuerySources(const Graph& graph, size_t count,
+                                       uint64_t seed = 7);
+
+}  // namespace ppr
+
+#endif  // PPR_EVAL_QUERY_GEN_H_

@@ -1,0 +1,60 @@
+#include "eval/topk_query.h"
+
+#include <algorithm>
+
+#include "approx/speedppr.h"
+#include "eval/metrics.h"
+#include "util/timer.h"
+
+namespace ppr {
+
+TopKResult TopKPpr(const Graph& graph, NodeId source, size_t k,
+                   const TopKOptions& options, Rng& rng,
+                   const WalkIndex* index) {
+  PPR_CHECK(source < graph.num_nodes());
+  PPR_CHECK(k > 0);
+  PPR_CHECK(options.initial_epsilon >= options.min_epsilon);
+  PPR_CHECK(options.min_epsilon > 0.0);
+  k = std::min<size_t>(k, graph.num_nodes());
+  Timer timer;
+
+  TopKResult result;
+  std::vector<NodeId> previous_top;
+  int stable = 0;
+  double epsilon = options.initial_epsilon;
+  std::vector<double> estimate;
+
+  for (;;) {
+    ApproxOptions approx;
+    approx.alpha = options.alpha;
+    approx.epsilon = epsilon;
+    SpeedPpr(graph, source, approx, rng, &estimate, index);
+    result.rounds++;
+
+    std::vector<NodeId> top = TopK(estimate, k);
+    std::vector<NodeId> sorted_top = top;
+    std::sort(sorted_top.begin(), sorted_top.end());
+    if (sorted_top == previous_top) {
+      stable++;
+    } else {
+      stable = 0;
+      previous_top = std::move(sorted_top);
+    }
+
+    const bool converged = stable >= options.stable_rounds - 1;
+    const bool at_floor = epsilon <= options.min_epsilon;
+    if (converged || at_floor) {
+      result.nodes = std::move(top);
+      result.scores.reserve(k);
+      for (NodeId v : result.nodes) result.scores.push_back(estimate[v]);
+      result.final_epsilon = epsilon;
+      break;
+    }
+    epsilon = std::max(options.min_epsilon, epsilon / 2.0);
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppr

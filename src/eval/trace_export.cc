@@ -1,0 +1,71 @@
+#include "eval/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace ppr {
+
+std::string TracesToCsv(const std::vector<TraceSeries>& series) {
+  std::ostringstream out;
+  out << "label,seconds,updates,rsum\n";
+  char buf[128];
+  for (const TraceSeries& s : series) {
+    for (const auto& p : s.points) {
+      std::snprintf(buf, sizeof(buf), "%s,%.9f,%" PRIu64 ",%.17g\n",
+                    s.label.c_str(), p.seconds, p.updates, p.rsum);
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+Status WriteTracesCsv(const std::string& path,
+                      const std::vector<TraceSeries>& series) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << TracesToCsv(series);
+  out.flush();
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<std::vector<TraceSeries>> ReadTracesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "label,seconds,updates,rsum") {
+    return Status::Corruption(path + ": bad CSV header");
+  }
+  std::vector<TraceSeries> series;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = SplitAndTrim(line, ",");
+    if (fields.size() != 4) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": expected 4 fields");
+    }
+    const std::string label(fields[0]);
+    ConvergenceTrace::Point point;
+    point.seconds = std::atof(std::string(fields[1]).c_str());
+    uint64_t updates = 0;
+    if (!ParseUint64(fields[2], &updates)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": malformed updates");
+    }
+    point.updates = updates;
+    point.rsum = std::atof(std::string(fields[3]).c_str());
+    if (series.empty() || series.back().label != label) {
+      series.push_back({label, {}});
+    }
+    series.back().points.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace ppr

@@ -1,0 +1,33 @@
+#ifndef PPR_EVAL_TRACE_EXPORT_H_
+#define PPR_EVAL_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "util/status.h"
+
+namespace ppr {
+
+/// A labeled convergence series — one plotted curve of Figures 5/6.
+struct TraceSeries {
+  std::string label;
+  std::vector<ConvergenceTrace::Point> points;
+};
+
+/// Renders series to CSV ("label,seconds,updates,rsum" rows) so the
+/// bench output can be re-plotted with external tooling. One row per
+/// checkpoint; series are concatenated.
+std::string TracesToCsv(const std::vector<TraceSeries>& series);
+
+/// Writes TracesToCsv output to a file.
+Status WriteTracesCsv(const std::string& path,
+                      const std::vector<TraceSeries>& series);
+
+/// Parses WriteTracesCsv output back (used by tests and by downstream
+/// plotting scripts that want validation).
+Result<std::vector<TraceSeries>> ReadTracesCsv(const std::string& path);
+
+}  // namespace ppr
+
+#endif  // PPR_EVAL_TRACE_EXPORT_H_

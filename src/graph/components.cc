@@ -1,0 +1,67 @@
+#include "graph/components.h"
+
+#include "util/logging.h"
+
+namespace ppr {
+
+namespace {
+
+ComponentResult Decompose(const Graph& graph,
+                          const std::vector<uint8_t>* mask) {
+  PPR_CHECK(graph.has_in_adjacency())
+      << "components need the transpose; call Graph::BuildInAdjacency";
+  const NodeId n = graph.num_nodes();
+  ComponentResult result;
+  result.component_of.assign(n, 0);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<NodeId> stack;
+
+  auto in_scope = [&](NodeId v) { return mask == nullptr || (*mask)[v]; };
+
+  NodeId next_component = 0;
+  for (NodeId seed = 0; seed < n; ++seed) {
+    if (visited[seed] || !in_scope(seed)) continue;
+    const NodeId component = next_component++;
+    NodeId size = 0;
+    stack.assign(1, seed);
+    visited[seed] = 1;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      result.component_of[v] = component;
+      size++;
+      auto visit = [&](NodeId u) {
+        if (!visited[u] && in_scope(u)) {
+          visited[u] = 1;
+          stack.push_back(u);
+        }
+      };
+      for (NodeId u : graph.OutNeighbors(v)) visit(u);
+      for (NodeId u : graph.InNeighbors(v)) visit(u);
+    }
+    result.sizes.push_back(size);
+    if (size > result.sizes[result.giant]) result.giant = component;
+  }
+
+  // Out-of-scope nodes get the sentinel id.
+  if (mask != nullptr) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!in_scope(v)) result.component_of[v] = next_component;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ComponentResult WeaklyConnectedComponents(const Graph& graph) {
+  return Decompose(graph, nullptr);
+}
+
+ComponentResult WeaklyConnectedComponents(const Graph& graph,
+                                          const std::vector<uint8_t>& mask) {
+  PPR_CHECK(mask.size() == graph.num_nodes());
+  return Decompose(graph, &mask);
+}
+
+}  // namespace ppr

@@ -1,0 +1,37 @@
+#ifndef PPR_GRAPH_COMPONENTS_H_
+#define PPR_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Weakly-connected-component decomposition (edges treated as
+/// undirected). Shared by SlashBurn and available to applications that
+/// need to restrict PPR queries to the component of the source.
+struct ComponentResult {
+  /// node -> component id in [0, num_components); components are
+  /// numbered in order of their smallest member.
+  std::vector<NodeId> component_of;
+  /// component id -> size.
+  std::vector<NodeId> sizes;
+  /// Index of the largest component (smallest id wins ties).
+  NodeId giant = 0;
+
+  NodeId num_components() const { return static_cast<NodeId>(sizes.size()); }
+};
+
+/// Decomposes the whole graph. Requires in-adjacency (undirected
+/// connectivity needs both edge directions).
+ComponentResult WeaklyConnectedComponents(const Graph& graph);
+
+/// Decomposes the subgraph induced by {v : mask[v] != 0}. Nodes outside
+/// the mask get component id = num_components() (an out-of-range
+/// sentinel). Requires in-adjacency.
+ComponentResult WeaklyConnectedComponents(const Graph& graph,
+                                          const std::vector<uint8_t>& mask);
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_COMPONENTS_H_

@@ -1,0 +1,54 @@
+#ifndef PPR_GRAPH_DATASETS_H_
+#define PPR_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// A synthetic stand-in for one of the paper's six SNAP datasets
+/// (Table 1). The stand-in reproduces the original's directedness,
+/// average degree, and heavy-tailed degree shape at a laptop-scale node
+/// count; see DESIGN.md "Substitutions" for the rationale.
+struct DatasetSpec {
+  /// Our name, e.g. "dblp-sim".
+  std::string name;
+  /// The dataset it stands in for, e.g. "DBLP".
+  std::string paper_name;
+  /// Whether the original is distributed as a directed graph. Undirected
+  /// originals are symmetrized, matching the paper's preparation.
+  bool directed = true;
+  /// Node count at scale = 1.
+  NodeId base_nodes = 0;
+  /// Target m/n (counting directed edges after symmetrization), from
+  /// Table 1.
+  double avg_degree = 0.0;
+  /// Generator family.
+  enum class Family { kChungLu, kChungLuSym, kCopyWeb, kBarabasiAlbert };
+  Family family = Family::kChungLu;
+  /// Power-law tail exponent for the Chung–Lu families.
+  double exponent = 2.5;
+};
+
+/// The six stand-ins, in the paper's Table 1 order: DBLP, Web-Stanford,
+/// Pokec, LiveJournal, Orkut, Twitter.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Looks up a spec by name ("dblp-sim", ...). Aborts on unknown names;
+/// use PaperDatasets() to enumerate valid ones.
+const DatasetSpec& FindDataset(const std::string& name);
+
+/// Materializes a dataset at `scale` (node count = base_nodes * scale,
+/// minimum 1000). Deterministic in (spec, scale, seed).
+Graph MakeDataset(const DatasetSpec& spec, double scale = 1.0,
+                  uint64_t seed = 42);
+
+/// Reads PPR_BENCH_SCALE (default 1.0) so every bench can be grown or
+/// shrunk without recompiling. Clamped to [0.01, 100].
+double BenchScaleFromEnv();
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_DATASETS_H_

@@ -1,0 +1,41 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace ppr {
+
+DynamicGraph::DynamicGraph(const Graph& graph)
+    : adjacency_(graph.num_nodes()), num_edges_(graph.num_edges()) {
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    auto neighbors = graph.OutNeighbors(v);
+    adjacency_[v].assign(neighbors.begin(), neighbors.end());
+  }
+}
+
+void DynamicGraph::AddEdge(NodeId u, NodeId v) {
+  PPR_CHECK(u < num_nodes() && v < num_nodes());
+  PPR_CHECK(u != v) << "self-loops are not supported";
+  adjacency_[u].push_back(v);
+  num_edges_++;
+}
+
+Graph DynamicGraph::Snapshot() const {
+  // Build the CSR directly: ids must stay aligned (including trailing
+  // isolated nodes, which GraphBuilder's relabeling would drop) and
+  // multiplicities must be preserved.
+  const NodeId n = num_nodes();
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + adjacency_[v].size();
+  }
+  std::vector<NodeId> targets;
+  targets.reserve(num_edges_);
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<NodeId> sorted(adjacency_[v].begin(), adjacency_[v].end());
+    std::sort(sorted.begin(), sorted.end());
+    targets.insert(targets.end(), sorted.begin(), sorted.end());
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace ppr

@@ -1,0 +1,52 @@
+#ifndef PPR_GRAPH_DYNAMIC_GRAPH_H_
+#define PPR_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Mutable directed graph: adjacency-vector storage supporting edge
+/// insertion, the substrate for the evolving-graph PPR tracker
+/// (core/dynamic_ppr.h). The immutable CSR Graph stays the right choice
+/// for static workloads (PowerPush's scan phase depends on its layout);
+/// Snapshot() bridges to it.
+class DynamicGraph {
+ public:
+  /// Starts with n isolated nodes.
+  explicit DynamicGraph(NodeId n) : adjacency_(n), num_edges_(0) {}
+
+  /// Copies an existing static graph.
+  explicit DynamicGraph(const Graph& graph);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
+  EdgeId num_edges() const { return num_edges_; }
+
+  NodeId OutDegree(NodeId v) const {
+    PPR_DCHECK(v < num_nodes());
+    return static_cast<NodeId>(adjacency_[v].size());
+  }
+
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    PPR_DCHECK(v < num_nodes());
+    return adjacency_[v];
+  }
+
+  /// Appends the directed edge (u, v). Parallel edges are permitted (the
+  /// caller decides); self-loops are rejected.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Materializes an immutable CSR copy (used to cross-check the
+  /// incremental tracker against from-scratch solves).
+  Graph Snapshot() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  EdgeId num_edges_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_DYNAMIC_GRAPH_H_

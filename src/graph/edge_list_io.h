@@ -1,0 +1,33 @@
+#ifndef PPR_GRAPH_EDGE_LIST_IO_H_
+#define PPR_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/status.h"
+
+namespace ppr {
+
+/// Reads a SNAP-style whitespace-separated edge list ("src dst" per line,
+/// '#'/'%' comments allowed). This is the format of every dataset in the
+/// paper's Table 1 as distributed at snap.stanford.edu.
+Result<std::vector<Edge>> ReadEdgeListText(const std::string& path);
+
+/// Writes an edge list in the same format.
+Status WriteEdgeListText(const std::string& path,
+                         const std::vector<Edge>& edges);
+
+/// Loads and cleans a SNAP edge list into a Graph in one step.
+Result<Graph> LoadGraphFromEdgeList(const std::string& path,
+                                    const BuildOptions& options = {});
+
+/// Compact binary snapshot of a built graph (magic + n + m + CSR arrays).
+/// Round-trips exactly; used to cache cleaned graphs between bench runs.
+Status WriteGraphBinary(const std::string& path, const Graph& graph);
+Result<Graph> ReadGraphBinary(const std::string& path);
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_EDGE_LIST_IO_H_

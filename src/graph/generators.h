@@ -1,0 +1,61 @@
+#ifndef PPR_GRAPH_GENERATORS_H_
+#define PPR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+/// Synthetic graph generators.
+///
+/// The paper evaluates on six SNAP graphs; those downloads are not
+/// available in this offline environment, so benchmarks run on synthetic
+/// stand-ins produced here (see DESIGN.md "Substitutions"). The generators
+/// are also the backbone of the test suite: properties are checked across
+/// structurally diverse graphs. All generators are deterministic given the
+/// Rng they are passed.
+
+/// The 5-node directed example of the paper's Figure 1 (0-indexed):
+/// v1->{v2,v3}, v2->{v1,v3,v4,v5}, v3->{v2,v4}, v4->{v1,v2,v3},
+/// v5->{v2,v3}. Tests replay the paper's running examples (Figures 2, 3)
+/// on it.
+Graph PaperExampleGraph();
+
+/// Simple deterministic topologies.
+Graph PathGraph(NodeId n);                 ///< 0->1->...->n-1 (last is a dead end)
+Graph CycleGraph(NodeId n);                ///< 0->1->...->n-1->0
+Graph StarGraph(NodeId n);                 ///< bidirected star, hub = node 0
+Graph CompleteGraph(NodeId n);             ///< all ordered pairs, no loops
+Graph GridGraph(NodeId rows, NodeId cols); ///< 4-neighbor bidirected grid
+
+/// Erdős–Rényi G(n, m) with m = round(n * avg_out_degree) distinct
+/// directed edges.
+Graph ErdosRenyi(NodeId n, double avg_out_degree, Rng& rng);
+
+/// Barabási–Albert preferential attachment, edges_per_node attachments per
+/// arriving node, symmetrized (each undirected edge becomes two directed
+/// edges, the paper's convention for undirected data).
+Graph BarabasiAlbert(NodeId n, NodeId edges_per_node, Rng& rng);
+
+/// Chung–Lu fixed-m variant: approximately n*avg_degree directed edges
+/// whose endpoints are drawn from power-law weights with tail exponent
+/// `exponent` (> 2). Out- and in-weights use independent node
+/// permutations, so hub sets of the two directions differ, as in real
+/// directed social graphs. If `symmetrize`, generates half the edges and
+/// mirrors them (undirected-style data; avg_degree then counts directed
+/// edges after mirroring).
+Graph ChungLuPowerLaw(NodeId n, double avg_degree, double exponent, Rng& rng,
+                      bool symmetrize = false);
+
+/// Directed "copy model" web graph (Kumar et al.): node v attaches
+/// out_degree edges; each edge copies a random prototype's corresponding
+/// out-edge with probability copy_prob, else links uniformly at random.
+/// Produces the tight-knit local clusters + skewed in-degrees typical of
+/// web crawls such as Web-Stanford.
+Graph CopyModelWeb(NodeId n, NodeId out_degree, double copy_prob, Rng& rng);
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_GENERATORS_H_

@@ -1,0 +1,67 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace ppr {
+
+Graph::Graph(std::vector<EdgeId> out_offsets, std::vector<NodeId> out_targets)
+    : out_offsets_(std::move(out_offsets)),
+      out_targets_(std::move(out_targets)) {
+  PPR_CHECK(!out_offsets_.empty());
+  PPR_CHECK(out_offsets_.front() == 0);
+  PPR_CHECK(out_offsets_.back() == out_targets_.size());
+  for (size_t i = 0; i + 1 < out_offsets_.size(); ++i) {
+    PPR_CHECK(out_offsets_[i] <= out_offsets_[i + 1]);
+  }
+  for (NodeId t : out_targets_) PPR_CHECK(t < num_nodes());
+}
+
+void Graph::BuildInAdjacency() {
+  if (has_in_adjacency() || num_nodes() == 0) return;
+  const NodeId n = num_nodes();
+  in_offsets_.assign(n + 1, 0);
+  for (NodeId t : out_targets_) in_offsets_[t + 1]++;
+  for (NodeId v = 0; v < n; ++v) in_offsets_[v + 1] += in_offsets_[v];
+
+  in_targets_.resize(out_targets_.size());
+  std::vector<EdgeId> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : OutNeighbors(u)) in_targets_[cursor[v]++] = u;
+  }
+  // Counting sort over sources in increasing u already leaves each
+  // in-list sorted; assert in debug builds.
+#ifndef NDEBUG
+  for (NodeId v = 0; v < n; ++v) {
+    auto in = InNeighbors(v);
+    PPR_DCHECK(std::is_sorted(in.begin(), in.end()));
+  }
+#endif
+}
+
+NodeId Graph::CountDeadEnds() const {
+  NodeId count = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (OutDegree(v) == 0) count++;
+  }
+  return count;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  PPR_DCHECK(u < num_nodes() && v < num_nodes());
+  auto neighbors = OutNeighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+}
+
+uint64_t Graph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(EdgeId) +
+         out_targets_.size() * sizeof(NodeId) +
+         in_offsets_.size() * sizeof(EdgeId) +
+         in_targets_.size() * sizeof(NodeId);
+}
+
+}  // namespace ppr

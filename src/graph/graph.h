@@ -1,0 +1,109 @@
+#ifndef PPR_GRAPH_GRAPH_H_
+#define PPR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+/// Node identifier. Graphs are relabeled to [0, n) at build time, so
+/// 32 bits cover every dataset the paper uses except full Twitter, whose
+/// node count (41.7M) also fits comfortably.
+using NodeId = uint32_t;
+
+/// Edge index / edge count type.
+using EdgeId = uint64_t;
+
+/// A directed edge (source, target).
+struct Edge {
+  NodeId src;
+  NodeId dst;
+
+  bool operator==(const Edge&) const = default;
+  bool operator<(const Edge& o) const {
+    return src != o.src ? src < o.src : dst < o.dst;
+  }
+};
+
+/// Immutable directed graph in Compressed Sparse Row form.
+///
+/// The out-adjacency of every node is stored contiguously, concatenated in
+/// node-id order in one large array — exactly the storage format §5 of the
+/// paper calls out as the enabler of PowerPush's cache-friendly global
+/// sequential scans. An optional in-adjacency (the transpose) is kept for
+/// algorithms that need it (BePI builds H = I − (1−α)Pᵀ from it).
+///
+/// Dead ends (out-degree 0) are permitted; PPR algorithms follow the
+/// paper's convention of conceptually redirecting a dead end's outgoing
+/// mass back to the query source.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from CSR arrays. offsets.size() == n+1, offsets[n] ==
+  /// targets.size(). Prefer GraphBuilder, which produces cleaned input.
+  Graph(std::vector<EdgeId> out_offsets, std::vector<NodeId> out_targets);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(out_offsets_.empty() ? 0 : out_offsets_.size() - 1); }
+  EdgeId num_edges() const { return out_targets_.size(); }
+
+  NodeId OutDegree(NodeId v) const {
+    PPR_DCHECK(v < num_nodes());
+    return static_cast<NodeId>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    PPR_DCHECK(v < num_nodes());
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  bool has_in_adjacency() const { return !in_offsets_.empty(); }
+
+  NodeId InDegree(NodeId v) const {
+    PPR_DCHECK(has_in_adjacency() && v < num_nodes());
+    return static_cast<NodeId>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    PPR_DCHECK(has_in_adjacency() && v < num_nodes());
+    return {in_targets_.data() + in_offsets_[v],
+            in_targets_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Computes and caches the transpose; required before InNeighbors().
+  /// Idempotent.
+  void BuildInAdjacency();
+
+  /// Number of nodes with out-degree zero.
+  NodeId CountDeadEnds() const;
+
+  /// True if edge (u, v) exists. O(log d_u) via binary search; adjacency
+  /// lists are sorted by GraphBuilder.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Average out-degree m/n; 0 for the empty graph.
+  double AverageDegree() const;
+
+  /// Bytes of CSR storage (both directions if built).
+  uint64_t MemoryBytes() const;
+
+  /// Direct access to the raw CSR arrays (used by the scan loops of
+  /// PowerPush and by serialization).
+  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
+  const std::vector<NodeId>& out_targets() const { return out_targets_; }
+
+ private:
+  std::vector<EdgeId> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<EdgeId> in_offsets_;
+  std::vector<NodeId> in_targets_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_GRAPH_H_

@@ -1,0 +1,75 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ppr {
+
+Graph GraphBuilder::Build(const BuildOptions& options) {
+  std::vector<Edge> edges = std::move(edges_);
+  edges_.clear();
+  return FromEdges(std::move(edges), options);
+}
+
+Graph GraphBuilder::FromEdges(std::vector<Edge> edges,
+                              const BuildOptions& options) {
+  if (options.symmetrize) {
+    size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  std::sort(edges.begin(), edges.end());
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  // Determine the id universe.
+  NodeId max_id = 0;
+  for (const Edge& e : edges) {
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  NodeId universe = edges.empty() ? 0 : max_id + 1;
+
+  // Relabel: keep only ids that occur on at least one edge.
+  std::vector<NodeId> relabel;
+  NodeId n = universe;
+  if (options.remove_isolated) {
+    std::vector<uint8_t> seen(universe, 0);
+    for (const Edge& e : edges) {
+      seen[e.src] = 1;
+      seen[e.dst] = 1;
+    }
+    relabel.assign(universe, 0);
+    NodeId next = 0;
+    for (NodeId v = 0; v < universe; ++v) {
+      if (seen[v]) relabel[v] = next++;
+    }
+    n = next;
+    for (Edge& e : edges) {
+      e.src = relabel[e.src];
+      e.dst = relabel[e.dst];
+    }
+  }
+
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges) offsets[e.src + 1]++;
+  for (NodeId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<NodeId> targets(edges.size());
+  // Edges are sorted by (src, dst): write in order, each adjacency list
+  // comes out sorted.
+  for (size_t i = 0; i < edges.size(); ++i) targets[i] = edges[i].dst;
+
+  Graph graph(std::move(offsets), std::move(targets));
+  if (options.build_in_adjacency) graph.BuildInAdjacency();
+  return graph;
+}
+
+}  // namespace ppr

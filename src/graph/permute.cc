@@ -1,0 +1,78 @@
+#include "graph/permute.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/graph_builder.h"
+
+namespace ppr {
+
+Graph PermuteGraph(const Graph& graph, const std::vector<NodeId>& perm) {
+  const NodeId n = graph.num_nodes();
+  PPR_CHECK(perm.size() == n);
+#ifndef NDEBUG
+  {
+    std::vector<NodeId> check = perm;
+    std::sort(check.begin(), check.end());
+    for (NodeId i = 0; i < n; ++i) PPR_DCHECK(check[i] == i);
+  }
+#endif
+  GraphBuilder builder;
+  builder.Reserve(graph.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      builder.AddEdge(perm[u], perm[v]);
+    }
+  }
+  BuildOptions options;
+  options.remove_isolated = false;  // keep ids stable under permutation
+  options.remove_self_loops = false;
+  options.deduplicate = false;
+  return builder.Build(options);
+}
+
+std::vector<NodeId> DegreeDescendingOrder(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](NodeId a, NodeId b) {
+                     return graph.OutDegree(a) > graph.OutDegree(b);
+                   });
+  std::vector<NodeId> perm(n);
+  for (NodeId rank = 0; rank < n; ++rank) perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+std::vector<NodeId> BfsOrder(const Graph& graph, NodeId root) {
+  const NodeId n = graph.num_nodes();
+  PPR_CHECK(root < n);
+  std::vector<NodeId> perm(n, n);  // n = unassigned sentinel
+  std::vector<NodeId> frontier;
+  NodeId next_id = 0;
+  perm[root] = next_id++;
+  frontier.push_back(root);
+  size_t head = 0;
+  while (head < frontier.size()) {
+    NodeId v = frontier[head++];
+    for (NodeId u : graph.OutNeighbors(v)) {
+      if (perm[u] == n) {
+        perm[u] = next_id++;
+        frontier.push_back(u);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (perm[v] == n) perm[v] = next_id++;
+  }
+  return perm;
+}
+
+std::vector<NodeId> RandomOrder(NodeId n, Rng& rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+}  // namespace ppr

@@ -1,0 +1,37 @@
+#ifndef PPR_GRAPH_PERMUTE_H_
+#define PPR_GRAPH_PERMUTE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+/// Node-relabeling utilities. §5 of the paper attributes part of
+/// PowerPush's win to its storage format — nodes sorted by id with
+/// adjacency lists concatenated in the same order. These helpers produce
+/// alternative id assignments so the effect of storage order can be
+/// measured (bench_ablation_node_order) and exploited (BFS/degree
+/// orders improve locality on some workloads).
+
+/// Rebuilds the graph with node v renamed to perm[v]. perm must be a
+/// permutation of [0, n).
+Graph PermuteGraph(const Graph& graph, const std::vector<NodeId>& perm);
+
+/// old id -> new id orderings:
+
+/// Highest out-degree first (hubs get small ids, clustering the hot rows
+/// of the CSR arrays).
+std::vector<NodeId> DegreeDescendingOrder(const Graph& graph);
+
+/// Breadth-first order from `root` (neighbors get nearby ids; unreached
+/// nodes are appended in id order). Uses out-edges only.
+std::vector<NodeId> BfsOrder(const Graph& graph, NodeId root);
+
+/// Uniformly random relabeling — the adversarial baseline for locality.
+std::vector<NodeId> RandomOrder(NodeId n, Rng& rng);
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_PERMUTE_H_

@@ -1,0 +1,143 @@
+#ifndef PPR_UTIL_D_HEAP_H_
+#define PPR_UTIL_D_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+/// Indexed 4-ary max-heap over keys in [0, universe) with double
+/// priorities and O(1) position lookup — the structure behind the
+/// max-residue-first Forward Push variant (priority_push.h). A 4-ary
+/// layout trades a slightly deeper sift-up for much cheaper sift-down on
+/// modern caches.
+///
+/// Supports the decrease/increase-key pattern push algorithms need:
+/// Update() inserts the key if absent, otherwise re-positions it.
+class DHeap {
+ public:
+  explicit DHeap(uint32_t universe)
+      : position_(universe, kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  bool Contains(uint32_t key) const {
+    PPR_DCHECK(key < position_.size());
+    return position_[key] != kAbsent;
+  }
+
+  double PriorityOf(uint32_t key) const {
+    PPR_DCHECK(Contains(key));
+    return priority_[position_[key]];
+  }
+
+  /// Inserts key or updates its priority, restoring heap order.
+  void Update(uint32_t key, double priority) {
+    PPR_DCHECK(key < position_.size());
+    uint32_t pos = position_[key];
+    if (pos == kAbsent) {
+      pos = static_cast<uint32_t>(heap_.size());
+      heap_.push_back(key);
+      priority_.push_back(priority);
+      position_[key] = pos;
+      SiftUp(pos);
+    } else {
+      const double old = priority_[pos];
+      priority_[pos] = priority;
+      if (priority > old) {
+        SiftUp(pos);
+      } else if (priority < old) {
+        SiftDown(pos);
+      }
+    }
+  }
+
+  /// Returns the key with the maximum priority. Precondition: !empty().
+  uint32_t Top() const {
+    PPR_DCHECK(!empty());
+    return heap_[0];
+  }
+
+  double TopPriority() const {
+    PPR_DCHECK(!empty());
+    return priority_[0];
+  }
+
+  /// Removes and returns the maximum-priority key.
+  uint32_t PopTop() {
+    PPR_DCHECK(!empty());
+    const uint32_t top = heap_[0];
+    RemoveAt(0);
+    return top;
+  }
+
+  /// Removes a key if present; no-op otherwise.
+  void Remove(uint32_t key) {
+    PPR_DCHECK(key < position_.size());
+    const uint32_t pos = position_[key];
+    if (pos != kAbsent) RemoveAt(pos);
+  }
+
+ private:
+  static constexpr uint32_t kAbsent = ~0u;
+  static constexpr uint32_t kArity = 4;
+
+  void RemoveAt(uint32_t pos) {
+    const uint32_t last = static_cast<uint32_t>(heap_.size()) - 1;
+    position_[heap_[pos]] = kAbsent;
+    if (pos != last) {
+      heap_[pos] = heap_[last];
+      priority_[pos] = priority_[last];
+      position_[heap_[pos]] = pos;
+    }
+    heap_.pop_back();
+    priority_.pop_back();
+    if (pos < heap_.size()) {
+      SiftUp(pos);
+      SiftDown(pos);
+    }
+  }
+
+  void Swap(uint32_t a, uint32_t b) {
+    std::swap(heap_[a], heap_[b]);
+    std::swap(priority_[a], priority_[b]);
+    position_[heap_[a]] = a;
+    position_[heap_[b]] = b;
+  }
+
+  void SiftUp(uint32_t pos) {
+    while (pos > 0) {
+      const uint32_t parent = (pos - 1) / kArity;
+      if (priority_[parent] >= priority_[pos]) break;
+      Swap(parent, pos);
+      pos = parent;
+    }
+  }
+
+  void SiftDown(uint32_t pos) {
+    for (;;) {
+      const uint64_t first_child = static_cast<uint64_t>(pos) * kArity + 1;
+      if (first_child >= heap_.size()) break;
+      uint32_t best = pos;
+      const uint64_t end =
+          std::min<uint64_t>(first_child + kArity, heap_.size());
+      for (uint64_t c = first_child; c < end; ++c) {
+        if (priority_[c] > priority_[best]) best = static_cast<uint32_t>(c);
+      }
+      if (best == pos) break;
+      Swap(pos, best);
+      pos = best;
+    }
+  }
+
+  std::vector<uint32_t> heap_;      // position -> key
+  std::vector<double> priority_;    // position -> priority
+  std::vector<uint32_t> position_;  // key -> position or kAbsent
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_D_HEAP_H_

@@ -1,0 +1,70 @@
+#ifndef PPR_UTIL_FIFO_QUEUE_H_
+#define PPR_UTIL_FIFO_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+/// Fixed-capacity FIFO ring buffer over node ids with O(1) membership
+/// testing — the exact structure Algorithm 2 (FIFO-FwdPush) needs for its
+/// "if u not in Q then append" step. Capacity is the number of distinct
+/// ids (a node can appear at most once), so the ring never overflows.
+class FifoQueue {
+ public:
+  /// Creates a queue able to hold ids in [0, universe).
+  explicit FifoQueue(uint32_t universe)
+      : ring_(static_cast<size_t>(universe) + 1),
+        in_queue_(universe, 0),
+        head_(0),
+        tail_(0) {}
+
+  /// Appends v if it is not currently queued. Returns true if appended.
+  bool PushIfAbsent(uint32_t v) {
+    PPR_DCHECK(v < in_queue_.size());
+    if (in_queue_[v]) return false;
+    in_queue_[v] = 1;
+    ring_[tail_] = v;
+    tail_ = Advance(tail_);
+    return true;
+  }
+
+  /// Pops the front id. Precondition: !empty().
+  uint32_t Pop() {
+    PPR_DCHECK(!empty());
+    uint32_t v = ring_[head_];
+    head_ = Advance(head_);
+    in_queue_[v] = 0;
+    return v;
+  }
+
+  bool empty() const { return head_ == tail_; }
+
+  size_t size() const {
+    return tail_ >= head_ ? tail_ - head_ : ring_.size() - head_ + tail_;
+  }
+
+  bool Contains(uint32_t v) const {
+    PPR_DCHECK(v < in_queue_.size());
+    return in_queue_[v] != 0;
+  }
+
+  /// Removes every element and clears membership flags in O(size).
+  void Clear() {
+    while (!empty()) Pop();
+  }
+
+ private:
+  size_t Advance(size_t i) const { return i + 1 == ring_.size() ? 0 : i + 1; }
+
+  std::vector<uint32_t> ring_;
+  std::vector<uint8_t> in_queue_;
+  size_t head_;
+  size_t tail_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_FIFO_QUEUE_H_

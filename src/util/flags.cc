@@ -1,0 +1,111 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace ppr {
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_.push_back({name, Kind::kString, target, help});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_.push_back({name, Kind::kDouble, target, help});
+}
+
+void FlagParser::AddUint64(const std::string& name, uint64_t* target,
+                           const std::string& help) {
+  flags_.push_back({name, Kind::kUint64, target, help});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kBool, target, help});
+}
+
+Status FlagParser::Apply(const Flag& flag, const std::string& value,
+                         bool has_value) {
+  switch (flag.kind) {
+    case Kind::kBool:
+      if (has_value && value != "true" && value != "false") {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " takes no value (or true/false)");
+      }
+      *static_cast<bool*>(flag.target) = !has_value || value == "true";
+      return Status::OK();
+    case Kind::kString:
+      if (!has_value) {
+        return Status::InvalidArgument("--" + flag.name + " needs a value");
+      }
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Kind::kDouble: {
+      if (!has_value) {
+        return Status::InvalidArgument("--" + flag.name + " needs a value");
+      }
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + flag.name +
+                                       ": not a number: " + value);
+      }
+      *static_cast<double*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Kind::kUint64: {
+      if (!has_value) {
+        return Status::InvalidArgument("--" + flag.name + " needs a value");
+      }
+      uint64_t parsed = 0;
+      if (!ParseUint64(value, &parsed)) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       ": not a non-negative integer: " +
+                                       value);
+      }
+      *static_cast<uint64_t*>(flag.target) = parsed;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string name =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    const bool has_value = eq != std::string::npos;
+    const std::string value = has_value ? arg.substr(eq + 1) : "";
+
+    bool matched = false;
+    for (const Flag& flag : flags_) {
+      if (flag.name == name) {
+        PPR_RETURN_IF_ERROR(Apply(flag, value, has_value));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return Status::InvalidArgument("unknown flag: " + arg);
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream out;
+  for (const Flag& flag : flags_) {
+    out << "  --" << flag.name << "  " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ppr

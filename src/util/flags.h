@@ -1,0 +1,55 @@
+#ifndef PPR_UTIL_FLAGS_H_
+#define PPR_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppr {
+
+/// Minimal "--name=value" / "--switch" command-line parser used by the
+/// example binaries. Positional arguments are collected in order;
+/// unknown flags are reported as errors so typos do not silently change
+/// experiments.
+class FlagParser {
+ public:
+  /// Registers flags before Parse(). The bool overload defines a switch
+  /// (present => true); others parse their value.
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddUint64(const std::string& name, uint64_t* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target,
+               const std::string& help);
+
+  /// Parses argv (excluding argv[0]). On success, positional() holds the
+  /// non-flag arguments in order.
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One "  --name  help" line per registered flag.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kString, kDouble, kUint64, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  Status Apply(const Flag& flag, const std::string& value, bool has_value);
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_FLAGS_H_

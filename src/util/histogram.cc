@@ -1,0 +1,82 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0), count_(0), sum_(0), min_(~0ULL), max_(0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - std::countl_zero(value);
+}
+
+uint64_t Histogram::BucketLow(int b) {
+  if (b <= 0) return 0;
+  return 1ULL << (b - 1);
+}
+
+uint64_t Histogram::BucketHigh(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~0ULL;
+  return (1ULL << b) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  PPR_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (static_cast<double>(seen + buckets_[b]) >= target) {
+      double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+      double low = static_cast<double>(BucketLow(b));
+      double high = static_cast<double>(BucketHigh(b));
+      return low + frac * (high - low);
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << "count=" << count_ << " mean=" << Mean() << " min=" << min()
+      << " max=" << max_ << "\n";
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    out << "  [" << BucketLow(b) << ", " << BucketHigh(b)
+        << "]: " << buckets_[b] << "\n";
+  }
+  return out.str();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace ppr

@@ -1,0 +1,49 @@
+#ifndef PPR_UTIL_HISTOGRAM_H_
+#define PPR_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppr {
+
+/// Log-bucketed histogram for non-negative integer observations (degree
+/// distributions, walk lengths, queue sizes). Bucket b holds values in
+/// [2^(b-1), 2^b) with bucket 0 holding the value 0.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Approximate quantile (q in [0,1]) assuming a uniform distribution
+  /// within each bucket.
+  double Quantile(double q) const;
+
+  /// Multi-line textual rendering with one row per non-empty bucket.
+  std::string ToString() const;
+
+  /// Merges another histogram's observations into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  static constexpr int kNumBuckets = 65;
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLow(int b);
+  static uint64_t BucketHigh(int b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_HISTOGRAM_H_

@@ -1,0 +1,80 @@
+#ifndef PPR_UTIL_LOGGING_H_
+#define PPR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ppr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; override with the PPR_LOG_LEVEL env var (0-3).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style message collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process in the destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PPR_LOG(level)                                                   \
+  ::ppr::internal::LogMessage(::ppr::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check, always on (the cost is negligible next to graph work;
+/// databases-style codebases keep checks in release builds).
+#define PPR_CHECK(cond)                                            \
+  if (!(cond))                                                     \
+  ::ppr::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define PPR_CHECK_OK(expr)                                         \
+  do {                                                             \
+    ::ppr::Status _st = (expr);                                    \
+    PPR_CHECK(_st.ok()) << _st.ToString();                         \
+  } while (0)
+
+#ifndef NDEBUG
+#define PPR_DCHECK(cond) PPR_CHECK(cond)
+#else
+#define PPR_DCHECK(cond) \
+  if (false)             \
+  ::ppr::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#endif
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_LOGGING_H_

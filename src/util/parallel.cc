@@ -1,0 +1,49 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+unsigned ParallelThreadCount() {
+  if (const char* env = std::getenv("PPR_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(uint64_t begin, uint64_t end,
+                 const std::function<void(uint64_t, uint64_t, unsigned)>& fn,
+                 uint64_t grain) {
+  PPR_CHECK(begin <= end);
+  PPR_CHECK(grain >= 1);
+  if (begin == end) return;
+  const uint64_t range = end - begin;
+  unsigned threads = ParallelThreadCount();
+  // Spawning threads below ~2 grains of work costs more than it saves.
+  if (threads <= 1 || range < 2 * grain) {
+    fn(begin, end, 0);
+    return;
+  }
+  threads =
+      static_cast<unsigned>(std::min<uint64_t>(threads, range / grain + 1));
+
+  const uint64_t chunk = (range + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    const uint64_t lo = begin + w * chunk;
+    const uint64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&fn, lo, hi, w] { fn(lo, hi, w); });
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace ppr

@@ -1,0 +1,29 @@
+#ifndef PPR_UTIL_PARALLEL_H_
+#define PPR_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ppr {
+
+/// Number of worker threads used by ParallelFor: hardware concurrency by
+/// default, overridable with PPR_THREADS (1 disables parallelism).
+unsigned ParallelThreadCount();
+
+/// Runs fn(begin..end) across threads in contiguous chunks:
+/// fn(chunk_begin, chunk_end, worker_index). Deterministic work
+/// partition (chunk boundaries depend only on the range and thread
+/// count), so callers can derive per-chunk RNG seeds and keep results
+/// reproducible. Blocks until every chunk finishes.
+///
+/// `grain` is the minimum number of items worth one thread: ranges
+/// shorter than 2*grain run as a single inline call on the caller's
+/// thread. The default suits cheap per-item work (walk generation);
+/// pass grain=1 for heavy items (whole SSPPR queries).
+void ParallelFor(uint64_t begin, uint64_t end,
+                 const std::function<void(uint64_t, uint64_t, unsigned)>& fn,
+                 uint64_t grain = 2048);
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_PARALLEL_H_

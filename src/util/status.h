@@ -1,0 +1,113 @@
+#ifndef PPR_UTIL_STATUS_H_
+#define PPR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ppr {
+
+/// Error categories used across the library. Kept deliberately small:
+/// most internal invariant violations are programming errors and are
+/// handled with PPR_CHECK instead of Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a status code ("IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, RocksDB-style. Functions that can
+/// fail for reasons outside the programmer's control (I/O, user input)
+/// return Status (or Result<T>); everything else uses assertions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Result<T> is used by constructors/loaders that
+/// either produce a fully-formed object or fail.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : value_(std::move(status)) {}   // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Precondition: ok().
+  T& value() { return std::get<T>(value_); }
+  const T& value() const { return std::get<T>(value_); }
+
+  /// Moves the value out. Precondition: ok().
+  T ValueOrDie() && { return std::move(std::get<T>(value_)); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define PPR_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::ppr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_STATUS_H_

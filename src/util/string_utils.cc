@@ -1,0 +1,91 @@
+#include "util/string_utils.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ppr {
+
+namespace {
+
+std::string WithUnit(double scaled, const char* unit) {
+  char buf[32];
+  if (scaled >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", scaled, unit);
+  } else if (scaled >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", scaled, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", scaled, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string HumanCount(uint64_t value) {
+  double v = static_cast<double>(value);
+  if (value >= 1000000000ULL) return WithUnit(v / 1e9, "B");
+  if (value >= 1000000ULL) return WithUnit(v / 1e6, "M");
+  if (value >= 1000ULL) return WithUnit(v / 1e3, "K");
+  return std::to_string(value);
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  double v = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30)) return WithUnit(v / (1ULL << 30), "GB");
+  if (bytes >= (1ULL << 20)) return WithUnit(v / (1ULL << 20), "MB");
+  if (bytes >= (1ULL << 10)) return WithUnit(v / (1ULL << 10), "KB");
+  return std::to_string(bytes) + "B";
+}
+
+std::string HumanSeconds(double seconds) {
+  char buf[32];
+  if (seconds >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", seconds);
+  } else if (seconds >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", seconds);
+  } else if (seconds >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", seconds);
+  }
+  return buf;
+}
+
+std::vector<std::string_view> SplitAndTrim(std::string_view text,
+                                           std::string_view delims) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) pieces.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return pieces;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (~0ULL - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool IsCommentOrBlank(std::string_view line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return c == '#' || c == '%';
+  }
+  return true;
+}
+
+}  // namespace ppr

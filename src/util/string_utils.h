@@ -1,0 +1,36 @@
+#ifndef PPR_UTIL_STRING_UTILS_H_
+#define PPR_UTIL_STRING_UTILS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppr {
+
+/// "1.47B", "30.6M", "317K", "42" — the unit convention of the paper's
+/// Table 1.
+std::string HumanCount(uint64_t value);
+
+/// "54.5GB", "8.01MB", "124KB", "12B".
+std::string HumanBytes(uint64_t bytes);
+
+/// "1.72", "0.520", "57988" — seconds formatted to three significant
+/// digits like the paper's Table 2.
+std::string HumanSeconds(double seconds);
+
+/// Splits on any of the given delimiter characters, dropping empty pieces.
+std::vector<std::string_view> SplitAndTrim(std::string_view text,
+                                           std::string_view delims);
+
+/// Parses a non-negative integer. Returns false on any malformed input or
+/// overflow; *out is untouched on failure.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// True if the line is empty, whitespace-only, or a '#'/'%' comment —
+/// the comment conventions of SNAP edge-list files.
+bool IsCommentOrBlank(std::string_view line);
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_STRING_UTILS_H_

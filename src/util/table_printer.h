@@ -1,0 +1,31 @@
+#ifndef PPR_UTIL_TABLE_PRINTER_H_
+#define PPR_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ppr {
+
+/// Column-aligned plain-text tables; every bench binary renders its
+/// paper-table/figure rows through this so output is uniform and easy to
+/// diff against the paper.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_TABLE_PRINTER_H_

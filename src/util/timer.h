@@ -1,0 +1,29 @@
+#ifndef PPR_UTIL_TIMER_H_
+#define PPR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ppr {
+
+/// Monotonic wall-clock stopwatch used for all reported timings.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_TIMER_H_

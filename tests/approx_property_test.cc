@@ -1,0 +1,152 @@
+// Property sweeps for the approximate algorithms: (graph family × ε ×
+// algorithm) — the randomized counterpart of property_invariants_test.
+// Each case checks the §2 contract (relative error on nodes with
+// π ≥ 1/n), that the estimate is a near-probability vector, and
+// determinism under a fixed seed.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "approx/fora.h"
+#include "approx/resacc.h"
+#include "approx/speedppr.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+enum class Algo { kSpeedPpr, kSpeedPprIndex, kFora, kForaIndex, kResAcc };
+
+const char* AlgoName(Algo a) {
+  switch (a) {
+    case Algo::kSpeedPpr: return "speedppr";
+    case Algo::kSpeedPprIndex: return "speedppr_idx";
+    case Algo::kFora: return "fora";
+    case Algo::kForaIndex: return "fora_idx";
+    case Algo::kResAcc: return "resacc";
+  }
+  return "?";
+}
+
+enum class Family { kStar, kComplete, kGrid, kEr, kBa, kCl };
+
+const char* FamilyName(Family f) {
+  switch (f) {
+    case Family::kStar: return "star";
+    case Family::kComplete: return "complete";
+    case Family::kGrid: return "grid";
+    case Family::kEr: return "er";
+    case Family::kBa: return "ba";
+    case Family::kCl: return "chunglu";
+  }
+  return "?";
+}
+
+Graph MakeFamily(Family f) {
+  Rng rng(4242);
+  switch (f) {
+    case Family::kStar: return StarGraph(60);
+    case Family::kComplete: return CompleteGraph(20);
+    case Family::kGrid: return GridGraph(8, 8);
+    case Family::kEr: return ErdosRenyi(150, 5.0, rng);
+    case Family::kBa: return BarabasiAlbert(150, 3, rng);
+    case Family::kCl: return ChungLuPowerLaw(200, 6.0, 2.5, rng);
+  }
+  __builtin_unreachable();
+}
+
+using Param = std::tuple<Family, double, Algo>;
+
+class ApproxProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  void Run(uint64_t seed, std::vector<double>* out) {
+    ApproxOptions options;
+    options.epsilon = std::get<1>(GetParam());
+    Rng rng(seed);
+    const Algo algo = std::get<2>(GetParam());
+    switch (algo) {
+      case Algo::kSpeedPpr:
+        SpeedPpr(graph_, 0, options, rng, out);
+        break;
+      case Algo::kSpeedPprIndex:
+        EnsureIndex(WalkIndex::Sizing::kSpeedPpr, options);
+        SpeedPpr(graph_, 0, options, rng, out, index_.get());
+        break;
+      case Algo::kFora:
+        Fora(graph_, 0, options, rng, out);
+        break;
+      case Algo::kForaIndex:
+        EnsureIndex(WalkIndex::Sizing::kForaPlus, options);
+        Fora(graph_, 0, options, rng, out, index_.get());
+        break;
+      case Algo::kResAcc:
+        ResAcc(graph_, 0, options, rng, out);
+        break;
+    }
+  }
+
+  void EnsureIndex(WalkIndex::Sizing sizing, const ApproxOptions& options) {
+    if (index_ != nullptr) return;
+    Rng rng(7);
+    const uint64_t w = ChernoffWalkCount(
+        graph_.num_nodes(), options.epsilon,
+        options.ResolvedMu(graph_.num_nodes()));
+    index_ = std::make_unique<WalkIndex>(
+        WalkIndex::Build(graph_, 0.2, sizing, w, rng));
+  }
+
+  Graph graph_ = MakeFamily(std::get<0>(GetParam()));
+  std::unique_ptr<WalkIndex> index_;
+};
+
+TEST_P(ApproxProperty, MeetsRelativeErrorContract) {
+  std::vector<double> exact = testing::ExactPprDense(graph_, 0, 0.2);
+  std::vector<double> estimate;
+  Run(/*seed=*/1234, &estimate);
+  const double mu = 1.0 / graph_.num_nodes();
+  const double eps = std::get<1>(GetParam());
+  // ResAcc's renormalization is approximate (see header); grant it the
+  // same slack the paper's Figure 8 shows it needing.
+  const double allowed =
+      std::get<2>(GetParam()) == Algo::kResAcc ? 2.0 * eps : eps;
+  EXPECT_LE(MaxRelativeError(estimate, exact, mu), allowed);
+}
+
+TEST_P(ApproxProperty, EstimateIsNearProbabilityVector) {
+  std::vector<double> estimate;
+  Run(/*seed=*/99, &estimate);
+  EXPECT_NEAR(testing::Sum(estimate), 1.0, 0.02);
+  for (double v : estimate) ASSERT_GE(v, 0.0);
+}
+
+TEST_P(ApproxProperty, DeterministicUnderFixedSeed) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Run(/*seed=*/5, &a);
+  index_.reset();  // rebuilt identically (Rng(7) inside)
+  Run(/*seed=*/5, &b);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproxProperty,
+    ::testing::Combine(
+        ::testing::Values(Family::kStar, Family::kComplete, Family::kGrid,
+                          Family::kEr, Family::kBa, Family::kCl),
+        ::testing::Values(0.5, 0.25),
+        ::testing::Values(Algo::kSpeedPpr, Algo::kSpeedPprIndex, Algo::kFora,
+                          Algo::kForaIndex, Algo::kResAcc)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s_e%02d_%s",
+                    FamilyName(std::get<0>(info.param)),
+                    static_cast<int>(std::get<1>(info.param) * 100),
+                    AlgoName(std::get<2>(info.param)));
+      return std::string(buf);
+    });
+
+}  // namespace
+}  // namespace ppr

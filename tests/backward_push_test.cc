@@ -1,0 +1,103 @@
+#include "core/backward_push.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+using testing::ExactPprDense;
+
+TEST(BackwardPushTest, EstimatesColumnOfPprMatrix) {
+  // reserve[v] must estimate pi(v, target) within rmax for every source v.
+  for (auto& tc : testing::SmallGraphZoo()) {
+    if (tc.graph.CountDeadEnds() > 0) continue;
+    tc.graph.BuildInAdjacency();
+    const NodeId target = 1 % tc.graph.num_nodes();
+    BackwardPushOptions options;
+    options.rmax = 1e-6;
+    PprEstimate estimate;
+    BackwardPush(tc.graph, target, options, &estimate);
+    for (NodeId v = 0; v < tc.graph.num_nodes(); ++v) {
+      std::vector<double> row = ExactPprDense(tc.graph, v, options.alpha);
+      ASSERT_NEAR(estimate.reserve[v], row[target], options.rmax * 2)
+          << tc.name << " v=" << v;
+    }
+  }
+}
+
+TEST(BackwardPushTest, ResiduesBelowThresholdOnTermination) {
+  Graph g = CycleGraph(32);
+  g.BuildInAdjacency();
+  BackwardPushOptions options;
+  options.rmax = 1e-5;
+  PprEstimate estimate;
+  BackwardPush(g, 0, options, &estimate);
+  for (double r : estimate.residue) ASSERT_LE(r, options.rmax + 1e-18);
+}
+
+TEST(BackwardPushTest, TargetReserveAtLeastAlpha) {
+  // pi(t, t) >= alpha, and backward push resolves the target itself
+  // first.
+  Graph g = testing::SmallGraphZoo()[4].graph;  // complete_10
+  g.BuildInAdjacency();
+  BackwardPushOptions options;
+  options.rmax = 1e-8;
+  PprEstimate estimate;
+  BackwardPush(g, 3, options, &estimate);
+  EXPECT_GE(estimate.reserve[3], options.alpha - 1e-12);
+}
+
+TEST(BackwardPushTest, InvariantHoldsMidway) {
+  // The defining invariant pi(v,t) = reserve[v] + sum_u residue[u] *
+  // pi(v,u) must hold at ANY stopping point, not just at termination.
+  // Run with a coarse rmax (stopping early) and verify against the dense
+  // exact matrix.
+  Graph g = PaperExampleGraph();
+  g.BuildInAdjacency();
+  const NodeId target = 2;
+  BackwardPushOptions options;
+  options.rmax = 0.05;  // coarse: leaves substantial residue
+  PprEstimate estimate;
+  BackwardPush(g, target, options, &estimate);
+
+  // Precompute all rows of the exact PPR matrix.
+  std::vector<std::vector<double>> pi_rows;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    pi_rows.push_back(ExactPprDense(g, v, options.alpha));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double rhs = estimate.reserve[v];
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      rhs += estimate.residue[u] * pi_rows[v][u];
+    }
+    EXPECT_NEAR(rhs, pi_rows[v][target], 1e-12) << "v=" << v;
+  }
+}
+
+TEST(BackwardPushTest, HighInDegreeTargetTouchesManyNodes) {
+  Graph g = StarGraph(50);
+  g.BuildInAdjacency();
+  BackwardPushOptions options;
+  options.rmax = 1e-9;
+  PprEstimate estimate;
+  SolveStats stats = BackwardPush(g, 0, options, &estimate);
+  EXPECT_GT(stats.push_operations, 25u);
+  // Every leaf reaches the hub: all reserves positive.
+  for (NodeId v = 0; v < 50; ++v) EXPECT_GT(estimate.reserve[v], 0.0);
+}
+
+TEST(BackwardPushDeathTest, RequiresInAdjacencyAndNoDeadEnds) {
+  Graph g = CycleGraph(8);
+  BackwardPushOptions options;
+  PprEstimate estimate;
+  EXPECT_DEATH(BackwardPush(g, 0, options, &estimate), "transpose");
+
+  Graph path = PathGraph(4);
+  path.BuildInAdjacency();
+  EXPECT_DEATH(BackwardPush(path, 0, options, &estimate), "dead-end");
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,116 @@
+#include "eval/batch.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "approx/speedppr.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(BatchPowerPushTest, MatchesSerialRuns) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  auto sources = SampleQuerySources(g, 6, 1);
+  PowerPushOptions options;
+  options.lambda = 1e-9;
+  auto rows = BatchPowerPush(g, sources, options);
+  ASSERT_EQ(rows.size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    PprEstimate serial;
+    PowerPush(g, sources[i], options, &serial);
+    ASSERT_EQ(rows[i], serial.reserve) << "source " << sources[i];
+  }
+}
+
+TEST(BatchSpeedPprTest, EveryRowMeetsTheContract) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  auto sources = SampleQuerySources(g, 4, 2);
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  auto rows = BatchSpeedPpr(g, sources, options, /*seed=*/9);
+  ASSERT_EQ(rows.size(), sources.size());
+  const double mu = 1.0 / g.num_nodes();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    std::vector<double> exact =
+        testing::ExactPprDense(g, sources[i], options.alpha);
+    EXPECT_LE(MaxRelativeError(rows[i], exact, mu), options.epsilon)
+        << "source " << sources[i];
+  }
+}
+
+TEST(BatchSpeedPprTest, ThreadCountIndependent) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  auto sources = SampleQuerySources(g, 5, 3);
+  ApproxOptions options;
+  options.epsilon = 0.4;
+
+  ASSERT_EQ(setenv("PPR_THREADS", "1", 1), 0);
+  auto serial = BatchSpeedPpr(g, sources, options, 77);
+  ASSERT_EQ(setenv("PPR_THREADS", "4", 1), 0);
+  auto parallel = BatchSpeedPpr(g, sources, options, 77);
+  ASSERT_EQ(unsetenv("PPR_THREADS"), 0);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "row " << i;
+  }
+}
+
+TEST(BatchSpeedPprTest, IndexedBatch) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  auto sources = SampleQuerySources(g, 3, 4);
+  ApproxOptions options;
+  options.epsilon = 0.3;
+  Rng index_rng(5);
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, index_rng);
+  auto rows = BatchSpeedPpr(g, sources, options, 11, &index);
+  const double mu = 1.0 / g.num_nodes();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    std::vector<double> exact =
+        testing::ExactPprDense(g, sources[i], options.alpha);
+    EXPECT_LE(MaxRelativeError(rows[i], exact, mu), options.epsilon);
+  }
+}
+
+TEST(WalkIndexParallelBuildTest, ThreadCountIndependentAndValid) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  ASSERT_EQ(setenv("PPR_THREADS", "1", 1), 0);
+  WalkIndex one = WalkIndex::BuildParallel(
+      g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, /*seed=*/3);
+  ASSERT_EQ(setenv("PPR_THREADS", "8", 1), 0);
+  WalkIndex eight = WalkIndex::BuildParallel(
+      g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, /*seed=*/3);
+  ASSERT_EQ(unsetenv("PPR_THREADS"), 0);
+
+  ASSERT_EQ(one.total_walks(), eight.total_walks());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto a = one.Endpoints(v);
+    auto b = eight.Endpoints(v);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), EffectiveDegree(g, v));
+    for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(WalkIndexParallelBuildTest, ServesSpeedPprQueries) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  WalkIndex index = WalkIndex::BuildParallel(
+      g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, /*seed=*/6);
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  ApproxOptions options;
+  options.epsilon = 0.3;
+  Rng rng(8);
+  std::vector<double> estimate;
+  SolveStats stats = SpeedPpr(g, 0, options, rng, &estimate, &index);
+  EXPECT_EQ(stats.walk_steps, 0u);
+  EXPECT_LE(MaxRelativeError(estimate, exact, 1.0 / g.num_nodes()),
+            options.epsilon);
+}
+
+}  // namespace
+}  // namespace ppr

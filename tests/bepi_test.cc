@@ -1,0 +1,135 @@
+#include "bepi/bepi.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(BepiTest, MatchesDenseExactSolveAcrossZoo) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    tc.graph.BuildInAdjacency();
+    BepiOptions options;
+    options.slashburn.max_block = 16;
+    auto solver = BepiSolver::Preprocess(tc.graph, options);
+    for (NodeId source : {NodeId{0}, NodeId{1}}) {
+      std::vector<double> estimate;
+      solver->Solve(source, /*delta=*/1e-12, &estimate);
+      std::vector<double> exact =
+          testing::ExactPprDense(tc.graph, source, options.alpha);
+      for (NodeId v = 0; v < tc.graph.num_nodes(); ++v) {
+        ASSERT_NEAR(estimate[v], exact[v], 1e-8)
+            << tc.name << " s=" << source << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(BepiTest, SolutionIsAProbabilityVector) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  g.BuildInAdjacency();
+  BepiOptions options;
+  auto solver = BepiSolver::Preprocess(g, options);
+  std::vector<double> estimate;
+  solver->Solve(0, 1e-12, &estimate);
+  EXPECT_NEAR(testing::Sum(estimate), 1.0, 1e-8);
+  for (double v : estimate) EXPECT_GE(v, -1e-12);
+}
+
+TEST(BepiTest, DeadEndRescalingIsExact) {
+  // PathGraph has a dead end; BePI's absorbing-system + rescale route
+  // must still match the dead-end→source convention exactly.
+  Graph g = PathGraph(6);
+  g.BuildInAdjacency();
+  BepiOptions options;
+  options.slashburn.max_block = 2;
+  auto solver = BepiSolver::Preprocess(g, options);
+  std::vector<double> estimate;
+  solver->Solve(0, 1e-13, &estimate);
+  std::vector<double> exact = testing::ExactPprDense(g, 0, options.alpha);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_NEAR(estimate[v], exact[v], 1e-9) << "v=" << v;
+  }
+}
+
+TEST(BepiTest, HubSourceQueriesWork) {
+  // Query from the star center, which SlashBurn places in the hub block.
+  Graph g = StarGraph(30);
+  g.BuildInAdjacency();
+  BepiOptions options;
+  options.slashburn.hubs_per_round = 1;
+  options.slashburn.max_block = 4;
+  auto solver = BepiSolver::Preprocess(g, options);
+  std::vector<double> estimate;
+  solver->Solve(0, 1e-12, &estimate);
+  std::vector<double> exact = testing::ExactPprDense(g, 0, options.alpha);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(estimate[v], exact[v], 1e-9);
+  }
+}
+
+TEST(BepiTest, SmallerDeltaImprovesAccuracy) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  g.BuildInAdjacency();
+  BepiOptions options;
+  auto solver = BepiSolver::Preprocess(g, options);
+  std::vector<double> exact = testing::ExactPprDense(g, 0, options.alpha);
+  double prev = 1.0;
+  for (double delta : {1e-2, 1e-5, 1e-9}) {
+    std::vector<double> estimate;
+    solver->Solve(0, delta, &estimate);
+    double err = L1Distance(estimate, exact);
+    EXPECT_LE(err, prev + 1e-12) << "delta=" << delta;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-6);
+}
+
+TEST(BepiTest, IterationCountsReported) {
+  Graph g = testing::SmallGraphZoo()[6].graph;
+  g.BuildInAdjacency();
+  BepiOptions options;
+  // Small blocks force a non-empty hub set so the Schur loop actually
+  // iterates (otherwise the whole graph is one exactly-solved block).
+  options.slashburn.max_block = 8;
+  auto solver = BepiSolver::Preprocess(g, options);
+  ASSERT_GT(solver->num_hubs(), 0u);
+  std::vector<double> estimate;
+  SolveStats coarse = solver->Solve(0, 1e-2, &estimate);
+  SolveStats fine = solver->Solve(0, 1e-10, &estimate);
+  EXPECT_GT(fine.iterations, coarse.iterations);
+}
+
+TEST(BepiTest, IndexAccounting) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  g.BuildInAdjacency();
+  BepiOptions options;
+  auto solver = BepiSolver::Preprocess(g, options);
+  EXPECT_GT(solver->IndexBytes(), 0u);
+  EXPECT_GE(solver->preprocess_seconds(), 0.0);
+  EXPECT_EQ(solver->num_spokes() + solver->num_hubs(), g.num_nodes());
+}
+
+TEST(BepiTest, MaxIterationsCapRespected) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  g.BuildInAdjacency();
+  BepiOptions options;
+  options.max_iterations = 3;
+  options.slashburn.max_block = 8;
+  auto solver = BepiSolver::Preprocess(g, options);
+  ASSERT_GT(solver->num_hubs(), 0u);
+  std::vector<double> estimate;
+  SolveStats stats = solver->Solve(0, 1e-300, &estimate);
+  EXPECT_EQ(stats.iterations, 3u);
+}
+
+TEST(BepiDeathTest, RequiresInAdjacency) {
+  Graph g = CycleGraph(8);
+  BepiOptions options;
+  EXPECT_DEATH(BepiSolver::Preprocess(g, options), "transpose");
+}
+
+}  // namespace
+}  // namespace ppr

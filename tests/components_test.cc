@@ -1,0 +1,86 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(ComponentsTest, SingleComponentGraph) {
+  Graph g = CycleGraph(10);
+  g.BuildInAdjacency();
+  ComponentResult result = WeaklyConnectedComponents(g);
+  EXPECT_EQ(result.num_components(), 1u);
+  EXPECT_EQ(result.sizes[0], 10u);
+  EXPECT_EQ(result.giant, 0u);
+}
+
+TEST(ComponentsTest, DisjointPieces) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);   // pair
+  b.AddEdge(2, 3);   // chain of 3
+  b.AddEdge(3, 4);
+  BuildOptions options;
+  options.remove_isolated = false;
+  Graph g = b.Build(options);
+  g.BuildInAdjacency();
+  ComponentResult result = WeaklyConnectedComponents(g);
+  EXPECT_EQ(result.num_components(), 2u);
+  EXPECT_EQ(result.component_of[0], result.component_of[1]);
+  EXPECT_EQ(result.component_of[2], result.component_of[3]);
+  EXPECT_EQ(result.component_of[3], result.component_of[4]);
+  EXPECT_NE(result.component_of[0], result.component_of[2]);
+  EXPECT_EQ(result.sizes[result.giant], 3u);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  // 0 -> 1 <- 2: weakly connected despite no directed path 0 -> 2.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);
+  Graph g = b.Build();
+  g.BuildInAdjacency();
+  ComponentResult result = WeaklyConnectedComponents(g);
+  EXPECT_EQ(result.num_components(), 1u);
+}
+
+TEST(ComponentsTest, MaskRestrictsScope) {
+  Graph g = CycleGraph(6);
+  g.BuildInAdjacency();
+  // Mask out node 0 and 3: the cycle splits into two paths {1,2}, {4,5}.
+  std::vector<uint8_t> mask = {0, 1, 1, 0, 1, 1};
+  ComponentResult result = WeaklyConnectedComponents(g, mask);
+  EXPECT_EQ(result.num_components(), 2u);
+  EXPECT_EQ(result.component_of[1], result.component_of[2]);
+  EXPECT_EQ(result.component_of[4], result.component_of[5]);
+  EXPECT_NE(result.component_of[1], result.component_of[4]);
+  // Masked nodes carry the sentinel id.
+  EXPECT_EQ(result.component_of[0], result.num_components());
+  EXPECT_EQ(result.component_of[3], result.num_components());
+}
+
+TEST(ComponentsTest, SizesSumToScopeSize) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(300, 1.2, rng);  // sparse: several components
+  g.BuildInAdjacency();
+  ComponentResult result = WeaklyConnectedComponents(g);
+  NodeId total = 0;
+  for (NodeId size : result.sizes) total += size;
+  EXPECT_EQ(total, g.num_nodes());
+  // component_of values agree with sizes.
+  std::vector<NodeId> counted(result.num_components(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    counted[result.component_of[v]]++;
+  }
+  EXPECT_EQ(counted, result.sizes);
+}
+
+TEST(ComponentsDeathTest, RequiresInAdjacency) {
+  Graph g = CycleGraph(4);
+  EXPECT_DEATH(WeaklyConnectedComponents(g), "transpose");
+}
+
+}  // namespace
+}  // namespace ppr

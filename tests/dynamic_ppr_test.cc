@@ -1,0 +1,171 @@
+#include "core/dynamic_ppr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/forward_push.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+/// ℓ1 distance between the tracker's reserve and a from-scratch dense
+/// solve on the current snapshot.
+double ErrorVsScratch(const DynamicSsppr& tracker, const DynamicGraph& dg) {
+  Graph snapshot = dg.Snapshot();
+  std::vector<double> exact =
+      testing::ExactPprDense(snapshot, tracker.source(), 0.2);
+  double l1 = 0.0;
+  for (NodeId v = 0; v < snapshot.num_nodes(); ++v) {
+    l1 += std::fabs(tracker.estimate().reserve[v] - exact[v]);
+  }
+  return l1;
+}
+
+TEST(DynamicGraphTest, SnapshotRoundTripsStaticGraph) {
+  Graph g = PaperExampleGraph();
+  DynamicGraph dg(g);
+  Graph snapshot = dg.Snapshot();
+  EXPECT_EQ(snapshot.out_offsets(), g.out_offsets());
+  EXPECT_EQ(snapshot.out_targets(), g.out_targets());
+}
+
+TEST(DynamicGraphTest, SnapshotKeepsTrailingIsolatedNodes) {
+  DynamicGraph dg(10);
+  dg.AddEdge(0, 1);
+  Graph snapshot = dg.Snapshot();
+  EXPECT_EQ(snapshot.num_nodes(), 10u);
+  EXPECT_EQ(snapshot.num_edges(), 1u);
+}
+
+TEST(DynamicGraphTest, AddEdgeUpdatesDegreeAndCount) {
+  DynamicGraph dg(4);
+  dg.AddEdge(0, 1);
+  dg.AddEdge(0, 2);
+  EXPECT_EQ(dg.OutDegree(0), 2u);
+  EXPECT_EQ(dg.num_edges(), 2u);
+}
+
+TEST(DynamicSspprTest, InitialStateMatchesStaticPush) {
+  Graph g = PaperExampleGraph();
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-8;
+  DynamicSsppr tracker(&dg, 0, options);
+  EXPECT_LT(ErrorVsScratch(tracker, dg), 13 * 2 * options.rmax);
+}
+
+TEST(DynamicSspprTest, SingleInsertionRepairsExactly) {
+  Graph g = PaperExampleGraph();
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-9;
+  DynamicSsppr tracker(&dg, 0, options);
+  // Add an edge the example graph lacks: v1 -> v4 (0 -> 3).
+  tracker.AddEdge(0, 3);
+  const double bound = 2.0 * dg.num_edges() * options.rmax;
+  EXPECT_LT(ErrorVsScratch(tracker, dg), bound);
+}
+
+TEST(DynamicSspprTest, RandomInsertionStreamStaysAccurate) {
+  Rng rng(7);
+  Graph g = ErdosRenyi(60, 3.0, rng);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-9;
+  DynamicSsppr tracker(&dg, 0, options);
+  for (int i = 0; i < 100; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(dg.num_nodes()));
+    NodeId w = static_cast<NodeId>(rng.NextBounded(dg.num_nodes()));
+    if (u == w) continue;
+    tracker.AddEdge(u, w);
+    if (i % 10 == 0) {
+      const double bound = 2.0 * dg.num_edges() * options.rmax;
+      ASSERT_LT(ErrorVsScratch(tracker, dg), bound) << "after " << i;
+    }
+  }
+  EXPECT_LT(ErrorVsScratch(tracker, dg),
+            2.0 * dg.num_edges() * options.rmax);
+}
+
+TEST(DynamicSspprTest, MassStaysConserved) {
+  Rng rng(9);
+  Graph g = CycleGraph(30);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-8;
+  DynamicSsppr tracker(&dg, 5, options);
+  for (int i = 0; i < 50; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(30));
+    NodeId w = static_cast<NodeId>(rng.NextBounded(30));
+    if (u == w) continue;
+    tracker.AddEdge(u, w);
+    // Invariant: reserve mass + signed residue mass == 1 exactly (the
+    // algebraic correction conserves the signed total).
+    double signed_residue = 0.0;
+    for (double r : tracker.estimate().residue) signed_residue += r;
+    ASSERT_NEAR(tracker.estimate().ReserveSum() + signed_residue, 1.0,
+                1e-9);
+  }
+}
+
+TEST(DynamicSspprTest, DeadEndGainingItsFirstEdge) {
+  // Path 0->1->2: node 2 is a dead end. Adding 2->0 changes its
+  // effective row from e_source to e_0 (here the same node — pick source
+  // 1 to make them differ).
+  Graph g = PathGraph(3);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-10;
+  DynamicSsppr tracker(&dg, 1, options);
+  tracker.AddEdge(2, 0);
+  EXPECT_LT(ErrorVsScratch(tracker, dg),
+            2.0 * dg.num_edges() * options.rmax + 1e-9);
+}
+
+TEST(DynamicSspprTest, InsertionTouchingSourceRow) {
+  Graph g = PaperExampleGraph();
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-10;
+  DynamicSsppr tracker(&dg, 0, options);
+  tracker.AddEdge(0, 4);  // source gains an out-edge
+  EXPECT_LT(ErrorVsScratch(tracker, dg),
+            2.0 * dg.num_edges() * options.rmax + 1e-9);
+}
+
+TEST(DynamicSspprTest, IncrementalBeatsScratchOnWork) {
+  // The point of the tracker: repairing after one insertion costs far
+  // fewer pushes than re-running from scratch.
+  Rng rng(11);
+  Graph g = ChungLuPowerLaw(500, 6.0, 2.5, rng);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-8;
+  DynamicSsppr tracker(&dg, 0, options);
+
+  uint64_t incremental = tracker.AddEdge(10, 20);
+
+  ForwardPushOptions scratch_options;
+  scratch_options.rmax = options.rmax;
+  PprEstimate scratch;
+  SolveStats scratch_stats =
+      FifoForwardPush(dg.Snapshot(), 0, scratch_options, &scratch);
+  EXPECT_LT(incremental * 10, scratch_stats.push_operations)
+      << "repair should be at least 10x cheaper than re-solving";
+}
+
+TEST(DynamicSspprTest, ResidueL1ReportsBound) {
+  Graph g = CycleGraph(12);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-6;
+  DynamicSsppr tracker(&dg, 0, options);
+  // After Refresh, every |r| <= deff * rmax.
+  EXPECT_LE(tracker.ResidueL1(),
+            (dg.num_edges() + 1) * options.rmax + 1e-15);
+}
+
+}  // namespace
+}  // namespace ppr

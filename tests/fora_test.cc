@@ -1,0 +1,142 @@
+#include "approx/fora.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(ForaRmaxTest, BalancesTheTwoPhases) {
+  Graph g = PaperExampleGraph();
+  const uint64_t w = 1000;
+  const double rmax = ForaRmax(g, w);
+  // 1/rmax == m * rmax * W at the balance point.
+  EXPECT_NEAR(1.0 / rmax,
+              static_cast<double>(g.num_edges()) * rmax * w, 1e-6);
+}
+
+TEST(ForaTest, EstimateSumsToApproximatelyOne) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  Rng rng(1);
+  std::vector<double> estimate;
+  Fora(g, 0, options, rng, &estimate);
+  EXPECT_NEAR(testing::Sum(estimate), 1.0, 1e-6);
+}
+
+TEST(ForaTest, SatisfiesRelativeErrorGuarantee) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    std::vector<double> exact = testing::ExactPprDense(tc.graph, 0, 0.2);
+    ApproxOptions options;
+    options.epsilon = 0.5;
+    Rng rng(17);
+    std::vector<double> estimate;
+    Fora(tc.graph, 0, options, rng, &estimate);
+    const double mu = options.ResolvedMu(tc.graph.num_nodes());
+    EXPECT_LE(MaxRelativeError(estimate, exact, mu), options.epsilon)
+        << tc.name;
+  }
+}
+
+TEST(ForaTest, UnbiasedOverSeeds) {
+  // The mean over independent seeds converges to the truth (the MC phase
+  // is unbiased given the push phase's deterministic part).
+  Graph g = PaperExampleGraph();
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  std::vector<double> mean(g.num_nodes(), 0.0);
+  constexpr int kRuns = 30;
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng(run * 7919 + 1);
+    std::vector<double> estimate;
+    Fora(g, 0, options, rng, &estimate);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      mean[v] += estimate[v] / kRuns;
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(mean[v], exact[v], 0.02) << "v=" << v;
+  }
+}
+
+TEST(ForaTest, IndexedVariantAlsoMeetsGuarantee) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  const uint64_t w = ChernoffWalkCount(g.num_nodes(), options.epsilon,
+                                       options.ResolvedMu(g.num_nodes()));
+  Rng index_rng(5);
+  WalkIndex index =
+      WalkIndex::Build(g, options.alpha, WalkIndex::Sizing::kForaPlus, w,
+                       index_rng);
+  Rng rng(6);
+  std::vector<double> estimate;
+  SolveStats stats = Fora(g, 0, options, rng, &estimate, &index);
+  EXPECT_LE(MaxRelativeError(estimate, exact,
+                             options.ResolvedMu(g.num_nodes())),
+            options.epsilon);
+  // With a correctly-sized index no fresh walks should be needed:
+  // walk_steps counts only simulated walks.
+  EXPECT_EQ(stats.walk_steps, 0u);
+}
+
+TEST(ForaTest, UndersizedIndexToppedUpWithFreshWalks) {
+  // Build the index for a large ε then query a smaller ε: some nodes
+  // need more walks than stored — FORA+'s documented weakness.
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  ApproxOptions big_eps;
+  big_eps.epsilon = 0.5;
+  const uint64_t w_small = ChernoffWalkCount(
+      g.num_nodes(), big_eps.epsilon, big_eps.ResolvedMu(g.num_nodes()));
+  Rng index_rng(8);
+  WalkIndex index = WalkIndex::Build(
+      g, 0.2, WalkIndex::Sizing::kForaPlus, w_small, index_rng);
+
+  ApproxOptions small_eps;
+  small_eps.epsilon = 0.1;
+  Rng rng(9);
+  std::vector<double> estimate;
+  SolveStats stats = Fora(g, 0, small_eps, rng, &estimate, &index);
+  EXPECT_GT(stats.walk_steps, 0u) << "shortfall must trigger fresh walks";
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  EXPECT_LE(MaxRelativeError(estimate, exact,
+                             small_eps.ResolvedMu(g.num_nodes())),
+            small_eps.epsilon);
+}
+
+TEST(ForaTest, PushPhaseDominatedByRmaxBudget) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  Rng rng(10);
+  std::vector<double> estimate;
+  SolveStats stats = Fora(g, 0, options, rng, &estimate);
+  const uint64_t w = ChernoffWalkCount(g.num_nodes(), options.epsilon,
+                                       options.ResolvedMu(g.num_nodes()));
+  // Classic FwdPush cost bound: edge pushes <= 1/rmax.
+  EXPECT_LE(static_cast<double>(stats.edge_pushes),
+            1.0 / ForaRmax(g, w) + 1.0);
+}
+
+TEST(ForaTest, WalkBudgetBoundedByRsumTimesWPlusN) {
+  Graph g = testing::SmallGraphZoo()[6].graph;
+  ApproxOptions options;
+  options.epsilon = 0.4;
+  Rng rng(11);
+  std::vector<double> estimate;
+  SolveStats stats = Fora(g, 0, options, rng, &estimate);
+  const uint64_t w = ChernoffWalkCount(g.num_nodes(), options.epsilon,
+                                       options.ResolvedMu(g.num_nodes()));
+  EXPECT_LE(stats.random_walks,
+            static_cast<uint64_t>(stats.final_rsum * w) + g.num_nodes());
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,180 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "util/rng.h"
+
+namespace ppr {
+namespace {
+
+TEST(PaperExampleTest, MatchesFigureOne) {
+  Graph g = PaperExampleGraph();
+  ASSERT_EQ(g.num_nodes(), 5u);
+  ASSERT_EQ(g.num_edges(), 13u);
+  // Out-degrees: d(v1)=2, d(v2)=4, d(v3)=2, d(v4)=3, d(v5)=2.
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 4u);
+  EXPECT_EQ(g.OutDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(3), 3u);
+  EXPECT_EQ(g.OutDegree(4), 2u);
+  // Spot-check the transition structure of Figure 1's matrix P.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(3, 0));
+  EXPECT_TRUE(g.HasEdge(4, 2));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(4, 0));
+}
+
+TEST(DeterministicTopologies, PathHasOneDeadEnd) {
+  Graph g = PathGraph(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.CountDeadEnds(), 1u);
+  EXPECT_EQ(g.OutDegree(9), 0u);
+}
+
+TEST(DeterministicTopologies, CycleIsRegular) {
+  Graph g = CycleGraph(12);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(g.OutDegree(v), 1u);
+  EXPECT_TRUE(g.HasEdge(11, 0));
+}
+
+TEST(DeterministicTopologies, StarIsBidirected) {
+  Graph g = StarGraph(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 18u);  // 9 undirected edges, doubled
+  EXPECT_EQ(g.OutDegree(0), 9u);
+  for (NodeId v = 1; v < 10; ++v) EXPECT_EQ(g.OutDegree(v), 1u);
+}
+
+TEST(DeterministicTopologies, CompleteGraphHasAllPairs) {
+  Graph g = CompleteGraph(6);
+  EXPECT_EQ(g.num_edges(), 30u);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 5u);
+    EXPECT_FALSE(g.HasEdge(u, u));
+  }
+}
+
+TEST(DeterministicTopologies, GridDegreesAreLocal) {
+  Graph g = GridGraph(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  // Undirected grid edges: 4*(5-1) + 5*(4-1) = 31, doubled.
+  EXPECT_EQ(g.num_edges(), 62u);
+  // A corner has degree 2, an interior node degree 4.
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(6), 4u);  // row 1, col 1
+}
+
+TEST(ErdosRenyiTest, HitsTargetEdgeCount) {
+  Rng rng(17);
+  Graph g = ErdosRenyi(1000, 8.0, rng);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 8000.0, 400.0);
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng rng1(99);
+  Rng rng2(99);
+  Graph a = ErdosRenyi(500, 4.0, rng1);
+  Graph b = ErdosRenyi(500, 4.0, rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.out_targets(), b.out_targets());
+  EXPECT_EQ(a.out_offsets(), b.out_offsets());
+}
+
+TEST(BarabasiAlbertTest, IsSymmetricAndHeavyTailed) {
+  Rng rng(3);
+  Graph g = BarabasiAlbert(2000, 3, rng);
+  g.BuildInAdjacency();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(g.OutDegree(v), g.InDegree(v)) << "BA must be symmetric";
+  }
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.dead_ends, 0u);
+  // Preferential attachment: the top 1% must hold well above a uniform
+  // share (1%) of edge endpoints.
+  EXPECT_GT(stats.top1pct_degree_share, 0.05);
+  EXPECT_GT(stats.max_out_degree, 50u);
+}
+
+TEST(BarabasiAlbertTest, AverageDegreeNearTwiceAttachment) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(3000, 4, rng);
+  // Each arrival adds 4 undirected edges -> m/n approaches 8 directed.
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 0.8);
+}
+
+TEST(ChungLuTest, MatchesTargetDegreeAndTail) {
+  Rng rng(11);
+  Graph g = ChungLuPowerLaw(5000, 12.0, 2.5, rng);
+  EXPECT_NEAR(g.AverageDegree(), 12.0, 1.0);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_GT(stats.top1pct_degree_share, 0.08) << "expected heavy tail";
+}
+
+TEST(ChungLuTest, SymmetrizedVariantIsUndirected) {
+  Rng rng(12);
+  Graph g = ChungLuPowerLaw(2000, 10.0, 2.5, rng, /*symmetrize=*/true);
+  g.BuildInAdjacency();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+  EXPECT_EQ(g.CountDeadEnds(), 0u);
+  EXPECT_NEAR(g.AverageDegree(), 10.0, 1.5);
+}
+
+TEST(ChungLuTest, DirectedHubsDifferBetweenDirections) {
+  Rng rng(13);
+  Graph g = ChungLuPowerLaw(3000, 10.0, 2.3, rng);
+  g.BuildInAdjacency();
+  // Out-hub and in-hub should usually be different nodes thanks to the
+  // independent permutations.
+  NodeId out_hub = 0;
+  NodeId in_hub = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(out_hub)) out_hub = v;
+    if (g.InDegree(v) > g.InDegree(in_hub)) in_hub = v;
+  }
+  EXPECT_NE(out_hub, in_hub);
+}
+
+TEST(CopyModelWebTest, EveryNodeHasOutDegree) {
+  Rng rng(21);
+  Graph g = CopyModelWeb(2000, 8, 0.55, rng);
+  EXPECT_EQ(g.CountDeadEnds(), 0u);
+  // Duplicate targets get deduplicated, so out-degree is in [1, 8].
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GE(g.OutDegree(v), 1u);
+    ASSERT_LE(g.OutDegree(v), 8u);
+  }
+}
+
+TEST(CopyModelWebTest, CopyingSkewsInDegrees) {
+  Rng rng(22);
+  Graph g = CopyModelWeb(5000, 8, 0.55, rng);
+  g.BuildInAdjacency();
+  NodeId max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  // Uniform attachment would give max in-degree ~ O(log n) * 8; the copy
+  // model concentrates far more.
+  EXPECT_GT(max_in, 100u);
+}
+
+TEST(GeneratorsDeathTest, RejectBadArguments) {
+  Rng rng(1);
+  EXPECT_DEATH(PathGraph(1), "Check failed");
+  EXPECT_DEATH(ChungLuPowerLaw(100, 5.0, 1.5, rng), "exponent");
+  EXPECT_DEATH(BarabasiAlbert(3, 3, rng), "Check failed");
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,144 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSimpleGraph) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, RemovesSelfLoopsByDefault) {
+  GraphBuilder b;
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, KeepsSelfLoopsWhenAsked) {
+  GraphBuilder b;
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  BuildOptions options;
+  options.remove_self_loops = false;
+  Graph g = b.Build(options);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(GraphBuilderTest, SymmetrizeAddsReverseEdges) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  BuildOptions options;
+  options.symmetrize = true;
+  Graph g = b.Build(options);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+}
+
+TEST(GraphBuilderTest, SymmetrizeDeduplicatesMutualEdges) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // already mutual: symmetrizing must not double it
+  BuildOptions options;
+  options.symmetrize = true;
+  Graph g = b.Build(options);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, RemovesIsolatedNodesAndRelabelsDensely) {
+  GraphBuilder b;
+  // Node ids 10, 20, 30 with gaps; 25 is never referenced.
+  b.AddEdge(10, 20);
+  b.AddEdge(20, 30);
+  b.AddEdge(30, 10);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  // Relative order preserved: 10 -> 0, 20 -> 1, 30 -> 2.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+}
+
+TEST(GraphBuilderTest, KeepIsolatedPreservesUniverse) {
+  GraphBuilder b;
+  b.AddEdge(0, 5);
+  BuildOptions options;
+  options.remove_isolated = false;
+  Graph g = b.Build(options);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.CountDeadEnds(), 5u);
+}
+
+TEST(GraphBuilderTest, AdjacencyListsAreSorted) {
+  GraphBuilder b;
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  Graph g = b.Build();
+  auto nbrs = g.OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilderTest, BuilderIsReusableAfterBuild) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph g1 = b.Build();
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g2 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, BuildInAdjacencyOption) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  BuildOptions options;
+  options.build_in_adjacency = true;
+  Graph g = b.Build(options);
+  EXPECT_TRUE(g.has_in_adjacency());
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(GraphBuilderTest, FromEdgesStaticHelper) {
+  Graph g = GraphBuilder::FromEdges({{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, EmptyBuildProducesEmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace ppr

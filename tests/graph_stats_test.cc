@@ -1,0 +1,56 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ppr {
+namespace {
+
+TEST(GraphStatsTest, CycleStats) {
+  GraphStats stats = ComputeGraphStats(CycleGraph(10));
+  EXPECT_EQ(stats.num_nodes, 10u);
+  EXPECT_EQ(stats.num_edges, 10u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 1.0);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_EQ(stats.dead_ends, 0u);
+}
+
+TEST(GraphStatsTest, PathCountsDeadEnd) {
+  GraphStats stats = ComputeGraphStats(PathGraph(5));
+  EXPECT_EQ(stats.dead_ends, 1u);
+  EXPECT_EQ(stats.num_edges, 4u);
+}
+
+TEST(GraphStatsTest, StarConcentration) {
+  GraphStats stats = ComputeGraphStats(StarGraph(200));
+  EXPECT_EQ(stats.max_out_degree, 199u);
+  // Node 0 is the only member of the top-1% set (2 nodes of 200) and owns
+  // half of all directed edges.
+  EXPECT_GT(stats.top1pct_degree_share, 0.45);
+}
+
+TEST(GraphStatsTest, HistogramCountsEveryNode) {
+  Rng rng(2);
+  Graph g = ErdosRenyi(500, 4.0, rng);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.out_degree_histogram.count(), 500u);
+  EXPECT_NEAR(stats.out_degree_histogram.Mean(), stats.avg_degree, 1e-9);
+}
+
+TEST(GraphStatsTest, FormatMentionsKeyNumbers) {
+  GraphStats stats = ComputeGraphStats(CycleGraph(1500));
+  std::string s = FormatGraphStats(stats);
+  EXPECT_NE(s.find("n=1.50K"), std::string::npos) << s;
+  EXPECT_NE(s.find("dead=0"), std::string::npos) << s;
+}
+
+TEST(GraphStatsTest, UniformGraphHasLowConcentration) {
+  GraphStats stats = ComputeGraphStats(CycleGraph(1000));
+  // Every node has degree 1: the top 1% holds exactly 1% of edges.
+  EXPECT_NEAR(stats.top1pct_degree_share, 0.01, 0.001);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,115 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ppr {
+namespace {
+
+Graph SmallGraph() {
+  // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+  return Graph({0, 2, 3, 3, 4}, {1, 2, 2, 0});
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+}
+
+TEST(GraphTest, OutDegreesAndNeighbors) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+  EXPECT_EQ(g.OutDegree(3), 1u);
+  auto n0 = g.OutNeighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_TRUE(g.OutNeighbors(2).empty());
+}
+
+TEST(GraphTest, CountDeadEnds) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.CountDeadEnds(), 1u);  // node 2
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = SmallGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(3, 0));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+}
+
+TEST(GraphTest, InAdjacencyIsTranspose) {
+  Graph g = SmallGraph();
+  EXPECT_FALSE(g.has_in_adjacency());
+  g.BuildInAdjacency();
+  ASSERT_TRUE(g.has_in_adjacency());
+  EXPECT_EQ(g.InDegree(0), 1u);  // from 3
+  EXPECT_EQ(g.InDegree(1), 1u);  // from 0
+  EXPECT_EQ(g.InDegree(2), 2u);  // from 0, 1
+  EXPECT_EQ(g.InDegree(3), 0u);
+  auto in2 = g.InNeighbors(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_EQ(in2[0], 0u);
+  EXPECT_EQ(in2[1], 1u);
+}
+
+TEST(GraphTest, BuildInAdjacencyIsIdempotent) {
+  Graph g = SmallGraph();
+  g.BuildInAdjacency();
+  uint64_t bytes = g.MemoryBytes();
+  g.BuildInAdjacency();
+  EXPECT_EQ(g.MemoryBytes(), bytes);
+}
+
+TEST(GraphTest, TransposeOfTransposeMatchesOriginal) {
+  Rng rng(5);
+  Graph g = ErdosRenyi(200, 5.0, rng);
+  g.BuildInAdjacency();
+  // For every edge (u,v): v lists u as in-neighbor, u lists v as
+  // out-neighbor, and totals match.
+  uint64_t in_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    in_total += g.InDegree(v);
+    for (NodeId u : g.InNeighbors(v)) {
+      ASSERT_TRUE(g.HasEdge(u, v));
+    }
+  }
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithInAdjacency) {
+  Graph g = SmallGraph();
+  uint64_t before = g.MemoryBytes();
+  g.BuildInAdjacency();
+  EXPECT_GT(g.MemoryBytes(), before);
+}
+
+TEST(GraphTest, EmptyGraphIsValid) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphDeathTest, RejectsInconsistentCsr) {
+  // offsets.back() must equal targets.size().
+  EXPECT_DEATH(Graph({0, 2}, {1}), "Check failed");
+  // Targets must be < n.
+  EXPECT_DEATH(Graph({0, 1}, {5}), "Check failed");
+  // Offsets must be non-decreasing.
+  EXPECT_DEATH(Graph({0, 2, 1, 3}, {0, 1, 2}), "Check failed");
+}
+
+}  // namespace
+}  // namespace ppr

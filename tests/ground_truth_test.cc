@@ -1,0 +1,36 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(GroundTruthTest, MatchesDenseExactSolve) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    std::vector<double> gt = ComputeGroundTruth(tc.graph, 0);
+    std::vector<double> exact = testing::ExactPprDense(tc.graph, 0, 0.2);
+    for (NodeId v = 0; v < tc.graph.num_nodes(); ++v) {
+      ASSERT_NEAR(gt[v], exact[v], 1e-12) << tc.name << " v=" << v;
+    }
+  }
+}
+
+TEST(GroundTruthTest, IsProbabilityDistribution) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  std::vector<double> gt = ComputeGroundTruth(g, 3);
+  EXPECT_NEAR(testing::Sum(gt), 1.0, 1e-10);
+  for (double v : gt) EXPECT_GE(v, 0.0);
+}
+
+TEST(GroundTruthTest, RespectsAlpha) {
+  Graph g = CycleGraph(16);
+  std::vector<double> low = ComputeGroundTruth(g, 0, /*alpha=*/0.1);
+  std::vector<double> high = ComputeGroundTruth(g, 0, /*alpha=*/0.5);
+  EXPECT_GT(high[0], low[0]);
+  EXPECT_NEAR(high[0], testing::ExactPprDense(g, 0, 0.5)[0], 1e-12);
+}
+
+}  // namespace
+}  // namespace ppr

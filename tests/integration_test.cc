@@ -1,0 +1,160 @@
+// End-to-end flows across subsystems: dataset generation -> every solver
+// -> metrics, exercising the same paths the bench harness uses.
+
+#include <gtest/gtest.h>
+
+#include "approx/fora.h"
+#include "approx/resacc.h"
+#include "approx/speedppr.h"
+#include "bepi/bepi.h"
+#include "core/forward_push.h"
+#include "core/power_iteration.h"
+#include "core/power_push.h"
+#include "eval/experiment.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
+#include "graph/datasets.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // A miniature "pokec": directed, heavy-tailed, a few thousand nodes.
+    graph_ = new Graph(MakeDataset(FindDataset("pokec-sim"), /*scale=*/0.04));
+    graph_->BuildInAdjacency();
+    sources_ = SampleQuerySources(*graph_, 3, /*seed=*/11);
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+
+  static Graph* graph_;
+  static std::vector<NodeId> sources_;
+};
+
+Graph* IntegrationTest::graph_ = nullptr;
+std::vector<NodeId> IntegrationTest::sources_;
+
+TEST_F(IntegrationTest, HighPrecisionSolversAgreeOnRealisticGraph) {
+  const double lambda = PaperLambda(*graph_);
+  for (NodeId s : sources_) {
+    PprEstimate pi;
+    PowerIterationOptions pi_options;
+    pi_options.lambda = lambda;
+    PowerIteration(*graph_, s, pi_options, &pi);
+
+    PprEstimate fp;
+    ForwardPushOptions fp_options;
+    fp_options.rmax = lambda / static_cast<double>(graph_->num_edges());
+    FifoForwardPush(*graph_, s, fp_options, &fp);
+
+    PprEstimate pp;
+    PowerPushOptions pp_options;
+    pp_options.lambda = lambda;
+    PowerPush(*graph_, s, pp_options, &pp);
+
+    EXPECT_LE(L1Distance(fp.reserve, pi.reserve), 4 * lambda) << "s=" << s;
+    EXPECT_LE(L1Distance(pp.reserve, pi.reserve), 4 * lambda) << "s=" << s;
+  }
+}
+
+TEST_F(IntegrationTest, BepiMatchesPowerPushOnRealisticGraph) {
+  BepiOptions options;
+  auto solver = BepiSolver::Preprocess(*graph_, options);
+  for (NodeId s : sources_) {
+    std::vector<double> bepi;
+    solver->Solve(s, /*delta=*/1e-10, &bepi);
+    std::vector<double> gt = ComputeGroundTruth(*graph_, s);
+    EXPECT_LE(L1Distance(bepi, gt), 1e-6) << "s=" << s;
+  }
+}
+
+TEST_F(IntegrationTest, ApproximateSolversMeetGuaranteeOnRealisticGraph) {
+  const NodeId s = sources_[0];
+  std::vector<double> gt = ComputeGroundTruth(*graph_, s);
+  const double mu = 1.0 / graph_->num_nodes();
+  const double eps = 0.5;
+
+  ApproxOptions options;
+  options.epsilon = eps;
+
+  Rng rng1(100);
+  std::vector<double> fora;
+  Fora(*graph_, s, options, rng1, &fora);
+  EXPECT_LE(MaxRelativeError(fora, gt, mu), eps) << "FORA";
+
+  Rng rng2(200);
+  std::vector<double> speed;
+  SpeedPpr(*graph_, s, options, rng2, &speed);
+  EXPECT_LE(MaxRelativeError(speed, gt, mu), eps) << "SpeedPPR";
+
+  Rng rng3(300);
+  std::vector<double> resacc;
+  ResAcc(*graph_, s, options, rng3, &resacc);
+  EXPECT_LE(L1Distance(resacc, gt), 0.05) << "ResAcc";
+}
+
+TEST_F(IntegrationTest, IndexedVariantsMatchIndexFreeQuality) {
+  const NodeId s = sources_[1];
+  std::vector<double> gt = ComputeGroundTruth(*graph_, s);
+  const double mu = 1.0 / graph_->num_nodes();
+  ApproxOptions options;
+  options.epsilon = 0.3;
+  const uint64_t w = ChernoffWalkCount(graph_->num_nodes(), options.epsilon,
+                                       mu);
+
+  Rng index_rng(7);
+  WalkIndex fora_index = WalkIndex::Build(
+      *graph_, options.alpha, WalkIndex::Sizing::kForaPlus, w, index_rng);
+  WalkIndex speed_index = WalkIndex::Build(
+      *graph_, options.alpha, WalkIndex::Sizing::kSpeedPpr, 0, index_rng);
+
+  Rng rng1(1);
+  std::vector<double> fora;
+  Fora(*graph_, s, options, rng1, &fora, &fora_index);
+  EXPECT_LE(MaxRelativeError(fora, gt, mu), options.epsilon);
+
+  Rng rng2(2);
+  std::vector<double> speed;
+  SpeedPpr(*graph_, s, options, rng2, &speed, &speed_index);
+  EXPECT_LE(MaxRelativeError(speed, gt, mu), options.epsilon);
+
+  // The SpeedPPR index is never larger than the graph (+dead ends).
+  EXPECT_LE(speed_index.total_walks(),
+            graph_->num_edges() + graph_->CountDeadEnds());
+}
+
+TEST_F(IntegrationTest, TopKRecoveredByApproximateAnswers) {
+  const NodeId s = sources_[2];
+  std::vector<double> gt = ComputeGroundTruth(*graph_, s);
+  ApproxOptions options;
+  options.epsilon = 0.2;
+  Rng rng(55);
+  std::vector<double> estimate;
+  SpeedPpr(*graph_, s, options, rng, &estimate);
+  EXPECT_GE(PrecisionAtK(estimate, gt, 20), 0.9);
+}
+
+TEST(LoadBenchDatasetsTest, FilterAndScaleWork) {
+  ASSERT_EQ(setenv("PPR_BENCH_DATASETS", "dblp-sim", 1), 0);
+  auto graphs = LoadBenchDatasets(/*scale=*/0.03);
+  ASSERT_EQ(unsetenv("PPR_BENCH_DATASETS"), 0);
+  ASSERT_EQ(graphs.size(), 1u);
+  EXPECT_EQ(graphs[0].paper_name, "DBLP");
+  EXPECT_GE(graphs[0].graph.num_nodes(), 900u);
+}
+
+TEST(LoadBenchDatasetsTest, MaxCountTruncates) {
+  auto graphs = LoadBenchDatasets(/*scale=*/0.02, /*max_count=*/2);
+  ASSERT_EQ(graphs.size(), 2u);
+  EXPECT_EQ(graphs[0].paper_name, "DBLP");
+  EXPECT_EQ(graphs[1].paper_name, "Web-St");
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+TEST(MetricsTest, L1Distance) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1.5, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 1.5);
+  EXPECT_DOUBLE_EQ(L1Distance(a, a), 0.0);
+}
+
+TEST(MetricsTest, L2Distance) {
+  std::vector<double> a = {0.0, 3.0};
+  std::vector<double> b = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), 5.0);
+}
+
+TEST(MetricsTest, MaxRelativeErrorRespectsThreshold) {
+  std::vector<double> truth = {0.5, 0.01, 0.001};
+  std::vector<double> estimate = {0.55, 0.02, 0.0};
+  // Threshold 0.1: only index 0 qualifies -> rel err 0.1.
+  EXPECT_NEAR(MaxRelativeError(estimate, truth, 0.1), 0.1, 1e-12);
+  // Threshold 0.005: indices 0 and 1 qualify -> index 1 has rel err 1.0.
+  EXPECT_NEAR(MaxRelativeError(estimate, truth, 0.005), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, MaxRelativeErrorEmptySetIsZero) {
+  std::vector<double> truth = {0.001, 0.002};
+  std::vector<double> estimate = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(MaxRelativeError(estimate, truth, 0.5), 0.0);
+}
+
+TEST(MetricsTest, TopKOrdersByValueThenId) {
+  std::vector<double> values = {0.1, 0.5, 0.5, 0.9};
+  auto top = TopK(values, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 1u);  // tie with 2, lower id wins
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(MetricsTest, TopKClampsToSize) {
+  std::vector<double> values = {0.3, 0.1};
+  EXPECT_EQ(TopK(values, 10).size(), 2u);
+}
+
+TEST(MetricsTest, PrecisionAtKPerfectAndDisjoint) {
+  std::vector<double> truth = {0.4, 0.3, 0.2, 0.1};
+  std::vector<double> same = truth;
+  EXPECT_DOUBLE_EQ(PrecisionAtK(same, truth, 2), 1.0);
+  std::vector<double> reversed = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(reversed, truth, 2), 0.0);
+}
+
+TEST(MetricsTest, PrecisionAtKPartialOverlap) {
+  std::vector<double> truth = {0.4, 0.3, 0.2, 0.1};
+  std::vector<double> estimate = {0.4, 0.1, 0.3, 0.2};
+  // True top-2 {0,1}; estimated top-2 {0,2}: overlap 1/2.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(estimate, truth, 2), 0.5);
+}
+
+TEST(MetricsTest, PrecisionAtZeroIsOne) {
+  std::vector<double> v = {1.0};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(v, v, 0), 1.0);
+}
+
+TEST(MetricsDeathTest, MismatchedSizesAbort) {
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_DEATH(L1Distance(a, b), "Check failed");
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,98 @@
+#include "graph/permute.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/power_push.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(PermuteGraphTest, IdentityPermutationPreservesGraph) {
+  Graph g = PaperExampleGraph();
+  std::vector<NodeId> identity(g.num_nodes());
+  std::iota(identity.begin(), identity.end(), 0);
+  Graph permuted = PermuteGraph(g, identity);
+  EXPECT_EQ(permuted.out_offsets(), g.out_offsets());
+  EXPECT_EQ(permuted.out_targets(), g.out_targets());
+}
+
+TEST(PermuteGraphTest, EdgesMapThroughPermutation) {
+  Graph g = PaperExampleGraph();
+  std::vector<NodeId> perm = {4, 3, 2, 1, 0};  // reverse
+  Graph permuted = PermuteGraph(g, perm);
+  EXPECT_EQ(permuted.num_nodes(), g.num_nodes());
+  EXPECT_EQ(permuted.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ASSERT_TRUE(permuted.HasEdge(perm[u], perm[v]))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(PermuteGraphTest, PprIsEquivariant) {
+  // pi_G(s, v) == pi_{perm(G)}(perm(s), perm(v)) — relabeling must not
+  // change the answer, only the coordinates.
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  Rng rng(4);
+  std::vector<NodeId> perm = RandomOrder(g.num_nodes(), rng);
+  Graph permuted = PermuteGraph(g, perm);
+
+  PowerPushOptions options;
+  options.lambda = 1e-12;
+  PprEstimate original;
+  PowerPush(g, 0, options, &original);
+  PprEstimate relabeled;
+  PowerPush(permuted, perm[0], options, &relabeled);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NEAR(original.reserve[v], relabeled.reserve[perm[v]], 1e-10);
+  }
+}
+
+TEST(DegreeDescendingOrderTest, SortsHubsFirst) {
+  Graph g = StarGraph(10);  // node 0 has degree 9
+  std::vector<NodeId> perm = DegreeDescendingOrder(g);
+  EXPECT_EQ(perm[0], 0u) << "the hub must get the smallest new id";
+  Graph permuted = PermuteGraph(g, perm);
+  for (NodeId v = 0; v + 1 < permuted.num_nodes(); ++v) {
+    ASSERT_GE(permuted.OutDegree(v), permuted.OutDegree(v + 1));
+  }
+}
+
+TEST(BfsOrderTest, AssignsContiguousIdsOutward) {
+  Graph g = PathGraph(6);
+  std::vector<NodeId> perm = BfsOrder(g, 0);
+  // A path from the root is already in BFS order.
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(perm[v], v);
+}
+
+TEST(BfsOrderTest, UnreachedNodesAppended) {
+  // Two disjoint cycles; BFS from the first reaches only half.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 2);
+  Graph g = b.Build();
+  std::vector<NodeId> perm = BfsOrder(g, 2);
+  EXPECT_EQ(perm[2], 0u);
+  EXPECT_EQ(perm[3], 1u);
+  EXPECT_EQ(perm[0], 2u);
+  EXPECT_EQ(perm[1], 3u);
+}
+
+TEST(RandomOrderTest, IsAPermutation) {
+  Rng rng(7);
+  std::vector<NodeId> perm = RandomOrder(100, rng);
+  std::vector<NodeId> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId i = 0; i < 100; ++i) ASSERT_EQ(sorted[i], i);
+}
+
+}  // namespace
+}  // namespace ppr

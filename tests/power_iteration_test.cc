@@ -1,0 +1,152 @@
+#include "core/power_iteration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+using testing::ExactPprDense;
+using testing::Sum;
+
+TEST(PowerIterationTest, MatchesDenseExactSolveOnPaperExample) {
+  Graph g = PaperExampleGraph();
+  PowerIterationOptions options;
+  options.lambda = 1e-12;
+  PprEstimate estimate;
+  PowerIteration(g, /*source=*/0, options, &estimate);
+  std::vector<double> exact = ExactPprDense(g, 0, options.alpha);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(estimate.reserve[v], exact[v], 1e-11) << "v=" << v;
+  }
+}
+
+TEST(PowerIterationTest, ErrorDecayIsExactlyGeometric) {
+  // Equation (6): after j iterations the ℓ1 error is (1−α)^j exactly
+  // (no dead ends in a cycle).
+  Graph g = CycleGraph(32);
+  PowerIterationOptions options;
+  options.alpha = 0.2;
+  options.lambda = 1e-6;
+  PprEstimate estimate;
+  SolveStats stats = PowerIteration(g, 0, options, &estimate);
+  EXPECT_NEAR(stats.final_rsum,
+              std::pow(1.0 - options.alpha, stats.iterations), 1e-12);
+  EXPECT_LE(stats.final_rsum, options.lambda);
+  // It must not overshoot: one fewer iteration would exceed λ.
+  EXPECT_GT(std::pow(1.0 - options.alpha, stats.iterations - 1),
+            options.lambda);
+}
+
+TEST(PowerIterationTest, MassConservationThroughout) {
+  Graph g = PaperExampleGraph();
+  PowerIterationOptions options;
+  options.lambda = 1e-10;
+  PprEstimate estimate;
+  PowerIteration(g, 1, options, &estimate);
+  EXPECT_NEAR(Sum(estimate.reserve) + Sum(estimate.residue), 1.0, 1e-12);
+}
+
+TEST(PowerIterationTest, ReserveIsUnderestimate) {
+  Graph g = PaperExampleGraph();
+  std::vector<double> exact = ExactPprDense(g, 2, 0.2);
+  PowerIterationOptions options;
+  options.lambda = 1e-4;  // stop early on purpose
+  PprEstimate estimate;
+  PowerIteration(g, 2, options, &estimate);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(estimate.reserve[v], exact[v] + 1e-12);
+  }
+}
+
+TEST(PowerIterationTest, DeadEndMassReturnsToSource) {
+  // Path 0->1->2: node 2 is a dead end whose mass must flow back to the
+  // source, keeping the distribution a probability vector.
+  Graph g = PathGraph(3);
+  PowerIterationOptions options;
+  options.lambda = 1e-12;
+  PprEstimate estimate;
+  PowerIteration(g, 0, options, &estimate);
+  EXPECT_NEAR(Sum(estimate.reserve), 1.0, 1e-10);
+  std::vector<double> exact = ExactPprDense(g, 0, options.alpha);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(estimate.reserve[v], exact[v], 1e-10);
+  }
+}
+
+TEST(PowerIterationTest, SourceSelfProbabilityAtLeastAlpha) {
+  // The walk stops at step 0 with probability α, so π(s,s) ≥ α.
+  for (auto& tc : testing::SmallGraphZoo()) {
+    PowerIterationOptions options;
+    options.lambda = 1e-10;
+    PprEstimate estimate;
+    PowerIteration(tc.graph, 0, options, &estimate);
+    EXPECT_GE(estimate.reserve[0], 0.2 - 1e-12) << tc.name;
+  }
+}
+
+TEST(PowerIterationTest, IterationCountMatchesTheory) {
+  Graph g = CycleGraph(8);
+  PowerIterationOptions options;
+  options.alpha = 0.2;
+  options.lambda = 1e-8;
+  PprEstimate estimate;
+  SolveStats stats = PowerIteration(g, 0, options, &estimate);
+  // Need (0.8)^j <= 1e-8  =>  j = ceil(8 ln 10 / ln 1.25) = 83.
+  EXPECT_EQ(stats.iterations, 83u);
+}
+
+TEST(PowerIterationTest, AlphaControlsLocality) {
+  // Larger alpha stops walks sooner: more mass at the source.
+  Graph g = CycleGraph(64);
+  PprEstimate low;
+  PprEstimate high;
+  PowerIterationOptions options;
+  options.lambda = 1e-10;
+  options.alpha = 0.1;
+  PowerIteration(g, 0, options, &low);
+  options.alpha = 0.5;
+  PowerIteration(g, 0, options, &high);
+  EXPECT_GT(high.reserve[0], low.reserve[0]);
+}
+
+TEST(PowerIterationTest, TraceRecordsMonotoneDecay) {
+  Graph g = testing::SmallGraphZoo()[6].graph;  // er_100
+  ConvergenceTrace trace(/*interval_updates=*/4 * g.num_edges());
+  PowerIterationOptions options;
+  options.lambda = 1e-8;
+  PprEstimate estimate;
+  PowerIteration(g, 0, options, &estimate, &trace);
+  ASSERT_GE(trace.points().size(), 2u);
+  for (size_t i = 1; i < trace.points().size(); ++i) {
+    EXPECT_LE(trace.points()[i].rsum, trace.points()[i - 1].rsum + 1e-15);
+    EXPECT_GE(trace.points()[i].updates, trace.points()[i - 1].updates);
+  }
+  EXPECT_LE(trace.points().back().rsum, options.lambda);
+}
+
+TEST(PowerIterationTest, MaxIterationsCapRespected) {
+  Graph g = CycleGraph(8);
+  PowerIterationOptions options;
+  options.lambda = 1e-300;  // unreachable
+  options.max_iterations = 10;
+  PprEstimate estimate;
+  SolveStats stats = PowerIteration(g, 0, options, &estimate);
+  EXPECT_EQ(stats.iterations, 10u);
+}
+
+TEST(PowerIterationDeathTest, RejectsBadArguments) {
+  Graph g = CycleGraph(4);
+  PprEstimate estimate;
+  PowerIterationOptions options;
+  options.lambda = 0.0;
+  EXPECT_DEATH(PowerIteration(g, 0, options, &estimate), "Check failed");
+  options.lambda = 1e-8;
+  EXPECT_DEATH(PowerIteration(g, 4, options, &estimate), "Check failed");
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,187 @@
+#include "core/power_push.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/power_iteration.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+using testing::ExactPprDense;
+using testing::Sum;
+
+TEST(PowerPushTest, MeetsLambdaGuaranteeOnDeadEndFreeGraphs) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    if (tc.graph.CountDeadEnds() > 0) continue;
+    PowerPushOptions options;
+    options.lambda = 1e-8;
+    PprEstimate estimate;
+    SolveStats stats = PowerPush(tc.graph, 0, options, &estimate);
+    EXPECT_LE(stats.final_rsum, options.lambda) << tc.name;
+  }
+}
+
+TEST(PowerPushTest, RelaxedGuaranteeWithDeadEnds) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    const double dead = tc.graph.CountDeadEnds();
+    if (dead == 0) continue;
+    PowerPushOptions options;
+    options.lambda = 1e-8;
+    PprEstimate estimate;
+    SolveStats stats = PowerPush(tc.graph, 0, options, &estimate);
+    const double m = static_cast<double>(tc.graph.num_edges());
+    EXPECT_LE(stats.final_rsum, options.lambda * (1.0 + dead / m) + 1e-18)
+        << tc.name;
+  }
+}
+
+TEST(PowerPushTest, MatchesDenseExactSolve) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    PowerPushOptions options;
+    options.lambda = 1e-10;
+    PprEstimate estimate;
+    PowerPush(tc.graph, 0, options, &estimate);
+    std::vector<double> exact = ExactPprDense(tc.graph, 0, options.alpha);
+    for (NodeId v = 0; v < tc.graph.num_nodes(); ++v) {
+      ASSERT_NEAR(estimate.reserve[v], exact[v], 1e-8)
+          << tc.name << " v=" << v;
+    }
+  }
+}
+
+TEST(PowerPushTest, AgreesWithPowerIterationWithinTwoLambda) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    const double lambda = 1e-9;
+    PowerPushOptions pp_options;
+    pp_options.lambda = lambda;
+    PprEstimate pp;
+    PowerPush(tc.graph, 0, pp_options, &pp);
+
+    PowerIterationOptions pi_options;
+    pi_options.lambda = lambda;
+    PprEstimate pi;
+    PowerIteration(tc.graph, 0, pi_options, &pi);
+
+    double l1 = 0.0;
+    for (NodeId v = 0; v < tc.graph.num_nodes(); ++v) {
+      l1 += std::abs(pp.reserve[v] - pi.reserve[v]);
+    }
+    EXPECT_LE(l1, 3 * lambda) << tc.name;
+  }
+}
+
+TEST(PowerPushTest, MassConservation) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    PowerPushOptions options;
+    options.lambda = 1e-9;
+    PprEstimate estimate;
+    PowerPush(tc.graph, 2 % tc.graph.num_nodes(), options, &estimate);
+    EXPECT_NEAR(Sum(estimate.reserve) + Sum(estimate.residue), 1.0, 1e-10)
+        << tc.name;
+  }
+}
+
+TEST(PowerPushTest, AblationScanOnlyStillCorrect) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  std::vector<double> exact = ExactPprDense(g, 0, 0.2);
+  PowerPushOptions options;
+  options.lambda = 1e-10;
+  options.use_queue_phase = false;
+  PprEstimate estimate;
+  PowerPush(g, 0, options, &estimate);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NEAR(estimate.reserve[v], exact[v], 1e-8);
+  }
+}
+
+TEST(PowerPushTest, AblationNoEpochsStillCorrect) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  std::vector<double> exact = ExactPprDense(g, 0, 0.2);
+  PowerPushOptions options;
+  options.lambda = 1e-10;
+  options.use_epochs = false;
+  PprEstimate estimate;
+  PowerPush(g, 0, options, &estimate);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NEAR(estimate.reserve[v], exact[v], 1e-8);
+  }
+}
+
+TEST(PowerPushTest, QueueOnlySufficesOnTinyGraphs) {
+  // With a huge scan threshold the queue phase runs to completion and
+  // the scan phase never triggers; result must be unchanged.
+  Graph g = PaperExampleGraph();
+  PowerPushOptions options;
+  options.lambda = 1e-10;
+  options.scan_threshold_fraction = 100.0;
+  PprEstimate estimate;
+  PowerPush(g, 0, options, &estimate);
+  std::vector<double> exact = ExactPprDense(g, 0, options.alpha);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NEAR(estimate.reserve[v], exact[v], 1e-9);
+  }
+}
+
+TEST(PowerPushTest, EpochCountIsConfigurable) {
+  Graph g = testing::SmallGraphZoo()[6].graph;
+  for (int epochs : {1, 2, 8, 16}) {
+    PowerPushOptions options;
+    options.lambda = 1e-9;
+    options.epoch_num = epochs;
+    PprEstimate estimate;
+    SolveStats stats = PowerPush(g, 0, options, &estimate);
+    EXPECT_LE(stats.final_rsum, options.lambda * 1.01) << epochs;
+  }
+}
+
+TEST(PowerPushTest, PaperLambdaIsMinOfTenToMinusEightAndOneOverM) {
+  Graph small = PaperExampleGraph();  // m = 13
+  EXPECT_DOUBLE_EQ(PaperLambda(small), 1e-8);
+  // A graph with more than 1e8 edges would flip to 1/m; emulate by
+  // checking the formula directly on a synthetic value.
+  EXPECT_DOUBLE_EQ(std::min(1e-8, 1.0 / 13.0), PaperLambda(small));
+}
+
+TEST(PowerPushTest, TraceDecaysExponentially) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  ConvergenceTrace trace(2 * g.num_edges());
+  PowerPushOptions options;
+  options.lambda = 1e-10;
+  PprEstimate estimate;
+  PowerPush(g, 0, options, &estimate, &trace);
+  ASSERT_GE(trace.points().size(), 2u);
+  EXPECT_LE(trace.points().back().rsum, options.lambda * 1.01);
+  for (size_t i = 1; i < trace.points().size(); ++i) {
+    EXPECT_LE(trace.points()[i].rsum, trace.points()[i - 1].rsum + 1e-15);
+  }
+}
+
+TEST(PowerPushTest, WorkBoundedByTheorem) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    const double m = static_cast<double>(tc.graph.num_edges());
+    PowerPushOptions options;
+    options.lambda = 1e-8;
+    PprEstimate estimate;
+    SolveStats stats = PowerPush(tc.graph, 0, options, &estimate);
+    const double bound =
+        (m / options.alpha) * std::log(1.0 / options.lambda) + 2 * m;
+    EXPECT_LE(static_cast<double>(stats.edge_pushes), bound) << tc.name;
+  }
+}
+
+TEST(PowerPushDeathTest, RejectsBadArguments) {
+  Graph g = PaperExampleGraph();
+  PprEstimate estimate;
+  PowerPushOptions options;
+  options.lambda = 2.0;
+  EXPECT_DEATH(PowerPush(g, 0, options, &estimate), "Check failed");
+  options.lambda = 1e-8;
+  options.epoch_num = 0;
+  EXPECT_DEATH(PowerPush(g, 0, options, &estimate), "Check failed");
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,190 @@
+// Property sweeps over (graph family × α × error target) for the paper's
+// core invariants (DESIGN.md "Key invariants"). These are the tests that
+// pin the algebra of the algorithms, not just specific examples.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/forward_push.h"
+#include "core/power_iteration.h"
+#include "core/power_push.h"
+#include "core/sim_forward_push.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+using testing::Sum;
+
+enum class Family { kCycle, kPath, kStar, kComplete, kGrid, kEr, kBa, kCl };
+
+std::string FamilyName(Family f) {
+  switch (f) {
+    case Family::kCycle: return "cycle";
+    case Family::kPath: return "path";
+    case Family::kStar: return "star";
+    case Family::kComplete: return "complete";
+    case Family::kGrid: return "grid";
+    case Family::kEr: return "er";
+    case Family::kBa: return "ba";
+    case Family::kCl: return "chunglu";
+  }
+  return "?";
+}
+
+Graph MakeFamily(Family f) {
+  Rng rng(999);
+  switch (f) {
+    case Family::kCycle: return CycleGraph(40);
+    case Family::kPath: return PathGraph(40);
+    case Family::kStar: return StarGraph(40);
+    case Family::kComplete: return CompleteGraph(15);
+    case Family::kGrid: return GridGraph(6, 7);
+    case Family::kEr: return ErdosRenyi(120, 4.0, rng);
+    case Family::kBa: return BarabasiAlbert(120, 3, rng);
+    case Family::kCl: return ChungLuPowerLaw(150, 6.0, 2.5, rng);
+  }
+  __builtin_unreachable();
+}
+
+using Param = std::tuple<Family, double, double>;  // family, alpha, lambda
+
+class HighPrecisionProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  Graph graph_ = MakeFamily(std::get<0>(GetParam()));
+  double alpha_ = std::get<1>(GetParam());
+  double lambda_ = std::get<2>(GetParam());
+};
+
+TEST_P(HighPrecisionProperty, PowerIterationMassConservation) {
+  PowerIterationOptions options;
+  options.alpha = alpha_;
+  options.lambda = lambda_;
+  PprEstimate estimate;
+  PowerIteration(graph_, 0, options, &estimate);
+  EXPECT_NEAR(Sum(estimate.reserve) + Sum(estimate.residue), 1.0, 1e-10);
+}
+
+TEST_P(HighPrecisionProperty, PowerIterationGeometricDecay) {
+  PowerIterationOptions options;
+  options.alpha = alpha_;
+  options.lambda = lambda_;
+  PprEstimate estimate;
+  SolveStats stats = PowerIteration(graph_, 0, options, &estimate);
+  EXPECT_NEAR(stats.final_rsum,
+              std::pow(1.0 - alpha_, stats.iterations), 1e-12);
+}
+
+TEST_P(HighPrecisionProperty, ForwardPushTerminationThreshold) {
+  ForwardPushOptions options;
+  options.alpha = alpha_;
+  options.rmax = lambda_ / static_cast<double>(graph_.num_edges());
+  PprEstimate estimate;
+  FifoForwardPush(graph_, 0, options, &estimate);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    ASSERT_LE(
+        estimate.residue[v],
+        static_cast<double>(EffectiveDegree(graph_, v)) * options.rmax +
+            1e-18);
+  }
+  EXPECT_NEAR(Sum(estimate.reserve) + Sum(estimate.residue), 1.0, 1e-10);
+}
+
+TEST_P(HighPrecisionProperty, ForwardPushUnderestimatesTruth) {
+  std::vector<double> exact = testing::ExactPprDense(graph_, 0, alpha_);
+  ForwardPushOptions options;
+  options.alpha = alpha_;
+  options.rmax = lambda_ / static_cast<double>(graph_.num_edges());
+  PprEstimate estimate;
+  FifoForwardPush(graph_, 0, options, &estimate);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    ASSERT_LE(estimate.reserve[v], exact[v] + 1e-11);
+  }
+}
+
+TEST_P(HighPrecisionProperty, PowerPushMeetsErrorTarget) {
+  PowerPushOptions options;
+  options.alpha = alpha_;
+  options.lambda = lambda_;
+  PprEstimate estimate;
+  PowerPush(graph_, 0, options, &estimate);
+  std::vector<double> exact = testing::ExactPprDense(graph_, 0, alpha_);
+  double l1 = 0.0;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    l1 += std::fabs(estimate.reserve[v] - exact[v]);
+  }
+  const double dead = graph_.CountDeadEnds();
+  const double m = static_cast<double>(graph_.num_edges());
+  EXPECT_LE(l1, lambda_ * (1.0 + dead / m) + 1e-12);
+}
+
+TEST_P(HighPrecisionProperty, SimEqualsPowerIterationExactly) {
+  PowerIterationOptions options;
+  options.alpha = alpha_;
+  options.lambda = lambda_;
+  PprEstimate pi;
+  PowerIteration(graph_, 0, options, &pi);
+  PprEstimate sim;
+  SimForwardPush(graph_, 0, alpha_, lambda_, &sim);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    ASSERT_EQ(pi.reserve[v], sim.reserve[v]);
+    ASSERT_EQ(pi.residue[v], sim.residue[v]);
+  }
+}
+
+TEST_P(HighPrecisionProperty, AllFourSolversAgree) {
+  const double lambda = lambda_;
+  std::vector<std::vector<double>> results;
+
+  PowerIterationOptions pi_options;
+  pi_options.alpha = alpha_;
+  pi_options.lambda = lambda;
+  PprEstimate pi;
+  PowerIteration(graph_, 0, pi_options, &pi);
+  results.push_back(pi.reserve);
+
+  ForwardPushOptions fp_options;
+  fp_options.alpha = alpha_;
+  fp_options.rmax = lambda / static_cast<double>(graph_.num_edges());
+  PprEstimate fp;
+  FifoForwardPush(graph_, 0, fp_options, &fp);
+  results.push_back(fp.reserve);
+
+  PowerPushOptions pp_options;
+  pp_options.alpha = alpha_;
+  pp_options.lambda = lambda;
+  PprEstimate pp;
+  PowerPush(graph_, 0, pp_options, &pp);
+  results.push_back(pp.reserve);
+
+  for (size_t i = 1; i < results.size(); ++i) {
+    double l1 = 0.0;
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      l1 += std::fabs(results[i][v] - results[0][v]);
+    }
+    EXPECT_LE(l1, 3.0 * lambda) << "solver " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HighPrecisionProperty,
+    ::testing::Combine(
+        ::testing::Values(Family::kCycle, Family::kPath, Family::kStar,
+                          Family::kComplete, Family::kGrid, Family::kEr,
+                          Family::kBa, Family::kCl),
+        ::testing::Values(0.1, 0.2, 0.5),
+        ::testing::Values(1e-4, 1e-8)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s_a%02d_l%d",
+                    FamilyName(std::get<0>(info.param)).c_str(),
+                    static_cast<int>(std::get<1>(info.param) * 100),
+                    static_cast<int>(-std::log10(std::get<2>(info.param))));
+      return std::string(buf);
+    });
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,60 @@
+#include "eval/query_gen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+TEST(QueryGenTest, ProducesDistinctInRangeSources) {
+  Graph g = CycleGraph(100);
+  auto sources = SampleQuerySources(g, 30, /*seed=*/7);
+  ASSERT_EQ(sources.size(), 30u);
+  std::vector<NodeId> sorted = sources;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (NodeId s : sources) EXPECT_LT(s, 100u);
+}
+
+TEST(QueryGenTest, DeterministicGivenSeed) {
+  Graph g = CycleGraph(1000);
+  EXPECT_EQ(SampleQuerySources(g, 10, 3), SampleQuerySources(g, 10, 3));
+  EXPECT_NE(SampleQuerySources(g, 10, 3), SampleQuerySources(g, 10, 4));
+}
+
+TEST(QueryGenTest, ClampsToNodeCount) {
+  Graph g = CycleGraph(5);
+  auto sources = SampleQuerySources(g, 30, 1);
+  EXPECT_EQ(sources.size(), 5u);
+}
+
+TEST(ExperimentHelpersTest, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0}), 4.0);  // upper median
+}
+
+TEST(ExperimentHelpersTest, TimePerQueryRunsEachSource) {
+  std::vector<NodeId> sources = {1, 2, 3};
+  int calls = 0;
+  auto seconds = TimePerQuery(sources, [&](NodeId) { calls++; });
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(seconds.size(), 3u);
+  for (double s : seconds) EXPECT_GE(s, 0.0);
+}
+
+TEST(ExperimentHelpersTest, BenchQueryCountEnvOverride) {
+  ASSERT_EQ(setenv("PPR_BENCH_QUERIES", "2", 1), 0);
+  EXPECT_EQ(BenchQueryCount(30), 2u);
+  ASSERT_EQ(unsetenv("PPR_BENCH_QUERIES"), 0);
+  EXPECT_EQ(BenchQueryCount(30), 30u);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,76 @@
+#include "approx/resacc.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(ResAccTest, EstimateSumsToApproximatelyOne) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  Rng rng(1);
+  std::vector<double> estimate;
+  ResAcc(g, 0, options, rng, &estimate);
+  EXPECT_NEAR(testing::Sum(estimate), 1.0, 1e-6);
+}
+
+TEST(ResAccTest, CloseToExactOnL1) {
+  // ResAcc's renormalization is a mild approximation; verify the overall
+  // quality is in the same band as FORA's.
+  for (auto& tc : testing::SmallGraphZoo()) {
+    std::vector<double> exact = testing::ExactPprDense(tc.graph, 0, 0.2);
+    ApproxOptions options;
+    options.epsilon = 0.3;
+    Rng rng(13);
+    std::vector<double> estimate;
+    ResAcc(tc.graph, 0, options, rng, &estimate);
+    EXPECT_LT(L1Distance(estimate, exact), 0.15) << tc.name;
+  }
+}
+
+TEST(ResAccTest, AccumulatesInsteadOfRepushingSource) {
+  // On a cycle, all residue funnels through the source; ResAcc should
+  // perform far fewer source pushes than plain FwdPush would.
+  Graph g = CycleGraph(40);
+  ApproxOptions options;
+  options.epsilon = 0.2;
+  Rng rng(2);
+  std::vector<double> estimate;
+  SolveStats stats = ResAcc(g, 0, options, rng, &estimate);
+  // Each non-source node is pushed at most once per "lap", and the source
+  // exactly once: push count is bounded by n (one lap) here because the
+  // source is never re-pushed.
+  EXPECT_LE(stats.push_operations, g.num_nodes());
+  EXPECT_NEAR(testing::Sum(estimate), 1.0, 1e-9);
+}
+
+TEST(ResAccTest, HandlesDeadEnds) {
+  Graph g = PathGraph(6);
+  ApproxOptions options;
+  options.epsilon = 0.3;
+  Rng rng(3);
+  std::vector<double> estimate;
+  ResAcc(g, 0, options, rng, &estimate);
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  EXPECT_LT(L1Distance(estimate, exact), 0.1);
+}
+
+TEST(ResAccTest, DeterministicGivenSeed) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  ApproxOptions options;
+  options.epsilon = 0.4;
+  Rng a(9);
+  Rng b(9);
+  std::vector<double> ea;
+  std::vector<double> eb;
+  ResAcc(g, 0, options, a, &ea);
+  ResAcc(g, 0, options, b, &eb);
+  EXPECT_EQ(ea, eb);
+}
+
+}  // namespace
+}  // namespace ppr

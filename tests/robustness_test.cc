@@ -1,0 +1,124 @@
+// Fuzz-style robustness tests: random and adversarial inputs must never
+// crash library entry points — they either succeed or return a Status.
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/power_push.h"
+#include "graph/edge_list_io.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ppr {
+namespace {
+
+TEST(RobustnessTest, EdgeListReaderSurvivesRandomBytes) {
+  Rng rng(1);
+  const std::string path = ::testing::TempDir() + "/fuzz_input.txt";
+  for (int trial = 0; trial < 50; ++trial) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      const size_t len = rng.NextBounded(512);
+      for (size_t i = 0; i < len; ++i) {
+        // Bias toward printable bytes and digits so some inputs get deep
+        // into the parser.
+        char c;
+        const uint64_t pick = rng.NextBounded(10);
+        if (pick < 4) {
+          c = static_cast<char>('0' + rng.NextBounded(10));
+        } else if (pick < 7) {
+          c = static_cast<char>(rng.NextBounded(2) ? ' ' : '\n');
+        } else {
+          c = static_cast<char>(rng.NextBounded(256));
+        }
+        out.put(c);
+      }
+    }
+    auto result = ReadEdgeListText(path);
+    // Must terminate with either a value or a clean error; any crash
+    // fails the test by killing the process.
+    if (!result.ok()) {
+      EXPECT_NE(result.status().code(), StatusCode::kOk);
+    }
+  }
+}
+
+TEST(RobustnessTest, GraphBinaryReaderSurvivesRandomBytes) {
+  Rng rng(2);
+  const std::string path = ::testing::TempDir() + "/fuzz_graph.bin";
+  for (int trial = 0; trial < 50; ++trial) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      const size_t len = rng.NextBounded(256);
+      for (size_t i = 0; i < len; ++i) {
+        out.put(static_cast<char>(rng.NextBounded(256)));
+      }
+    }
+    auto result = ReadGraphBinary(path);
+    EXPECT_FALSE(result.ok());  // random bytes can't be a valid graph
+  }
+}
+
+TEST(RobustnessTest, GraphBinaryReaderRejectsHostileHeader) {
+  // A valid magic followed by absurd counts must fail cleanly (not OOM):
+  // the reader's reads hit EOF before any giant allocation is usable.
+  const std::string path = ::testing::TempDir() + "/hostile_graph.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const uint64_t magic = 0x5050523147524248ULL;
+    const uint64_t n = 100;  // plausible n, truncated body
+    const uint64_t m = 50;
+    out.write(reinterpret_cast<const char*>(&magic), 8);
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&m), 8);
+    // No CSR arrays at all.
+  }
+  auto result = ReadGraphBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RobustnessTest, BuilderHandlesRandomEdgeSoup) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    GraphBuilder builder;
+    const size_t edges = rng.NextBounded(500);
+    const NodeId universe = static_cast<NodeId>(1 + rng.NextBounded(64));
+    for (size_t i = 0; i < edges; ++i) {
+      builder.AddEdge(static_cast<NodeId>(rng.NextBounded(universe)),
+                      static_cast<NodeId>(rng.NextBounded(universe)));
+    }
+    Graph g = builder.Build();
+    // Whatever came out must satisfy CSR invariants (constructor CHECKs)
+    // and be consumable by a solver without issue.
+    if (g.num_nodes() > 0) {
+      PowerPushOptions options;
+      options.lambda = 1e-4;
+      PprEstimate estimate;
+      PowerPush(g, 0, options, &estimate);
+      EXPECT_NEAR(estimate.ReserveSum() + estimate.ResidueSum(), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(RobustnessTest, SolversSurviveEverySourceOfATinyGraph) {
+  // Exhaustive source sweep catches boundary ids (0, n-1, dead ends).
+  Graph g = PathGraph(7);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    PowerPushOptions options;
+    options.lambda = 1e-8;
+    PprEstimate estimate;
+    PowerPush(g, s, options, &estimate);
+    std::vector<double> exact = testing::ExactPprDense(g, s, options.alpha);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_NEAR(estimate.reserve[v], exact[v], 1e-6)
+          << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppr

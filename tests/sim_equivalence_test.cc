@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/power_iteration.h"
+#include "core/sim_forward_push.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+using testing::Sum;
+
+// Lemma 4.1: SimFwdPush's residue vector r⁽ʲ⁾ and reserve vector π̂⁽ʲ⁾
+// equal PowItr's γ⁽ʲ⁾ and π̂⁽ʲ⁾ in every iteration. Our implementations
+// perform floating-point operations in the same order, so the equality is
+// *exact*, not just within tolerance.
+TEST(SimEquivalenceTest, ExactlyEqualToPowerIterationAcrossGraphZoo) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    for (double lambda : {0.5, 1e-2, 1e-6, 1e-10}) {
+      PowerIterationOptions options;
+      options.lambda = lambda;
+      PprEstimate pi;
+      SolveStats pi_stats = PowerIteration(tc.graph, 0, options, &pi);
+
+      PprEstimate sim;
+      SolveStats sim_stats =
+          SimForwardPush(tc.graph, 0, options.alpha, lambda, &sim);
+
+      ASSERT_EQ(pi_stats.iterations, sim_stats.iterations)
+          << tc.name << " lambda=" << lambda;
+      for (NodeId v = 0; v < tc.graph.num_nodes(); ++v) {
+        ASSERT_EQ(pi.reserve[v], sim.reserve[v])
+            << tc.name << " reserve differs at v=" << v;
+        ASSERT_EQ(pi.residue[v], sim.residue[v])
+            << tc.name << " residue differs at v=" << v;
+      }
+    }
+  }
+}
+
+TEST(SimEquivalenceTest, SameWorkCounters) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    PowerIterationOptions options;
+    options.lambda = 1e-8;
+    PprEstimate pi;
+    SolveStats a = PowerIteration(tc.graph, 0, options, &pi);
+    PprEstimate sim;
+    SolveStats b = SimForwardPush(tc.graph, 0, options.alpha, 1e-8, &sim);
+    EXPECT_EQ(a.push_operations, b.push_operations) << tc.name;
+    EXPECT_EQ(a.edge_pushes, b.edge_pushes) << tc.name;
+  }
+}
+
+TEST(SimForwardPushTest, FigureThreeIterationOne) {
+  // Figure 3: after iteration 1 on the example graph (s=v1, α=0.2),
+  // r = (0, 0.4, 0.4, 0, 0) and π̂(v1) = 0.2.
+  Graph g = PaperExampleGraph();
+  PprEstimate estimate;
+  // λ=0.9 stops after exactly one iteration (rsum: 1 -> 0.8).
+  SolveStats stats = SimForwardPush(g, 0, 0.2, 0.9, &estimate);
+  ASSERT_EQ(stats.iterations, 1u);
+  EXPECT_DOUBLE_EQ(estimate.residue[0], 0.0);
+  EXPECT_DOUBLE_EQ(estimate.residue[1], 0.4);
+  EXPECT_DOUBLE_EQ(estimate.residue[2], 0.4);
+  EXPECT_DOUBLE_EQ(estimate.residue[3], 0.0);
+  EXPECT_DOUBLE_EQ(estimate.residue[4], 0.0);
+  EXPECT_DOUBLE_EQ(estimate.reserve[0], 0.2);
+}
+
+TEST(SimForwardPushTest, FigureThreeIterationTwo) {
+  // Figure 3: after iteration 2,
+  // r = (0.08, 0.16, 0.08, 0.24, 0.08).
+  Graph g = PaperExampleGraph();
+  PprEstimate estimate;
+  // λ=0.7 stops after exactly two iterations (rsum: 1 -> 0.8 -> 0.64).
+  SolveStats stats = SimForwardPush(g, 0, 0.2, 0.7, &estimate);
+  ASSERT_EQ(stats.iterations, 2u);
+  EXPECT_NEAR(estimate.residue[0], 0.08, 1e-15);
+  EXPECT_NEAR(estimate.residue[1], 0.16, 1e-15);
+  EXPECT_NEAR(estimate.residue[2], 0.08, 1e-15);
+  EXPECT_NEAR(estimate.residue[3], 0.24, 1e-15);
+  EXPECT_NEAR(estimate.residue[4], 0.08, 1e-15);
+  // Reserves after two iterations: π̂(v1)=0.2, π̂(v2)=π̂(v3)=0.08.
+  EXPECT_NEAR(estimate.reserve[0], 0.2, 1e-15);
+  EXPECT_NEAR(estimate.reserve[1], 0.08, 1e-15);
+  EXPECT_NEAR(estimate.reserve[2], 0.08, 1e-15);
+}
+
+TEST(SimForwardPushTest, ResidueSumMatchesGeometricDecay) {
+  Graph g = PaperExampleGraph();
+  PprEstimate estimate;
+  SolveStats stats = SimForwardPush(g, 0, 0.2, 1e-6, &estimate);
+  EXPECT_NEAR(stats.final_rsum, std::pow(0.8, stats.iterations), 1e-12);
+}
+
+TEST(SimForwardPushTest, MassConservation) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  PprEstimate estimate;
+  SimForwardPush(g, 3, 0.2, 1e-9, &estimate);
+  EXPECT_NEAR(Sum(estimate.reserve) + Sum(estimate.residue), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppr

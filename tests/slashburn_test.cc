@@ -1,0 +1,114 @@
+#include "bepi/slashburn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+void CheckPermutationConsistency(const SlashBurnResult& r, NodeId n) {
+  ASSERT_EQ(r.perm.size(), n);
+  ASSERT_EQ(r.inverse.size(), n);
+  std::vector<NodeId> sorted = r.perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId i = 0; i < n; ++i) ASSERT_EQ(sorted[i], i) << "not a permutation";
+  for (NodeId v = 0; v < n; ++v) ASSERT_EQ(r.inverse[r.perm[v]], v);
+}
+
+void CheckBlocksPartitionSpokes(const SlashBurnResult& r) {
+  NodeId cursor = 0;
+  for (auto [begin, end] : r.blocks) {
+    ASSERT_EQ(begin, cursor) << "blocks must tile [0, num_spokes)";
+    ASSERT_LT(begin, end);
+    cursor = end;
+  }
+  ASSERT_EQ(cursor, r.num_spokes);
+}
+
+void CheckNoCrossBlockSpokeEdges(const Graph& g, const SlashBurnResult& r) {
+  // Assign each spoke position to its block index.
+  std::vector<int> block_of(r.num_spokes, -1);
+  for (size_t b = 0; b < r.blocks.size(); ++b) {
+    for (NodeId p = r.blocks[b].first; p < r.blocks[b].second; ++p) {
+      block_of[p] = static_cast<int>(b);
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId pu = r.perm[u];
+    if (pu >= r.num_spokes) continue;
+    for (NodeId v : g.OutNeighbors(u)) {
+      const NodeId pv = r.perm[v];
+      if (pv >= r.num_spokes) continue;
+      ASSERT_EQ(block_of[pu], block_of[pv])
+          << "edge between different spoke blocks: " << u << "->" << v;
+    }
+  }
+}
+
+TEST(SlashBurnTest, InvariantsAcrossGraphZoo) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    tc.graph.BuildInAdjacency();
+    SlashBurnOptions options;
+    options.max_block = 16;
+    SlashBurnResult r = SlashBurn(tc.graph, options);
+    CheckPermutationConsistency(r, tc.graph.num_nodes());
+    CheckBlocksPartitionSpokes(r);
+    CheckNoCrossBlockSpokeEdges(tc.graph, r);
+  }
+}
+
+TEST(SlashBurnTest, StarGraphHubIsCenter) {
+  Graph g = StarGraph(50);
+  g.BuildInAdjacency();
+  SlashBurnOptions options;
+  options.hubs_per_round = 1;
+  options.max_block = 4;
+  SlashBurnResult r = SlashBurn(g, options);
+  // Removing the center shatters the star into 49 singleton spokes.
+  EXPECT_EQ(r.perm[0], g.num_nodes() - 1) << "center should be the hub";
+  EXPECT_EQ(r.num_spokes, 49u);
+  EXPECT_EQ(r.blocks.size(), 49u);
+}
+
+TEST(SlashBurnTest, TinyGraphBecomesSingleBlock) {
+  Graph g = CycleGraph(8);
+  g.BuildInAdjacency();
+  SlashBurnOptions options;
+  options.max_block = 16;  // whole graph fits
+  SlashBurnResult r = SlashBurn(g, options);
+  EXPECT_EQ(r.num_spokes, 8u);
+  ASSERT_EQ(r.blocks.size(), 1u);
+  EXPECT_EQ(r.levels, 0);
+}
+
+TEST(SlashBurnTest, MaxBlockIsRespected) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    tc.graph.BuildInAdjacency();
+    SlashBurnOptions options;
+    options.max_block = 8;
+    SlashBurnResult r = SlashBurn(tc.graph, options);
+    for (auto [begin, end] : r.blocks) {
+      ASSERT_LE(end - begin, options.max_block);
+    }
+  }
+}
+
+TEST(SlashBurnTest, HeavyTailGraphShattersQuickly) {
+  Rng rng(5);
+  Graph g = ChungLuPowerLaw(3000, 8.0, 2.3, rng);
+  g.BuildInAdjacency();
+  SlashBurnOptions options;
+  options.max_block = 64;
+  SlashBurnResult r = SlashBurn(g, options);
+  // A power-law graph should yield a meaningful spoke fraction with few
+  // rounds — the premise of BePI's efficiency.
+  EXPECT_GT(r.num_spokes, g.num_nodes() / 20);
+  EXPECT_LT(r.levels, 100);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,140 @@
+#include "bepi/sparse_matrix.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ppr {
+namespace {
+
+TEST(CsrMatrixTest, FromTripletsSortsAndStores) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{1, 2, 5.0}, {0, 1, 2.0}, {0, 0, 1.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 3u);
+  auto cols0 = m.RowCols(0);
+  ASSERT_EQ(cols0.size(), 2u);
+  EXPECT_EQ(cols0[0], 0u);
+  EXPECT_EQ(cols0[1], 1u);
+  EXPECT_DOUBLE_EQ(m.RowValues(0)[1], 2.0);
+}
+
+TEST(CsrMatrixTest, DuplicateTripletsAreSummed) {
+  CsrMatrix m = CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.RowValues(0)[0], 4.0);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  Rng rng(3);
+  constexpr uint32_t kN = 20;
+  std::vector<std::vector<double>> dense(kN, std::vector<double>(kN, 0.0));
+  std::vector<Triplet> triplets;
+  for (int k = 0; k < 100; ++k) {
+    uint32_t r = static_cast<uint32_t>(rng.NextBounded(kN));
+    uint32_t c = static_cast<uint32_t>(rng.NextBounded(kN));
+    double v = rng.NextDouble() - 0.5;
+    dense[r][c] += v;
+    triplets.push_back({r, c, v});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(kN, kN, triplets);
+  std::vector<double> x(kN);
+  for (auto& xi : x) xi = rng.NextDouble();
+  std::vector<double> y(kN, 0.0);
+  m.Multiply(x, y);
+  for (uint32_t r = 0; r < kN; ++r) {
+    double expected = 0.0;
+    for (uint32_t c = 0; c < kN; ++c) expected += dense[r][c] * x[c];
+    EXPECT_NEAR(y[r], expected, 1e-12);
+  }
+}
+
+TEST(CsrMatrixTest, MultiplySubtractComposes) {
+  CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 0, 2.0}, {1, 1, 3.0}});
+  std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {10.0, 10.0};
+  m.MultiplySubtract(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(CsrMatrixTest, EmptyMatrixMultiply) {
+  CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {});
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {9, 9, 9};
+  m.Multiply(x, y);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CsrMatrixTest, SizeBytesIsPositive) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0}});
+  EXPECT_GT(m.SizeBytes(), 0u);
+}
+
+TEST(DenseLuTest, SolvesIdentity) {
+  std::vector<double> a = {1, 0, 0, 1};
+  DenseLu lu = DenseLu::Factorize(a, 2);
+  std::vector<double> b = {3.0, 4.0};
+  lu.Solve(b);
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(b[1], 4.0);
+}
+
+TEST(DenseLuTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10]  =>  x = (1, 3).
+  std::vector<double> a = {2, 1, 1, 3};
+  DenseLu lu = DenseLu::Factorize(a, 2);
+  std::vector<double> b = {5.0, 10.0};
+  lu.Solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(DenseLuTest, PivotingHandlesZeroLeadingEntry) {
+  // [0 1; 1 0] needs a row swap.
+  std::vector<double> a = {0, 1, 1, 0};
+  DenseLu lu = DenseLu::Factorize(a, 2);
+  std::vector<double> b = {7.0, 8.0};
+  lu.Solve(b);
+  EXPECT_NEAR(b[0], 8.0, 1e-12);
+  EXPECT_NEAR(b[1], 7.0, 1e-12);
+}
+
+TEST(DenseLuTest, RandomDiagonallyDominantSystems) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextBounded(30));
+    std::vector<double> a(static_cast<size_t>(n) * n);
+    for (auto& v : a) v = rng.NextDouble() - 0.5;
+    for (uint32_t i = 0; i < n; ++i) {
+      a[static_cast<size_t>(i) * n + i] += n;  // make dominant
+    }
+    std::vector<double> a_copy = a;
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.NextDouble() * 2 - 1;
+    std::vector<double> b(n, 0.0);
+    for (uint32_t r = 0; r < n; ++r) {
+      for (uint32_t c = 0; c < n; ++c) {
+        b[r] += a_copy[static_cast<size_t>(r) * n + c] * x_true[c];
+      }
+    }
+    DenseLu lu = DenseLu::Factorize(std::move(a), n);
+    lu.Solve(b);
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(b[i], x_true[i], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(DenseLuDeathTest, SingularMatrixAborts) {
+  std::vector<double> a = {1, 1, 1, 1};
+  EXPECT_DEATH(DenseLu::Factorize(a, 2), "singular");
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,138 @@
+#include "approx/speedppr.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(SpeedPprTest, EstimateSumsToApproximatelyOne) {
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  Rng rng(1);
+  std::vector<double> estimate;
+  SpeedPpr(g, 0, options, rng, &estimate);
+  EXPECT_NEAR(testing::Sum(estimate), 1.0, 1e-6);
+}
+
+TEST(SpeedPprTest, SatisfiesRelativeErrorGuaranteeAcrossZoo) {
+  for (auto& tc : testing::SmallGraphZoo()) {
+    std::vector<double> exact = testing::ExactPprDense(tc.graph, 0, 0.2);
+    ApproxOptions options;
+    options.epsilon = 0.5;
+    Rng rng(23);
+    std::vector<double> estimate;
+    SpeedPpr(tc.graph, 0, options, rng, &estimate);
+    const double mu = options.ResolvedMu(tc.graph.num_nodes());
+    EXPECT_LE(MaxRelativeError(estimate, exact, mu), options.epsilon)
+        << tc.name;
+  }
+}
+
+TEST(SpeedPprTest, WalkCountAtMostM) {
+  // §6.2: the refinement guarantees W_v <= d_v, so at most m (+dead ends)
+  // walks in total — the key to the ε-independent index.
+  for (auto& tc : testing::SmallGraphZoo()) {
+    for (double eps : {0.5, 0.2, 0.1}) {
+      ApproxOptions options;
+      options.epsilon = eps;
+      Rng rng(3);
+      std::vector<double> estimate;
+      SolveStats stats = SpeedPpr(tc.graph, 0, options, rng, &estimate);
+      EXPECT_LE(stats.random_walks,
+                tc.graph.num_edges() + tc.graph.CountDeadEnds())
+          << tc.name << " eps=" << eps;
+    }
+  }
+}
+
+TEST(SpeedPprTest, IndexedVariantMeetsGuaranteeForEveryEpsilon) {
+  // One index, many ε — the paper's headline index property.
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  Rng index_rng(4);
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, index_rng);
+  for (double eps : {0.5, 0.3, 0.1}) {
+    ApproxOptions options;
+    options.epsilon = eps;
+    Rng rng(5);
+    std::vector<double> estimate;
+    SolveStats stats = SpeedPpr(g, 0, options, rng, &estimate, &index);
+    EXPECT_LE(MaxRelativeError(estimate, exact,
+                               options.ResolvedMu(g.num_nodes())),
+              eps)
+        << "eps=" << eps;
+    EXPECT_EQ(stats.walk_steps, 0u)
+        << "SpeedPPR index must fully cover every epsilon";
+  }
+}
+
+TEST(SpeedPprTest, UnbiasedOverSeeds) {
+  Graph g = PaperExampleGraph();
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  options.mu = 0.05;
+  std::vector<double> mean(g.num_nodes(), 0.0);
+  constexpr int kRuns = 30;
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng(run * 104729 + 7);
+    std::vector<double> estimate;
+    SpeedPpr(g, 0, options, rng, &estimate);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      mean[v] += estimate[v] / kRuns;
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(mean[v], exact[v], 0.02) << "v=" << v;
+  }
+}
+
+TEST(SpeedPprTest, FallsBackToMonteCarloWhenWAtMostM) {
+  // With a large μ the Chernoff W drops below m and SpeedPPR should run
+  // plain MC (the paper's §6.1 remark): recognizable because it performs
+  // zero pushes.
+  Graph g = CompleteGraph(60);  // m = 3540
+  ApproxOptions options;
+  options.epsilon = 0.5;
+  options.mu = 0.5;  // W ~ 2*2.33*log(60)/(0.25*0.5) ~ 153 < m
+  Rng rng(6);
+  std::vector<double> estimate;
+  SolveStats stats = SpeedPpr(g, 0, options, rng, &estimate);
+  EXPECT_EQ(stats.push_operations, 0u);
+  EXPECT_GT(stats.random_walks, 0u);
+  EXPECT_NEAR(testing::Sum(estimate), 1.0, 1e-9);
+}
+
+TEST(SpeedPprTest, MoreAccurateThanEpsilonSuggestsOnL1) {
+  // The deterministic PowerPush phase resolves most of the mass; the
+  // total ℓ1 error should be far below the per-node ε guarantee.
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  ApproxOptions options;
+  options.epsilon = 0.2;
+  Rng rng(8);
+  std::vector<double> estimate;
+  SpeedPpr(g, 0, options, rng, &estimate);
+  EXPECT_LT(L1Distance(estimate, exact), 0.05);
+}
+
+TEST(SpeedPprTest, DeterministicGivenSeed) {
+  Graph g = testing::SmallGraphZoo()[6].graph;
+  ApproxOptions options;
+  options.epsilon = 0.3;
+  Rng a(42);
+  Rng b(42);
+  std::vector<double> ea;
+  std::vector<double> eb;
+  SpeedPpr(g, 0, options, a, &ea);
+  SpeedPpr(g, 0, options, b, &eb);
+  EXPECT_EQ(ea, eb);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,119 @@
+#include "util/d_heap.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ppr {
+namespace {
+
+TEST(DHeapTest, StartsEmpty) {
+  DHeap h(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.Contains(3));
+}
+
+TEST(DHeapTest, InsertAndTop) {
+  DHeap h(10);
+  h.Update(3, 1.0);
+  h.Update(5, 3.0);
+  h.Update(7, 2.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.Top(), 5u);
+  EXPECT_DOUBLE_EQ(h.TopPriority(), 3.0);
+}
+
+TEST(DHeapTest, PopsInPriorityOrder) {
+  DHeap h(16);
+  const std::vector<double> priorities = {0.5, 9.1, 3.3, 7.7, 1.2, 8.8};
+  for (uint32_t k = 0; k < priorities.size(); ++k) h.Update(k, priorities[k]);
+  std::vector<double> popped;
+  while (!h.empty()) {
+    popped.push_back(h.TopPriority());
+    h.PopTop();
+  }
+  std::vector<double> sorted = priorities;
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_EQ(popped, sorted);
+}
+
+TEST(DHeapTest, IncreaseKeyMovesUp) {
+  DHeap h(8);
+  h.Update(0, 1.0);
+  h.Update(1, 2.0);
+  h.Update(2, 3.0);
+  h.Update(0, 10.0);
+  EXPECT_EQ(h.Top(), 0u);
+  EXPECT_DOUBLE_EQ(h.PriorityOf(0), 10.0);
+}
+
+TEST(DHeapTest, DecreaseKeyMovesDown) {
+  DHeap h(8);
+  h.Update(0, 10.0);
+  h.Update(1, 2.0);
+  h.Update(2, 3.0);
+  h.Update(0, 0.5);
+  EXPECT_EQ(h.Top(), 2u);
+  EXPECT_TRUE(h.Contains(0));
+  EXPECT_DOUBLE_EQ(h.PriorityOf(0), 0.5);
+}
+
+TEST(DHeapTest, RemoveArbitraryKey) {
+  DHeap h(8);
+  for (uint32_t k = 0; k < 6; ++k) h.Update(k, k * 1.0);
+  h.Remove(3);
+  EXPECT_FALSE(h.Contains(3));
+  EXPECT_EQ(h.size(), 5u);
+  h.Remove(3);  // idempotent
+  EXPECT_EQ(h.size(), 5u);
+  // Remaining keys still pop in order.
+  std::vector<uint32_t> popped;
+  while (!h.empty()) popped.push_back(h.PopTop());
+  EXPECT_EQ(popped, (std::vector<uint32_t>{5, 4, 2, 1, 0}));
+}
+
+TEST(DHeapTest, ReinsertAfterPop) {
+  DHeap h(4);
+  h.Update(1, 5.0);
+  EXPECT_EQ(h.PopTop(), 1u);
+  EXPECT_FALSE(h.Contains(1));
+  h.Update(1, 7.0);
+  EXPECT_TRUE(h.Contains(1));
+  EXPECT_DOUBLE_EQ(h.TopPriority(), 7.0);
+}
+
+TEST(DHeapTest, RandomizedAgainstStdPriorityQueue) {
+  Rng rng(99);
+  constexpr uint32_t kUniverse = 200;
+  DHeap h(kUniverse);
+  std::vector<double> current(kUniverse, -1.0);  // -1 = absent
+  for (int op = 0; op < 20000; ++op) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBounded(kUniverse));
+    const double action = rng.NextDouble();
+    if (action < 0.6) {
+      const double priority = rng.NextDouble();
+      h.Update(key, priority);
+      current[key] = priority;
+    } else if (action < 0.8) {
+      h.Remove(key);
+      current[key] = -1.0;
+    } else if (!h.empty()) {
+      const uint32_t top = h.PopTop();
+      // Verify the popped key had the maximum live priority.
+      const double expected =
+          *std::max_element(current.begin(), current.end());
+      ASSERT_DOUBLE_EQ(current[top], expected);
+      current[top] = -1.0;
+    }
+    // Membership bookkeeping stays consistent.
+    ASSERT_EQ(h.Contains(key), current[key] >= 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ppr

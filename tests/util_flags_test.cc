@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+char** MakeArgv(std::vector<std::string>& storage) {
+  static std::vector<char*> pointers;
+  pointers.clear();
+  for (auto& s : storage) pointers.push_back(s.data());
+  return pointers.data();
+}
+
+TEST(FlagParserTest, ParsesAllKinds) {
+  std::string name;
+  double ratio = 0.0;
+  uint64_t count = 0;
+  bool verbose = false;
+  FlagParser parser;
+  parser.AddString("name", &name, "a name");
+  parser.AddDouble("ratio", &ratio, "a ratio");
+  parser.AddUint64("count", &count, "a count");
+  parser.AddBool("verbose", &verbose, "a switch");
+
+  std::vector<std::string> args = {"prog", "--name=abc", "--ratio=0.25",
+                                   "--count=42", "--verbose"};
+  ASSERT_TRUE(parser.Parse(static_cast<int>(args.size()), MakeArgv(args)).ok());
+  EXPECT_EQ(name, "abc");
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(count, 42u);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagParserTest, CollectsPositionalsInOrder) {
+  FlagParser parser;
+  bool flag = false;
+  parser.AddBool("x", &flag, "");
+  std::vector<std::string> args = {"prog", "first", "--x", "second"};
+  ASSERT_TRUE(parser.Parse(static_cast<int>(args.size()), MakeArgv(args)).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "first");
+  EXPECT_EQ(parser.positional()[1], "second");
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser parser;
+  std::vector<std::string> args = {"prog", "--nope=1"};
+  Status s = parser.Parse(static_cast<int>(args.size()), MakeArgv(args));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("--nope"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedValueIsError) {
+  double d = 0.0;
+  uint64_t u = 0;
+  FlagParser parser;
+  parser.AddDouble("d", &d, "");
+  parser.AddUint64("u", &u, "");
+  std::vector<std::string> a1 = {"prog", "--d=abc"};
+  EXPECT_FALSE(parser.Parse(static_cast<int>(a1.size()), MakeArgv(a1)).ok());
+  std::vector<std::string> a2 = {"prog", "--u=-3"};
+  EXPECT_FALSE(parser.Parse(static_cast<int>(a2.size()), MakeArgv(a2)).ok());
+  std::vector<std::string> a3 = {"prog", "--d"};
+  EXPECT_FALSE(parser.Parse(static_cast<int>(a3.size()), MakeArgv(a3)).ok());
+}
+
+TEST(FlagParserTest, BoolAcceptsExplicitValue) {
+  bool flag = true;
+  FlagParser parser;
+  parser.AddBool("flag", &flag, "");
+  std::vector<std::string> args = {"prog", "--flag=false"};
+  ASSERT_TRUE(parser.Parse(static_cast<int>(args.size()), MakeArgv(args)).ok());
+  EXPECT_FALSE(flag);
+  std::vector<std::string> bad = {"prog", "--flag=maybe"};
+  EXPECT_FALSE(parser.Parse(static_cast<int>(bad.size()), MakeArgv(bad)).ok());
+}
+
+TEST(FlagParserTest, UsageListsFlags) {
+  FlagParser parser;
+  double d = 0;
+  parser.AddDouble("alpha", &d, "teleport probability");
+  std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("teleport probability"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,87 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(HistogramTest, ZeroGoesToBucketZero) {
+  Histogram h;
+  h.Add(0);
+  h.Add(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  Histogram h;
+  for (uint64_t v = 0; v < 10000; ++v) h.Add(v);
+  double q25 = h.Quantile(0.25);
+  double q50 = h.Quantile(0.5);
+  double q75 = h.Quantile(0.75);
+  double q99 = h.Quantile(0.99);
+  EXPECT_LE(q25, q50);
+  EXPECT_LE(q50, q75);
+  EXPECT_LE(q75, q99);
+  // Log-bucketed quantiles are coarse; allow a factor-2 band.
+  EXPECT_GT(q50, 2500.0);
+  EXPECT_LT(q50, 10000.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v = 0; v < 50; ++v) a.Add(1);
+  for (uint64_t v = 0; v < 50; ++v) b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 3u);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(5);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Add(1ULL << 40);
+  h.Add(1ULL << 50);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1ULL << 50);
+  EXPECT_GT(h.Quantile(0.9), static_cast<double>(1ULL << 39));
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,89 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  constexpr uint64_t kN = 100000;
+  std::vector<std::atomic<int>> touched(kN);
+  for (auto& t : touched) t.store(0);
+  ParallelFor(0, kN, [&](uint64_t lo, uint64_t hi, unsigned) {
+    for (uint64_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](uint64_t, uint64_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  // Below the parallel threshold the callback runs once, on the caller's
+  // thread, with worker index 0.
+  std::vector<unsigned> workers;
+  ParallelFor(10, 20, [&](uint64_t lo, uint64_t hi, unsigned w) {
+    EXPECT_EQ(lo, 10u);
+    EXPECT_EQ(hi, 20u);
+    workers.push_back(w);
+  });
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0], 0u);
+}
+
+TEST(ParallelForTest, NonZeroBeginRespected) {
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(1000, 101000, [&](uint64_t lo, uint64_t hi, unsigned) {
+    uint64_t local = 0;
+    for (uint64_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  uint64_t expected = 0;
+  for (uint64_t i = 1000; i < 101000; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelForTest, ChunksAreDisjointAndOrderedPerWorker) {
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> chunks;
+  ParallelFor(0, 50000, [&](uint64_t lo, uint64_t hi, unsigned) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  uint64_t cursor = 0;
+  for (auto [lo, hi] : chunks) {
+    ASSERT_EQ(lo, cursor);
+    ASSERT_LT(lo, hi);
+    cursor = hi;
+  }
+  ASSERT_EQ(cursor, 50000u);
+}
+
+TEST(ParallelForTest, PprThreadsEnvForcesSingleThread) {
+  ASSERT_EQ(setenv("PPR_THREADS", "1", 1), 0);
+  EXPECT_EQ(ParallelThreadCount(), 1u);
+  int calls = 0;
+  ParallelFor(0, 100000, [&](uint64_t lo, uint64_t hi, unsigned) {
+    // Single-threaded: one inline call, safe to mutate without locks.
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100000u);
+    calls++;
+  });
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(unsetenv("PPR_THREADS"), 0);
+  EXPECT_GE(ParallelThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,120 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) equal++;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000000007ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBound)]++;
+  for (int c : counts) {
+    // Expected 10000 per bucket; 5-sigma ~ 475.
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  for (double p : {0.1, 0.2, 0.5, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) hits += rng.NextBernoulli(p);
+    EXPECT_NEAR(hits / 100000.0, p, 0.01);
+  }
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  // E[Geometric(p) failures-before-success] = (1-p)/p.
+  Rng rng(13);
+  for (double p : {0.2, 0.5, 0.8}) {
+    double sum = 0.0;
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.NextGeometric(p);
+    EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.05) << "p=" << p;
+  }
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Split();
+  // The child stream must differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) equal++;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  // Regression pin: the same seed must produce the same stream across
+  // library versions, or stored experiment seeds lose meaning.
+  SplitMix64 sm(0);
+  uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.Next());
+  EXPECT_NE(sm.Next(), first);
+}
+
+}  // namespace
+}  // namespace ppr

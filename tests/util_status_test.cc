@@ -1,0 +1,78 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryMethodsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("y").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::OutOfRange("z").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("w").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Corruption("c").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("u").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IOError("disk on fire").message(), "disk on fire");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::Corruption("bad magic");
+  EXPECT_EQ(s.ToString(), "Corruption: bad magic");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrDieMovesOut) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).ValueOrDie();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailingStep() { return Status::IOError("inner"); }
+
+Status Pipeline() {
+  PPR_RETURN_IF_ERROR(Status::OK());
+  PPR_RETURN_IF_ERROR(FailingStep());
+  return Status::OK();  // unreachable
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = Pipeline();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace ppr

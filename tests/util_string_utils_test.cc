@@ -1,0 +1,84 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr {
+namespace {
+
+TEST(HumanCountTest, MatchesPaperTableOneConventions) {
+  EXPECT_EQ(HumanCount(317000), "317K");
+  EXPECT_EQ(HumanCount(2100000), "2.10M");
+  EXPECT_EQ(HumanCount(30600000), "30.6M");
+  EXPECT_EQ(HumanCount(1470000000), "1.47B");
+  EXPECT_EQ(HumanCount(42), "42");
+  EXPECT_EQ(HumanCount(0), "0");
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1000), "1.00K");
+}
+
+TEST(HumanBytesTest, PicksBinaryUnits) {
+  EXPECT_EQ(HumanBytes(12), "12B");
+  EXPECT_EQ(HumanBytes(1ULL << 10), "1.00KB");
+  EXPECT_EQ(HumanBytes(8 * (1ULL << 20)), "8.00MB");
+  EXPECT_EQ(HumanBytes(54ULL * (1ULL << 30)), "54.0GB");
+}
+
+TEST(HumanSecondsTest, SignificantDigits) {
+  EXPECT_EQ(HumanSeconds(57988.0), "57988");
+  EXPECT_EQ(HumanSeconds(1.72), "1.72");
+  EXPECT_EQ(HumanSeconds(0.52), "0.52");
+  EXPECT_EQ(HumanSeconds(75.4), "75.4");
+}
+
+TEST(SplitAndTrimTest, SplitsOnAnyDelimiter) {
+  auto pieces = SplitAndTrim("1\t2 3,4", " \t,");
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "1");
+  EXPECT_EQ(pieces[3], "4");
+}
+
+TEST(SplitAndTrimTest, DropsEmptyPieces) {
+  auto pieces = SplitAndTrim("  a   b  ", " ");
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(SplitAndTrimTest, EmptyInput) {
+  EXPECT_TRUE(SplitAndTrim("", " ").empty());
+  EXPECT_TRUE(SplitAndTrim("   ", " ").empty());
+}
+
+TEST(ParseUint64Test, ParsesValidNumbers) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("123456789", &v));
+  EXPECT_EQ(v, 123456789u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, ~0ULL);
+}
+
+TEST(ParseUint64Test, RejectsMalformedInput) {
+  uint64_t v = 77;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("1.5", &v));
+  EXPECT_FALSE(ParseUint64(" 1", &v));
+  // Overflow: one past uint64 max.
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));
+  EXPECT_EQ(v, 77u) << "failed parse must not clobber the output";
+}
+
+TEST(IsCommentOrBlankTest, RecognizesSnapConventions) {
+  EXPECT_TRUE(IsCommentOrBlank(""));
+  EXPECT_TRUE(IsCommentOrBlank("   "));
+  EXPECT_TRUE(IsCommentOrBlank("# comment"));
+  EXPECT_TRUE(IsCommentOrBlank("  % matlab-style"));
+  EXPECT_FALSE(IsCommentOrBlank("1 2"));
+  EXPECT_FALSE(IsCommentOrBlank("  7"));
+}
+
+}  // namespace
+}  // namespace ppr

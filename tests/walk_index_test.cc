@@ -1,0 +1,140 @@
+#include "approx/walk_index.h"
+
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "approx/monte_carlo.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(WalkIndexTest, SpeedPprSizingIsDegreePerNode) {
+  Graph g = PaperExampleGraph();
+  Rng rng(1);
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(index.Endpoints(v).size(), g.OutDegree(v)) << "v=" << v;
+  }
+  EXPECT_EQ(index.total_walks(), g.num_edges());
+}
+
+TEST(WalkIndexTest, SpeedPprSizingGivesDeadEndsOneWalk) {
+  Graph g = PathGraph(4);
+  Rng rng(2);
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, rng);
+  EXPECT_EQ(index.Endpoints(3).size(), 1u);
+  EXPECT_LE(index.total_walks(), g.num_edges() + g.CountDeadEnds());
+}
+
+TEST(WalkIndexTest, ForaPlusSizingFollowsFormula) {
+  Graph g = PaperExampleGraph();
+  Rng rng(3);
+  const uint64_t w = 10000;
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kForaPlus, w, rng);
+  const double ratio = std::sqrt(static_cast<double>(w) /
+                                 static_cast<double>(g.num_edges()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const uint64_t expected =
+        static_cast<uint64_t>(std::ceil(g.OutDegree(v) * ratio)) + 1;
+    EXPECT_EQ(index.Endpoints(v).size(), expected) << "v=" << v;
+  }
+}
+
+TEST(WalkIndexTest, ForaPlusIndexGrowsWithW_SpeedPprDoesNot) {
+  // The ε-independence headline of the paper: SpeedPPR's index size does
+  // not change with W while FORA+'s does.
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  Rng rng(4);
+  WalkIndex fora_small =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kForaPlus, 10000, rng);
+  WalkIndex fora_large =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kForaPlus, 1000000, rng);
+  WalkIndex speed_a =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 10000, rng);
+  WalkIndex speed_b =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 1000000, rng);
+  EXPECT_GT(fora_large.total_walks(), 2 * fora_small.total_walks());
+  EXPECT_EQ(speed_a.total_walks(), speed_b.total_walks());
+}
+
+TEST(WalkIndexTest, EndpointDistributionMatchesPpr) {
+  // Endpoints of walks from v are samples of π_v; check the aggregate
+  // frequency for a high-degree node.
+  Graph g = CompleteGraph(6);
+  Rng rng(5);
+  // Give every node many walks by inflating W for the FORA sizing.
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kForaPlus, 40000000, rng);
+  std::vector<double> exact = testing::ExactPprDense(g, 0, 0.2);
+  auto endpoints = index.Endpoints(0);
+  ASSERT_GT(endpoints.size(), 1000u);
+  std::vector<double> freq(g.num_nodes(), 0.0);
+  for (NodeId stop : endpoints) freq[stop] += 1.0 / endpoints.size();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(freq[v], exact[v], 0.02) << "v=" << v;
+  }
+}
+
+TEST(WalkIndexTest, SizeBytesAccountsForStorage) {
+  Graph g = PaperExampleGraph();
+  Rng rng(6);
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, rng);
+  EXPECT_EQ(index.SizeBytes(),
+            (g.num_nodes() + 1) * sizeof(uint64_t) +
+                index.total_walks() * sizeof(NodeId));
+}
+
+TEST(WalkIndexTest, SerializationRoundTrip) {
+  Graph g = testing::SmallGraphZoo()[6].graph;
+  Rng rng(7);
+  WalkIndex index =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, rng);
+  std::string path = ::testing::TempDir() + "/walk_index.bin";
+  ASSERT_TRUE(index.SaveTo(path).ok());
+  auto loaded = WalkIndex::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().num_nodes(), index.num_nodes());
+  ASSERT_EQ(loaded.value().total_walks(), index.total_walks());
+  EXPECT_DOUBLE_EQ(loaded.value().alpha(), index.alpha());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto a = index.Endpoints(v);
+    auto b = loaded.value().Endpoints(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(WalkIndexTest, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage_index.bin";
+  {
+    std::ofstream out(path);
+    out << "garbage";
+  }
+  auto loaded = WalkIndex::LoadFrom(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalkIndexTest, DeterministicGivenSeed) {
+  Graph g = testing::SmallGraphZoo()[8].graph;
+  Rng rng_a(50);
+  Rng rng_b(50);
+  WalkIndex a = WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, rng_a);
+  WalkIndex b = WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, rng_b);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto ea = a.Endpoints(v);
+    auto eb = b.Endpoints(v);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) ASSERT_EQ(ea[i], eb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ppr
