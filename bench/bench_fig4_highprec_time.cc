@@ -5,14 +5,17 @@
 // Expected shape: PowerPush fastest (or tied) everywhere; BePI
 // competitive only on the smallest dataset despite its preprocessing;
 // PowItr ~ FIFO-FwdPush.
+//
+// All four competitors dispatch through SolverRegistry — no algorithm
+// headers, one timing loop.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "api/context.h"
+#include "api/registry.h"
 #include "bench_common.h"
-#include "bepi/bepi.h"
-#include "core/forward_push.h"
-#include "core/power_iteration.h"
-#include "core/power_push.h"
 #include "eval/experiment.h"
 #include "eval/query_gen.h"
 #include "util/string_utils.h"
@@ -26,52 +29,46 @@ int main() {
       "value (its time is thus an underestimate, as in the paper).");
 
   const size_t query_count = BenchQueryCount(3);
+  const std::vector<std::pair<const char*, const char*>> competitors = {
+      {"PowerPush", "powerpush"},
+      {"BePI", "bepi"},
+      {"FwdPush", "fwdpush"},
+      {"PowItr", "powitr"},
+  };
+
   TablePrinter table({"Dataset", "PowerPush(s)", "BePI(s)", "FwdPush(s)",
                       "PowItr(s)", "BePI x", "FwdPush x", "PowItr x"});
 
   for (auto& named : LoadBenchDatasets(bench::kDefaultScale)) {
     Graph& graph = named.graph;
-    const double lambda = PaperLambda(graph);
+    const double lambda = HighPrecisionLambda(graph);
     auto sources = SampleQuerySources(graph, query_count);
+    graph.BuildInAdjacency();  // BePI preprocessing needs the transpose
 
-    graph.BuildInAdjacency();
-    BepiOptions bepi_options;
-    auto bepi = BepiSolver::Preprocess(graph, bepi_options);
+    PprQuery base;
+    base.lambda = lambda;
 
-    PprEstimate estimate;
-    std::vector<double> bepi_out;
+    std::vector<double> means;
+    for (const auto& [label, spec] : competitors) {
+      auto created = SolverRegistry::Global().Create(spec);
+      PPR_CHECK(created.ok()) << created.status().ToString();
+      std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+      Status prepared = solver->Prepare(graph);  // BePI: index build
+      PPR_CHECK(prepared.ok()) << label << ": " << prepared.ToString();
+      SolverContext context;
+      means.push_back(Mean(TimePerQuery(*solver, context, sources, base)));
+    }
 
-    auto power_push_times = TimePerQuery(sources, [&](NodeId s) {
-      PowerPushOptions options;
-      options.lambda = lambda;
-      PowerPush(graph, s, options, &estimate);
-    });
-    auto bepi_times = TimePerQuery(sources, [&](NodeId s) {
-      bepi->Solve(s, lambda, &bepi_out);
-    });
-    auto fwd_times = TimePerQuery(sources, [&](NodeId s) {
-      ForwardPushOptions options;
-      options.rmax = lambda / static_cast<double>(graph.num_edges());
-      FifoForwardPush(graph, s, options, &estimate);
-    });
-    auto powitr_times = TimePerQuery(sources, [&](NodeId s) {
-      PowerIterationOptions options;
-      options.lambda = lambda;
-      PowerIteration(graph, s, options, &estimate);
-    });
-
-    const double pp = Mean(power_push_times);
-    const double be = Mean(bepi_times);
-    const double fp = Mean(fwd_times);
-    const double pi = Mean(powitr_times);
+    const double pp = means[0];
     auto ratio = [pp](double t) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.1fx", t / pp);
       return std::string(buf);
     };
-    table.AddRow({named.paper_name, HumanSeconds(pp), HumanSeconds(be),
-                  HumanSeconds(fp), HumanSeconds(pi), ratio(be), ratio(fp),
-                  ratio(pi)});
+    table.AddRow({named.paper_name, HumanSeconds(means[0]),
+                  HumanSeconds(means[1]), HumanSeconds(means[2]),
+                  HumanSeconds(means[3]), ratio(means[1]), ratio(means[2]),
+                  ratio(means[3])});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("Expected shape: PowerPush <= all competitors; BePI's "

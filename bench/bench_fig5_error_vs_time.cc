@@ -5,16 +5,19 @@
 //
 // Expected shape: straight lines on log-y (exponential decay, matching
 // O(m log 1/lambda)); PowerPush converges fastest.
+//
+// The push competitors run through SolverRegistry with the convergence
+// trace attached to the SolverContext.
 
 #include <cstdio>
-
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "api/context.h"
+#include "api/registry.h"
 #include "bench_common.h"
-#include "bepi/bepi.h"
-#include "core/forward_push.h"
-#include "core/power_iteration.h"
-#include "core/power_push.h"
 #include "core/trace.h"
 #include "eval/experiment.h"
 #include "eval/ground_truth.h"
@@ -58,9 +61,15 @@ int main() {
       "Median query source; series = (seconds, l1-error) checkpoints\n"
       "every 4m edge pushes. BePI: one (time, error) point per delta.");
 
+  const std::vector<std::pair<const char*, const char*>> tracers = {
+      {"PowerPush", "powerpush"},
+      {"PowItr", "powitr"},
+      {"FwdPush", "fwdpush"},
+  };
+
   for (auto& named : LoadBenchDatasets(bench::kDefaultScale)) {
     Graph& graph = named.graph;
-    const double lambda = PaperLambda(graph);
+    const double lambda = HighPrecisionLambda(graph);
     const NodeId source = SampleQuerySources(graph, 1)[0];
     const uint64_t interval = 4 * graph.num_edges();
     std::printf("\n--- %s (n=%u, m=%llu, lambda=%.1e, s=%u) ---\n",
@@ -68,46 +77,49 @@ int main() {
                 static_cast<unsigned long long>(graph.num_edges()), lambda,
                 source);
 
-    PprEstimate estimate;
+    PprQuery query;
+    query.source = source;
+    query.lambda = lambda;
+
     std::vector<TraceSeries> series;
-    {
+    for (const auto& [label, spec] : tracers) {
+      auto created = SolverRegistry::Global().Create(spec);
+      PPR_CHECK(created.ok()) << created.status().ToString();
+      std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+      Status prepared = solver->Prepare(graph);
+      PPR_CHECK(prepared.ok()) << label << ": " << prepared.ToString();
       ConvergenceTrace trace(interval);
-      PowerPushOptions options;
-      options.lambda = lambda;
-      PowerPush(graph, source, options, &estimate, &trace);
-      PrintTrace("PowerPush", trace);
-      series.push_back({"PowerPush", trace.points()});
-    }
-    {
-      ConvergenceTrace trace(interval);
-      PowerIterationOptions options;
-      options.lambda = lambda;
-      PowerIteration(graph, source, options, &estimate, &trace);
-      PrintTrace("PowItr", trace);
-      series.push_back({"PowItr", trace.points()});
-    }
-    {
-      ConvergenceTrace trace(interval);
-      ForwardPushOptions options;
-      options.rmax = lambda / static_cast<double>(graph.num_edges());
-      FifoForwardPush(graph, source, options, &estimate, &trace);
-      PrintTrace("FwdPush", trace);
-      series.push_back({"FwdPush", trace.points()});
+      SolverContext context;
+      context.set_trace(&trace);
+      PprResult result;
+      Status solved = solver->Solve(query, context, &result);
+      PPR_CHECK(solved.ok()) << label << ": " << solved.ToString();
+      PrintTrace(label, trace);
+      series.push_back({label, trace.points()});
     }
     MaybeWriteCsv(named.name, series);
+
     {
       graph.BuildInAdjacency();
-      BepiOptions options;
-      auto bepi = BepiSolver::Preprocess(graph, options);
+      auto created = SolverRegistry::Global().Create("bepi");
+      PPR_CHECK(created.ok());
+      std::unique_ptr<Solver> bepi = std::move(created).ValueOrDie();
+      Status prepared = bepi->Prepare(graph);
+      PPR_CHECK(prepared.ok()) << "BePI: " << prepared.ToString();
       std::vector<double> gt = ComputeGroundTruth(graph, source);
       std::printf("  %-10s", "BePI");
+      SolverContext context;
+      PprResult result;
       double cumulative = 0.0;
       for (double delta : {1e-2, 1e-4, 1e-6, 1e-8, lambda}) {
-        std::vector<double> out;
+        PprQuery bepi_query;
+        bepi_query.source = source;
+        bepi_query.lambda = delta;  // BePI reads lambda as its delta
         Timer timer;
-        bepi->Solve(source, delta, &out);
+        PPR_CHECK(bepi->Solve(bepi_query, context, &result).ok());
         cumulative += timer.ElapsedSeconds();
-        std::printf(" (%.3fs, %.1e)", cumulative, L1Distance(out, gt));
+        std::printf(" (%.3fs, %.1e)", cumulative,
+                    L1Distance(result.scores, gt));
       }
       std::printf("\n");
     }

@@ -4,18 +4,20 @@
 // baseline (as the paper deliberately does).
 //
 // FORA's index is built once for eps=0.1 and reused for larger eps;
-// SpeedPPR's index is eps-independent by construction.
+// SpeedPPR's index is eps-independent by construction. Both index builds
+// happen in Prepare() — every competitor is a SolverRegistry spec and
+// shares one timing loop.
 //
 // Expected shape: SpeedPPR-Index fastest; SpeedPPR ~ FORA-Index;
 // FORA / ResAcc slowest; PowerPush flat in eps.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "approx/fora.h"
-#include "approx/resacc.h"
-#include "approx/speedppr.h"
+#include "api/context.h"
+#include "api/registry.h"
 #include "bench_common.h"
-#include "core/power_push.h"
 #include "eval/experiment.h"
 #include "eval/query_gen.h"
 #include "util/string_utils.h"
@@ -30,6 +32,14 @@ int main() {
 
   const size_t query_count = BenchQueryCount(2);
   const std::vector<double> epsilons = {0.5, 0.4, 0.3, 0.2, 0.1};
+  const std::vector<std::pair<const char*, const char*>> competitors = {
+      {"SpeedPPR", "speedppr"},
+      {"SpeedPPR-Idx", "speedppr-index:seed=12"},
+      {"FORA", "fora"},
+      {"FORA-Idx", "fora-index:index_eps=0.1,seed=11"},
+      {"ResAcc", "resacc"},
+      {"PowerPush", "powerpush"},  // lambda defaults to min(1e-8, 1/m)
+  };
 
   for (auto& named : LoadBenchDatasets(bench::kApproxScale)) {
     Graph& graph = named.graph;
@@ -38,49 +48,33 @@ int main() {
     std::printf("\n--- %s (n=%u, m=%llu) ---\n", named.paper_name.c_str(), n,
                 static_cast<unsigned long long>(graph.num_edges()));
 
-    const uint64_t w_small = ChernoffWalkCount(n, 0.1, 1.0 / n);
-    Rng fora_index_rng(11);
-    WalkIndex fora_index = WalkIndex::Build(
-        graph, 0.2, WalkIndex::Sizing::kForaPlus, w_small, fora_index_rng);
-    Rng speed_index_rng(12);
-    WalkIndex speed_index = WalkIndex::Build(
-        graph, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, speed_index_rng);
+    // One Prepare per competitor per dataset: the index variants build
+    // their walk index here, outside the timed region.
+    std::vector<std::unique_ptr<Solver>> solvers;
+    for (const auto& [label, spec] : competitors) {
+      auto created = SolverRegistry::Global().Create(spec);
+      PPR_CHECK(created.ok()) << created.status().ToString();
+      solvers.push_back(std::move(created).ValueOrDie());
+      Status prepared = solvers.back()->Prepare(graph);
+      PPR_CHECK(prepared.ok()) << label << ": " << prepared.ToString();
+    }
 
     TablePrinter table({"eps", "SpeedPPR", "SpeedPPR-Idx", "FORA",
                         "FORA-Idx", "ResAcc", "PowerPush"});
     for (double eps : epsilons) {
-      ApproxOptions options;
-      options.epsilon = eps;
-      Rng rng(1000 + static_cast<uint64_t>(eps * 100));
-      std::vector<double> out;
-      PprEstimate estimate;
+      PprQuery base;
+      base.epsilon = eps;
 
-      double speed = Mean(TimePerQuery(sources, [&](NodeId s) {
-        SpeedPpr(graph, s, options, rng, &out);
-      }));
-      double speed_idx = Mean(TimePerQuery(sources, [&](NodeId s) {
-        SpeedPpr(graph, s, options, rng, &out, &speed_index);
-      }));
-      double fora = Mean(TimePerQuery(sources, [&](NodeId s) {
-        Fora(graph, s, options, rng, &out);
-      }));
-      double fora_idx = Mean(TimePerQuery(sources, [&](NodeId s) {
-        Fora(graph, s, options, rng, &out, &fora_index);
-      }));
-      double resacc = Mean(TimePerQuery(sources, [&](NodeId s) {
-        ResAcc(graph, s, options, rng, &out);
-      }));
-      double power_push = Mean(TimePerQuery(sources, [&](NodeId s) {
-        PowerPushOptions pp;
-        pp.lambda = PaperLambda(graph);
-        PowerPush(graph, s, pp, &estimate);
-      }));
-
+      std::vector<std::string> row;
       char eps_buf[16];
       std::snprintf(eps_buf, sizeof(eps_buf), "%.1f", eps);
-      table.AddRow({eps_buf, HumanSeconds(speed), HumanSeconds(speed_idx),
-                    HumanSeconds(fora), HumanSeconds(fora_idx),
-                    HumanSeconds(resacc), HumanSeconds(power_push)});
+      row.emplace_back(eps_buf);
+      for (size_t i = 0; i < solvers.size(); ++i) {
+        SolverContext context(1000 + static_cast<uint64_t>(eps * 100));
+        row.push_back(HumanSeconds(
+            Mean(TimePerQuery(*solvers[i], context, sources, base))));
+      }
+      table.AddRow(row);
     }
     std::printf("%s", table.ToString().c_str());
   }

@@ -2,12 +2,18 @@
 //
 // Usage:
 //   ppr_cli <edge-list-file | dataset-name> <source> [options]
-//     --algo=powerpush|powitr|fwdpush|speedppr|fora|mc   (default powerpush)
+//     --algo=SPEC        solver spec, e.g. powerpush or speedppr:eps=0.1
 //     --lambda=1e-8      l1-error target (high-precision algorithms)
 //     --eps=0.5          relative error (approximate algorithms)
 //     --alpha=0.2        teleport probability
+//     --target=N         single-pair target (bippr / hubppr)
 //     --topk=10          number of results printed
 //     --undirected       symmetrize the input edge list
+//
+// Every solver is dispatched through SolverRegistry — run with --help to
+// see the registered names and their option keys. The spec may carry
+// solver-specific overrides ("speedppr:eps=0.1,indexed=true"); the
+// dedicated flags above override the spec for the common parameters.
 //
 // The first argument is either a SNAP-format edge list ("src dst" per
 // line, '#' comments) or a built-in dataset name such as "pokec-sim".
@@ -15,15 +21,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
-#include "approx/fora.h"
-#include "approx/monte_carlo.h"
-#include "approx/speedppr.h"
-#include "core/forward_push.h"
-#include "core/power_iteration.h"
-#include "core/power_push.h"
-#include "eval/metrics.h"
+#include "api/context.h"
+#include "api/registry.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
 #include "util/flags.h"
@@ -43,8 +45,9 @@ bool IsDatasetName(const std::string& name) {
 int Usage(const FlagParser& parser) {
   std::fprintf(stderr,
                "usage: ppr_cli <edge-list | dataset-name> <source> [flags]\n"
-               "%s",
-               parser.Usage().c_str());
+               "%s\nregistered solvers (--algo):\n%s",
+               parser.Usage().c_str(),
+               SolverRegistry::Global().HelpText().c_str());
   return 2;
 }
 
@@ -52,18 +55,20 @@ int Usage(const FlagParser& parser) {
 
 int main(int argc, char** argv) {
   std::string algo = "powerpush";
-  double lambda = 1e-8;
-  double eps = 0.5;
-  double alpha = 0.2;
+  double lambda = 0.0;
+  double eps = 0.0;
+  double alpha = 0.0;
+  uint64_t target = static_cast<uint64_t>(kNoTarget);
   uint64_t topk = 10;
   bool undirected = false;
 
   FlagParser parser;
   parser.AddString("algo", &algo,
-                   "powerpush|powitr|fwdpush|speedppr|fora|mc");
+                   "solver spec: name[:key=val,...]; see list below");
   parser.AddDouble("lambda", &lambda, "l1-error target (high-precision)");
   parser.AddDouble("eps", &eps, "relative error (approximate)");
   parser.AddDouble("alpha", &alpha, "teleport probability");
+  parser.AddUint64("target", &target, "single-pair target node");
   parser.AddUint64("topk", &topk, "number of results printed");
   parser.AddBool("undirected", &undirected, "symmetrize the edge list");
 
@@ -76,6 +81,14 @@ int main(int argc, char** argv) {
   const std::string input = parser.positional()[0];
   const NodeId source = static_cast<NodeId>(
       std::strtoul(parser.positional()[1].c_str(), nullptr, 10));
+
+  auto created = SolverRegistry::Global().Create(algo);
+  if (!created.ok()) {
+    std::fprintf(stderr, "bad --algo: %s\n",
+                 created.status().ToString().c_str());
+    return Usage(parser);
+  }
+  std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
 
   Graph graph;
   if (IsDatasetName(input)) {
@@ -96,54 +109,57 @@ int main(int argc, char** argv) {
                  graph.num_nodes());
     return 1;
   }
+  // Range-check before narrowing to NodeId: a 64-bit value would
+  // otherwise truncate to a valid-looking (wrong) node.
+  if (target != static_cast<uint64_t>(kNoTarget) &&
+      target >= graph.num_nodes()) {
+    std::fprintf(stderr, "target %llu out of range (n=%u)\n",
+                 static_cast<unsigned long long>(target), graph.num_nodes());
+    return 1;
+  }
+  if (solver->capabilities().needs_in_adjacency) graph.BuildInAdjacency();
+
   std::printf("graph: n=%u m=%llu | algo=%s source=%u\n", graph.num_nodes(),
               static_cast<unsigned long long>(graph.num_edges()),
               algo.c_str(), source);
 
-  std::vector<double> scores;
-  Rng rng(1);
-  Timer timer;
-  if (algo == "powerpush") {
-    PowerPushOptions options;
-    options.alpha = alpha;
-    options.lambda = lambda;
-    PprEstimate estimate;
-    PowerPush(graph, source, options, &estimate);
-    scores = std::move(estimate.reserve);
-  } else if (algo == "powitr") {
-    PowerIterationOptions options;
-    options.alpha = alpha;
-    options.lambda = lambda;
-    PprEstimate estimate;
-    PowerIteration(graph, source, options, &estimate);
-    scores = std::move(estimate.reserve);
-  } else if (algo == "fwdpush") {
-    ForwardPushOptions options;
-    options.alpha = alpha;
-    options.rmax = lambda / static_cast<double>(graph.num_edges());
-    PprEstimate estimate;
-    FifoForwardPush(graph, source, options, &estimate);
-    scores = std::move(estimate.reserve);
-  } else if (algo == "speedppr" || algo == "fora" || algo == "mc") {
-    ApproxOptions options;
-    options.alpha = alpha;
-    options.epsilon = eps;
-    if (algo == "speedppr") {
-      SpeedPpr(graph, source, options, rng, &scores);
-    } else if (algo == "fora") {
-      Fora(graph, source, options, rng, &scores);
-    } else {
-      MonteCarlo(graph, source, options, rng, &scores);
-    }
-  } else {
-    std::fprintf(stderr, "unknown algorithm: %s\n", algo.c_str());
-    return Usage(parser);
+  Timer prepare_timer;
+  Status prepared = solver->Prepare(graph);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", prepared.ToString().c_str());
+    return 1;
   }
-  const double seconds = timer.ElapsedSeconds();
+  if (solver->capabilities().has_index) {
+    std::printf("preprocessing: %.4fs\n", prepare_timer.ElapsedSeconds());
+  }
 
-  std::printf("query time: %.4fs\ntop-%zu nodes by PPR:\n", seconds, topk);
-  for (NodeId v : TopK(scores, topk)) {
-    std::printf("  %8u  %.8f\n", v, scores[v]);
+  PprQuery query;
+  query.source = source;
+  query.alpha = alpha;
+  query.lambda = lambda;
+  query.epsilon = eps;
+  query.target = static_cast<NodeId>(target);
+  query.top_k = topk;
+
+  SolverContext context(/*seed=*/1);
+  PprResult result;
+  Timer timer;
+  Status solved = solver->Solve(query, context, &result);
+  const double seconds = timer.ElapsedSeconds();
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n", solved.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query time: %.4fs\n", seconds);
+  if (query.target != kNoTarget) {
+    std::printf("ppr(%u, %u) = %.8f\n", source, query.target,
+                result.scores[query.target]);
+    return 0;
+  }
+  std::printf("top-%zu nodes by PPR:\n", result.top_nodes.size());
+  for (NodeId v : result.top_nodes) {
+    std::printf("  %8u  %.8f\n", v, result.scores[v]);
   }
   return 0;
 }

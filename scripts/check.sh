@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify wrapper: configure, build, test.
+#
+#   scripts/check.sh [Debug|Release] [extra cmake args...]
+#
+# Mirrors what CI runs; PPR_BUILD_BENCH=ON is included so bench bitrot is
+# caught at compile time.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE="${1:-Release}"
+shift || true
+
+BUILD_DIR="build-${BUILD_TYPE,,}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" \
+  -DPPR_BUILD_BENCH=ON \
+  "$@"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

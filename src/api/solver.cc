@@ -1,0 +1,68 @@
+#include "api/solver.h"
+
+#include <limits>
+
+#include "eval/metrics.h"
+
+namespace ppr {
+
+const char* SolverFamilyName(SolverFamily family) {
+  switch (family) {
+    case SolverFamily::kHighPrecision:
+      return "high-precision";
+    case SolverFamily::kApproximate:
+      return "approximate";
+    case SolverFamily::kSinglePair:
+      return "single-pair";
+    case SolverFamily::kGlobal:
+      return "global";
+  }
+  return "unknown";
+}
+
+Status Solver::Prepare(const Graph& graph) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot prepare a solver on an empty graph");
+  }
+  const SolverCapabilities caps = capabilities();
+  if (caps.needs_in_adjacency && !graph.has_in_adjacency()) {
+    return Status::FailedPrecondition(
+        std::string(name()) +
+        " needs the in-adjacency; call Graph::BuildInAdjacency() first");
+  }
+  if (caps.needs_dead_end_free && graph.CountDeadEnds() > 0) {
+    return Status::FailedPrecondition(
+        std::string(name()) + " requires a graph without dead ends");
+  }
+  graph_ = &graph;
+  return Status::OK();
+}
+
+Status Solver::Solve(const PprQuery& query, SolverContext& context,
+                     PprResult* result) {
+  if (graph_ == nullptr) {
+    return Status::FailedPrecondition("Solve() before a successful Prepare()");
+  }
+  if (query.source >= graph_->num_nodes()) {
+    return Status::InvalidArgument("query source out of range");
+  }
+  if (query.target != kNoTarget && query.target >= graph_->num_nodes()) {
+    return Status::InvalidArgument("query target out of range");
+  }
+  result->residues.clear();
+  result->top_nodes.clear();
+  result->stats = SolveStats{};
+  PPR_RETURN_IF_ERROR(DoSolve(query, context, result));
+  result->solver = name();
+  result->l1_bound = AdvertisedL1Bound(query);
+  if (query.top_k > 0) {
+    result->top_nodes = TopK(result->scores, query.top_k);
+  }
+  return Status::OK();
+}
+
+double Solver::AdvertisedL1Bound(const PprQuery& /*query*/) const {
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace ppr

@@ -1,0 +1,104 @@
+#ifndef PPR_API_SOLVER_H_
+#define PPR_API_SOLVER_H_
+
+#include <string_view>
+
+#include "api/context.h"
+#include "api/query.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ppr {
+
+/// What a solver computes, grouped the way the paper groups algorithms.
+enum class SolverFamily {
+  /// Deterministic ℓ1-bounded whole-vector estimate (FwdPush, PowerPush,
+  /// PowItr, BePI): ‖π̂ − π‖₁ ≤ λ.
+  kHighPrecision,
+  /// Probabilistic (ε, μ) relative-error whole-vector estimate (MC,
+  /// FORA, SpeedPPR, ResAcc).
+  kApproximate,
+  /// Single-pair π(s, t) estimators (BiPPR, HubPPR).
+  kSinglePair,
+  /// Source-independent global scores (PageRank).
+  kGlobal,
+};
+
+const char* SolverFamilyName(SolverFamily family);
+
+/// Static facts about a solver, used by drivers (batch, bench, CLI) to
+/// pick fixtures, preconditions, and assertions without knowing the
+/// concrete type.
+struct SolverCapabilities {
+  SolverFamily family = SolverFamily::kHighPrecision;
+  /// PprResult::residues can be filled (push-style solvers).
+  bool exposes_residues = false;
+  /// Output depends on the context RNG state.
+  bool randomized = false;
+  /// Repeated Solve() calls on one SolverContext reuse its workspace
+  /// with sparse resets (no full-vector assign after the first query).
+  bool reuses_workspace = false;
+  /// Prepare() requires Graph::BuildInAdjacency() to have been called.
+  bool needs_in_adjacency = false;
+  /// Prepare() requires a graph with no dead ends (backward push).
+  bool needs_dead_end_free = false;
+  /// Honors SolverContext::set_trace() convergence checkpoints.
+  bool supports_trace = false;
+  /// Prepare() builds a per-graph index (walk index, hub oracle, LU).
+  bool has_index = false;
+};
+
+/// The polymorphic SSPPR solver interface: every algorithm in src/core/
+/// and src/approx/ (plus BePI) is reachable through it. Lifecycle:
+///
+///   auto solver = SolverRegistry::Global().Create("speedppr:eps=0.3");
+///   solver->Prepare(graph);            // bind + build index if any
+///   SolverContext context;             // per thread, reused across queries
+///   PprResult result;
+///   solver->Solve({.source = 42}, context, &result);
+///
+/// Solve() may be called any number of times after one Prepare(); the
+/// graph must outlive the solver. Prepare() may be called again to
+/// re-bind to a different graph.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry name ("powerpush", "speedppr", ...).
+  virtual std::string_view name() const = 0;
+
+  virtual SolverCapabilities capabilities() const = 0;
+
+  /// Binds the solver to a graph and runs preprocessing (index builds).
+  /// Validates the capability preconditions (in-adjacency, dead ends).
+  virtual Status Prepare(const Graph& graph);
+
+  /// Answers one query. `result` is overwritten. Returns
+  /// FailedPrecondition when Prepare() has not succeeded and
+  /// InvalidArgument for out-of-range sources/targets. Concurrent calls
+  /// on one solver are safe when each thread uses its own context —
+  /// implementations must keep per-query mutable state in the
+  /// SolverContext (BatchSolve relies on this).
+  Status Solve(const PprQuery& query, SolverContext& context,
+               PprResult* result);
+
+  /// The ℓ1-error bound the solver advertises for this query — exact for
+  /// the high-precision family (the push-termination certificate), a
+  /// conservative testing bound for the probabilistic families (see
+  /// docs/api.md). +infinity when nothing is claimed. Valid only after
+  /// Prepare().
+  virtual double AdvertisedL1Bound(const PprQuery& query) const;
+
+  const Graph* graph() const { return graph_; }
+
+ protected:
+  /// Algorithm body; preconditions already validated by Solve().
+  virtual Status DoSolve(const PprQuery& query, SolverContext& context,
+                         PprResult* result) = 0;
+
+  const Graph* graph_ = nullptr;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_API_SOLVER_H_

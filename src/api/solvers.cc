@@ -1,0 +1,807 @@
+// The built-in Solver adapters: every SSPPR algorithm in src/core/,
+// src/approx/ and src/bepi/ wrapped behind the unified api/ interface.
+// The original free functions stay as the thin internals these adapters
+// compose; what the adapters add is
+//
+//  * option-string configuration (SolverRegistry::Create),
+//  * per-query parameter resolution (PprQuery overrides > option
+//    overrides > built-in defaults),
+//  * SolverContext workspace reuse: the push/walk compositions run
+//    against the context's sparsely-reset vectors and scratch queue, so
+//    a warm context performs no O(n) assign on repeated queries.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/registry.h"
+#include "api/solver.h"
+#include "approx/bippr.h"
+#include "approx/fora.h"
+#include "approx/hubppr.h"
+#include "approx/monte_carlo.h"
+#include "approx/resacc.h"
+#include "approx/speedppr.h"
+#include "approx/walk_index.h"
+#include "bepi/bepi.h"
+#include "core/forward_push.h"
+#include "core/pagerank.h"
+#include "core/power_iteration.h"
+#include "core/power_push.h"
+#include "core/priority_push.h"
+#include "util/timer.h"
+
+namespace ppr {
+namespace {
+
+/// Shared per-solver configuration defaults and query resolution.
+struct ParamDefaults {
+  double alpha = 0.2;
+  double lambda = 1e-8;
+  double epsilon = 0.5;
+  double mu = 0.0;  // 0 → 1/n
+
+  double Alpha(const PprQuery& q) const { return q.alpha > 0 ? q.alpha : alpha; }
+  double Lambda(const PprQuery& q) const {
+    return q.lambda > 0 ? q.lambda : lambda;
+  }
+  double Epsilon(const PprQuery& q) const {
+    return q.epsilon > 0 ? q.epsilon : epsilon;
+  }
+  double Mu(const PprQuery& q, NodeId n) const {
+    const double m = q.mu > 0 ? q.mu : mu;
+    return m > 0 ? m : 1.0 / static_cast<double>(n);
+  }
+};
+
+// --------------------------------------------------------------------
+// High-precision push family
+// --------------------------------------------------------------------
+
+/// FIFO / priority Forward Push (Algorithm 2 and the max-benefit
+/// ablation variant share everything but the push discipline).
+class ForwardPushSolver : public Solver {
+ public:
+  ForwardPushSolver(bool priority, ParamDefaults params, double rmax)
+      : priority_(priority), params_(params), rmax_(rmax) {}
+
+  std::string_view name() const override {
+    return priority_ ? "prioritypush" : "fwdpush";
+  }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kHighPrecision;
+    caps.exposes_residues = true;
+    // The priority variant allocates its DHeap per solve, so only the
+    // FIFO variant honors the warm-context no-full-assign contract.
+    caps.reuses_workspace = !priority_;
+    caps.supports_trace = true;
+    return caps;
+  }
+
+  Status Prepare(const Graph& graph) override {
+    PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
+    dead_ends_ = graph.CountDeadEnds();
+    return Status::OK();
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    // Termination: every v inactive w.r.t. rmax, so
+    // rsum ≤ Σ_v deff(v)·rmax = (m + #dead-ends)·rmax (Equation (7)).
+    const double effective_edges =
+        static_cast<double>(graph_->num_edges() + dead_ends_);
+    return effective_edges * ResolvedRmax(query);
+  }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    const NodeId n = graph_->num_nodes();
+    PprEstimate* estimate = context.AcquireEstimate(n, query.source);
+    ForwardPushOptions options;
+    options.alpha = params_.Alpha(query);
+    options.rmax = ResolvedRmax(query);
+    options.assume_initialized = true;
+    if (priority_) {
+      result->stats = PriorityForwardPush(*graph_, query.source, options,
+                                          estimate, context.trace());
+    } else {
+      result->stats =
+          FifoForwardPush(*graph_, query.source, options, estimate,
+                          context.trace(), context.AcquireQueue(n));
+    }
+    context.ExportEstimate(query.want_residues, result);
+    return Status::OK();
+  }
+
+ private:
+  double ResolvedRmax(const PprQuery& query) const {
+    if (rmax_ > 0) return rmax_;
+    return params_.Lambda(query) / static_cast<double>(graph_->num_edges());
+  }
+
+  const bool priority_;
+  const ParamDefaults params_;
+  const double rmax_;  // 0 → derive lambda/m per query
+  NodeId dead_ends_ = 0;
+};
+
+/// PowerPush (Algorithm 3), the paper's primary contribution.
+class PowerPushSolver : public Solver {
+ public:
+  PowerPushSolver(ParamDefaults params, double lambda_unset, int epochs,
+                  double scan_threshold)
+      : params_(params),
+        lambda_set_(lambda_unset > 0),
+        epochs_(epochs),
+        scan_threshold_(scan_threshold) {
+    if (lambda_set_) params_.lambda = lambda_unset;
+  }
+
+  std::string_view name() const override { return "powerpush"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kHighPrecision;
+    caps.exposes_residues = true;
+    caps.reuses_workspace = true;
+    caps.supports_trace = true;
+    return caps;
+  }
+
+  Status Prepare(const Graph& graph) override {
+    PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
+    dead_ends_ = graph.CountDeadEnds();
+    return Status::OK();
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    // λ on dead-end-free graphs; λ·(1 + k/m) with k dead ends (see
+    // power_push.h).
+    const double m = static_cast<double>(graph_->num_edges());
+    return Lambda(query) * (1.0 + static_cast<double>(dead_ends_) / m);
+  }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    const NodeId n = graph_->num_nodes();
+    PprEstimate* estimate = context.AcquireEstimate(n, query.source);
+    PowerPushOptions options;
+    options.alpha = params_.Alpha(query);
+    options.lambda = Lambda(query);
+    options.epoch_num = epochs_;
+    options.scan_threshold_fraction = scan_threshold_;
+    options.assume_initialized = true;
+    result->stats = PowerPush(*graph_, query.source, options, estimate,
+                              context.trace(), context.AcquireQueue(n));
+    context.ExportEstimate(query.want_residues, result);
+    return Status::OK();
+  }
+
+ private:
+  double Lambda(const PprQuery& query) const {
+    if (query.lambda > 0) return query.lambda;
+    return lambda_set_ ? params_.lambda : PaperLambda(*graph_);
+  }
+
+  ParamDefaults params_;
+  const bool lambda_set_;  // false → paper default min(1e-8, 1/m)
+  const int epochs_;
+  const double scan_threshold_;
+  NodeId dead_ends_ = 0;
+};
+
+/// Vanilla Power Iteration (§3.1).
+class PowerIterationSolver : public Solver {
+ public:
+  explicit PowerIterationSolver(ParamDefaults params) : params_(params) {}
+
+  std::string_view name() const override { return "powitr"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kHighPrecision;
+    caps.exposes_residues = true;
+    // PowerIteration allocates its γ_{j+1} scratch per solve; the
+    // context estimate is reused but the no-full-assign contract the
+    // flag promises does not hold.
+    caps.reuses_workspace = false;
+    caps.supports_trace = true;
+    return caps;
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    return params_.Lambda(query);
+  }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    PprEstimate* estimate =
+        context.AcquireEstimate(graph_->num_nodes(), query.source);
+    PowerIterationOptions options;
+    options.alpha = params_.Alpha(query);
+    options.lambda = params_.Lambda(query);
+    options.assume_initialized = true;
+    result->stats = PowerIteration(*graph_, query.source, options, estimate,
+                                   context.trace());
+    context.ExportEstimate(query.want_residues, result);
+    return Status::OK();
+  }
+
+ private:
+  const ParamDefaults params_;
+};
+
+/// Global PageRank — the uniform-teleport special case; ignores
+/// query.source.
+class PageRankSolver : public Solver {
+ public:
+  explicit PageRankSolver(ParamDefaults params) : params_(params) {}
+
+  std::string_view name() const override { return "pagerank"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kGlobal;
+    return caps;
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    return params_.Lambda(query);
+  }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& /*context*/,
+                 PprResult* result) override {
+    PageRankOptions options;
+    options.alpha = params_.Alpha(query);
+    options.lambda = params_.Lambda(query);
+    result->scores = PageRank(*graph_, options, &result->stats);
+    return Status::OK();
+  }
+
+ private:
+  ParamDefaults params_;
+};
+
+/// BePI (Jung et al., SIGMOD'17): preprocessing-based high-precision
+/// competitor. query.lambda doubles as BePI's convergence delta.
+class BepiApiSolver : public Solver {
+ public:
+  BepiApiSolver(ParamDefaults params, uint64_t max_iterations)
+      : params_(params), max_iterations_(max_iterations) {}
+
+  std::string_view name() const override { return "bepi"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kHighPrecision;
+    caps.needs_in_adjacency = true;
+    caps.has_index = true;
+    return caps;
+  }
+
+  Status Prepare(const Graph& graph) override {
+    PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
+    BepiOptions options;
+    options.alpha = params_.alpha;
+    options.max_iterations = max_iterations_;
+    bepi_ = BepiSolver::Preprocess(graph, options);
+    return Status::OK();
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    // BePI's delta is an ℓ2 successive-iterate criterion, not a direct
+    // ℓ1 certificate; sqrt(delta) is a comfortably conservative
+    // empirical calibration (see bepi_test: delta=1e-9 lands below
+    // 1e-6 ℓ1 across the zoo).
+    return std::sqrt(params_.Lambda(query));
+  }
+
+  uint64_t IndexBytes() const { return bepi_ ? bepi_->IndexBytes() : 0; }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& /*context*/,
+                 PprResult* result) override {
+    if (query.alpha > 0 && query.alpha != params_.alpha) {
+      return Status::InvalidArgument(
+          "bepi preprocessing is bound to alpha=" +
+          std::to_string(params_.alpha) + "; recreate with the alpha option");
+    }
+    result->stats =
+        bepi_->Solve(query.source, params_.Lambda(query), &result->scores);
+    return Status::OK();
+  }
+
+ private:
+  const ParamDefaults params_;
+  const uint64_t max_iterations_;
+  std::unique_ptr<BepiSolver> bepi_;
+};
+
+// --------------------------------------------------------------------
+// Approximate family
+// --------------------------------------------------------------------
+
+/// Plain Monte Carlo: W Chernoff-sized α-walks from the source.
+class MonteCarloSolver : public Solver {
+ public:
+  explicit MonteCarloSolver(ParamDefaults params) : params_(params) {}
+
+  std::string_view name() const override { return "mc"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kApproximate;
+    caps.randomized = true;
+    caps.reuses_workspace = true;
+    return caps;
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    return params_.Epsilon(query);
+  }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    const NodeId n = graph_->num_nodes();
+    ApproxOptions options;
+    options.alpha = params_.Alpha(query);
+    options.epsilon = params_.Epsilon(query);
+    options.mu = params_.Mu(query, n);
+    std::vector<double>* scores = context.AcquireScores(n);
+    result->stats =
+        MonteCarloInto(*graph_, query.source, options, context.rng(), scores);
+    context.ExportScores(result);
+    return Status::OK();
+  }
+
+ private:
+  const ParamDefaults params_;
+};
+
+/// FORA / FORA+ and SpeedPPR / SpeedPPR-Index share the two-phase
+/// structure; `kind_` picks the phase-1 engine and the index sizing.
+class TwoPhaseSolver : public Solver {
+ public:
+  enum class Kind { kFora, kSpeedPpr };
+
+  TwoPhaseSolver(Kind kind, ParamDefaults params, bool indexed,
+                 double index_eps, uint64_t index_seed)
+      : kind_(kind),
+        params_(params),
+        indexed_(indexed),
+        index_eps_(index_eps),
+        index_seed_(index_seed) {}
+
+  std::string_view name() const override {
+    return kind_ == Kind::kFora ? "fora" : "speedppr";
+  }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kApproximate;
+    caps.randomized = true;
+    caps.reuses_workspace = true;
+    caps.has_index = indexed_;
+    return caps;
+  }
+
+  Status Prepare(const Graph& graph) override {
+    PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
+    index_.reset();
+    if (!indexed_) return Status::OK();
+    const NodeId n = graph.num_nodes();
+    if (kind_ == Kind::kSpeedPpr) {
+      // ε-independent sizing: exactly d_v walks per node (§6.2).
+      index_ = std::make_unique<WalkIndex>(
+          WalkIndex::BuildParallel(graph, params_.alpha,
+                                   WalkIndex::Sizing::kSpeedPpr,
+                                   /*walk_count_w=*/0, index_seed_));
+    } else {
+      // FORA+ sizing depends on W and therefore on the ε the index is
+      // built for (§6.1); smaller index_eps serves every larger ε.
+      const double eps = index_eps_ > 0 ? index_eps_ : params_.epsilon;
+      const uint64_t w = ChernoffWalkCount(n, eps, params_.Mu({}, n));
+      index_ = std::make_unique<WalkIndex>(WalkIndex::BuildParallel(
+          graph, params_.alpha, WalkIndex::Sizing::kForaPlus, w, index_seed_));
+    }
+    return Status::OK();
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    return params_.Epsilon(query);
+  }
+
+  const WalkIndex* index() const { return index_.get(); }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    const NodeId n = graph_->num_nodes();
+    const double alpha = params_.Alpha(query);
+    if (indexed_ && query.alpha > 0 && query.alpha != params_.alpha) {
+      return Status::InvalidArgument(
+          "the walk index is bound to alpha=" + std::to_string(params_.alpha) +
+          "; recreate with the alpha option");
+    }
+    ApproxOptions options;
+    options.alpha = alpha;
+    options.epsilon = params_.Epsilon(query);
+    options.mu = params_.Mu(query, n);
+
+    // The compositions live in SpeedPprInto/ForaInto — shared with the
+    // free functions, so the two entry points cannot drift.
+    PprEstimate* estimate = context.AcquireEstimate(n, query.source);
+    std::vector<double>* scores = context.AcquireScores(n);
+    if (kind_ == Kind::kSpeedPpr) {
+      result->stats =
+          SpeedPprInto(*graph_, query.source, options, context.rng(), estimate,
+                       scores, index_.get(), context.AcquireQueue(n));
+    } else {
+      result->stats =
+          ForaInto(*graph_, query.source, options, context.rng(), estimate,
+                   scores, index_.get(), context.AcquireQueue(n));
+    }
+    context.ReleaseEstimate();
+    context.ExportScores(result);
+    return Status::OK();
+  }
+
+ private:
+  const Kind kind_;
+  const ParamDefaults params_;
+  const bool indexed_;
+  const double index_eps_;
+  const uint64_t index_seed_;
+  std::unique_ptr<WalkIndex> index_;
+};
+
+/// ResAcc (Lin et al., ICDE'20): index-free FORA accelerator.
+class ResAccSolver : public Solver {
+ public:
+  explicit ResAccSolver(ParamDefaults params) : params_(params) {}
+
+  std::string_view name() const override { return "resacc"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kApproximate;
+    caps.randomized = true;
+    return caps;
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    return params_.Epsilon(query);
+  }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    ApproxOptions options;
+    options.alpha = params_.Alpha(query);
+    options.epsilon = params_.Epsilon(query);
+    options.mu = params_.Mu(query, graph_->num_nodes());
+    result->stats = ResAcc(*graph_, query.source, options, context.rng(),
+                           &result->scores);
+    return Status::OK();
+  }
+
+ private:
+  const ParamDefaults params_;
+};
+
+// --------------------------------------------------------------------
+// Single-pair family
+// --------------------------------------------------------------------
+
+/// Shared single-pair plumbing: a concrete estimator answers one
+/// (s, t) pair; the base materializes whole vectors by looping targets
+/// when the query has none (O(n) pair queries — small graphs only).
+class SinglePairSolver : public Solver {
+ public:
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kSinglePair;
+    caps.randomized = true;
+    caps.needs_in_adjacency = true;
+    caps.needs_dead_end_free = true;
+    return caps;
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    // ε relative error at magnitude ≥ δ plus ~ε·δ absolute noise below
+    // it: ε per pair, 2ε summed over a whole column (δ = 1/n).
+    const double eps = params_.Epsilon(query);
+    return query.target != kNoTarget ? eps : 2.0 * eps;
+  }
+
+ protected:
+  explicit SinglePairSolver(ParamDefaults params) : params_(params) {}
+
+  virtual BiPprResult SolvePair(NodeId source, NodeId target,
+                                const PprQuery& query, Rng& rng) = 0;
+
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    const NodeId n = graph_->num_nodes();
+    result->scores.assign(n, 0.0);
+    SolveStats stats;
+    Timer timer;
+    if (query.target != kNoTarget) {
+      BiPprResult pair =
+          SolvePair(query.source, query.target, query, context.rng());
+      result->scores[query.target] = pair.estimate;
+      stats.random_walks = pair.walks;
+      stats.push_operations = pair.backward_pushes;
+    } else {
+      for (NodeId t = 0; t < n; ++t) {
+        BiPprResult pair = SolvePair(query.source, t, query, context.rng());
+        result->scores[t] = pair.estimate;
+        stats.random_walks += pair.walks;
+        stats.push_operations += pair.backward_pushes;
+      }
+    }
+    stats.seconds = timer.ElapsedSeconds();
+    result->stats = stats;
+    return Status::OK();
+  }
+
+  const ParamDefaults params_;
+};
+
+/// BiPPR (Lofgren et al., WSDM'16).
+class BiPprSolver : public SinglePairSolver {
+ public:
+  BiPprSolver(ParamDefaults params, double delta, double rmax)
+      : SinglePairSolver(params), delta_(delta), rmax_(rmax) {}
+
+  std::string_view name() const override { return "bippr"; }
+
+ protected:
+  BiPprResult SolvePair(NodeId source, NodeId target, const PprQuery& query,
+                        Rng& rng) override {
+    BiPprOptions options;
+    options.alpha = params_.Alpha(query);
+    options.epsilon = params_.Epsilon(query);
+    options.delta = delta_;
+    options.rmax = rmax_;
+    return BiPpr(*graph_, source, target, options, rng);
+  }
+
+ private:
+  const double delta_;
+  const double rmax_;
+};
+
+/// HubPPR (Wang et al., VLDB'16): BiPPR with precomputed backward
+/// oracles for hub targets.
+class HubPprSolver : public SinglePairSolver {
+ public:
+  HubPprSolver(ParamDefaults params, uint64_t num_hubs, double rmax)
+      : SinglePairSolver(params), num_hubs_(num_hubs), rmax_(rmax) {}
+
+  std::string_view name() const override { return "hubppr"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps = SinglePairSolver::capabilities();
+    caps.has_index = true;
+    return caps;
+  }
+
+  Status Prepare(const Graph& graph) override {
+    PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
+    HubPprIndex::Options options;
+    options.alpha = params_.alpha;
+    options.num_hubs = static_cast<NodeId>(num_hubs_);
+    if (rmax_ > 0) options.rmax = rmax_;
+    index_ = HubPprIndex::Build(graph, options);
+    return Status::OK();
+  }
+
+ protected:
+  BiPprResult SolvePair(NodeId source, NodeId target, const PprQuery& query,
+                        Rng& rng) override {
+    return index_->Query(source, target, params_.Epsilon(query), rng);
+  }
+
+ private:
+  const uint64_t num_hubs_;
+  const double rmax_;
+  std::optional<HubPprIndex> index_;
+};
+
+// --------------------------------------------------------------------
+// Factories + registration
+// --------------------------------------------------------------------
+
+Result<std::unique_ptr<Solver>> MakeForwardPush(const SolverSpec& spec,
+                                                bool priority) {
+  ParamDefaults params;
+  double rmax = 0.0;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("lambda", &params.lambda)
+      .Double("rmax", &rmax);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(
+      new ForwardPushSolver(priority, params, rmax));
+}
+
+Result<std::unique_ptr<Solver>> MakePowerPush(const SolverSpec& spec) {
+  ParamDefaults params;
+  double lambda = 0.0;  // unset → paper default min(1e-8, 1/m)
+  int epochs = 8;
+  double scan_threshold = 0.25;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("lambda", &lambda)
+      .Int("epochs", &epochs)
+      .Double("scan_threshold", &scan_threshold);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(
+      new PowerPushSolver(params, lambda, epochs, scan_threshold));
+}
+
+Result<std::unique_ptr<Solver>> MakePowerIteration(const SolverSpec& spec) {
+  ParamDefaults params;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha).Double("lambda", &params.lambda);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(new PowerIterationSolver(params));
+}
+
+Result<std::unique_ptr<Solver>> MakePageRank(const SolverSpec& spec) {
+  ParamDefaults params;
+  params.lambda = 1e-10;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha).Double("lambda", &params.lambda);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(new PageRankSolver(params));
+}
+
+Result<std::unique_ptr<Solver>> MakeBepi(const SolverSpec& spec) {
+  ParamDefaults params;
+  uint64_t max_iterations = 1000;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("lambda", &params.lambda)
+      .Uint64("max_iterations", &max_iterations);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(new BepiApiSolver(params, max_iterations));
+}
+
+Result<std::unique_ptr<Solver>> MakeMonteCarlo(const SolverSpec& spec) {
+  ParamDefaults params;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("eps", &params.epsilon)
+      .Double("mu", &params.mu);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(new MonteCarloSolver(params));
+}
+
+Result<std::unique_ptr<Solver>> MakeTwoPhase(const SolverSpec& spec,
+                                             TwoPhaseSolver::Kind kind,
+                                             bool default_indexed) {
+  ParamDefaults params;
+  bool indexed = default_indexed;
+  double index_eps = 0.0;
+  uint64_t seed = SolverContext::kDefaultSeed;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("eps", &params.epsilon)
+      .Double("mu", &params.mu)
+      .Uint64("seed", &seed);
+  if (!default_indexed) {
+    // The "-index" registry entries do not accept `indexed`: silently
+    // honoring indexed=false would run the wrong variant under an
+    // -index name.
+    reader.Bool("indexed", &indexed);
+  }
+  if (kind == TwoPhaseSolver::Kind::kFora) {
+    reader.Double("index_eps", &index_eps);
+  }
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(
+      new TwoPhaseSolver(kind, params, indexed, index_eps, seed));
+}
+
+Result<std::unique_ptr<Solver>> MakeResAcc(const SolverSpec& spec) {
+  ParamDefaults params;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("eps", &params.epsilon)
+      .Double("mu", &params.mu);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(new ResAccSolver(params));
+}
+
+Result<std::unique_ptr<Solver>> MakeBiPpr(const SolverSpec& spec) {
+  ParamDefaults params;
+  double delta = 0.0;
+  double rmax = 0.0;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("eps", &params.epsilon)
+      .Double("delta", &delta)
+      .Double("rmax", &rmax);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(new BiPprSolver(params, delta, rmax));
+}
+
+Result<std::unique_ptr<Solver>> MakeHubPpr(const SolverSpec& spec) {
+  ParamDefaults params;
+  uint64_t hubs = 0;
+  double rmax = 1e-5;
+  OptionReader reader(spec);
+  reader.Double("alpha", &params.alpha)
+      .Double("eps", &params.epsilon)
+      .Uint64("hubs", &hubs)
+      .Double("rmax", &rmax);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return std::unique_ptr<Solver>(new HubPprSolver(params, hubs, rmax));
+}
+
+}  // namespace
+
+void RegisterBuiltinSolvers(SolverRegistry* registry) {
+  registry->Register(
+      {"fwdpush", "FIFO Forward Push (Algorithm 2), l1 <= m*rmax",
+       "alpha, lambda, rmax",
+       [](const SolverSpec& s) { return MakeForwardPush(s, false); }});
+  registry->Register(
+      {"prioritypush", "max-benefit-first Forward Push (push ablation)",
+       "alpha, lambda, rmax",
+       [](const SolverSpec& s) { return MakeForwardPush(s, true); }});
+  registry->Register(
+      {"powerpush", "Power Iteration with Forward Push (Algorithm 3)",
+       "alpha, lambda, epochs, scan_threshold", MakePowerPush});
+  registry->Register({"powitr", "vanilla Power Iteration (Section 3.1)",
+                      "alpha, lambda", MakePowerIteration});
+  registry->Register({"pagerank",
+                      "global PageRank (uniform teleport; ignores source)",
+                      "alpha, lambda", MakePageRank});
+  registry->Register(
+      {"bepi", "BePI block elimination (needs in-adjacency; lambda = delta)",
+       "alpha, lambda, max_iterations", MakeBepi});
+  registry->Register({"mc", "plain Monte Carlo, W Chernoff-sized walks",
+                      "alpha, eps, mu", MakeMonteCarlo});
+  registry->Register(
+      {"fora", "FORA two-phase framework (Wang et al., KDD'17)",
+       "alpha, eps, mu, indexed, index_eps, seed", [](const SolverSpec& s) {
+         return MakeTwoPhase(s, TwoPhaseSolver::Kind::kFora, false);
+       }});
+  registry->Register(
+      {"fora-index", "FORA+ with a pre-built eps-bound walk index",
+       "alpha, eps, mu, index_eps, seed", [](const SolverSpec& s) {
+         return MakeTwoPhase(s, TwoPhaseSolver::Kind::kFora, true);
+       }});
+  registry->Register(
+      {"speedppr", "SpeedPPR (Algorithm 4), PowerPush + capped walks",
+       "alpha, eps, mu, indexed, seed", [](const SolverSpec& s) {
+         return MakeTwoPhase(s, TwoPhaseSolver::Kind::kSpeedPpr, false);
+       }});
+  registry->Register(
+      {"speedppr-index", "SpeedPPR with the eps-independent d_v walk index",
+       "alpha, eps, mu, seed", [](const SolverSpec& s) {
+         return MakeTwoPhase(s, TwoPhaseSolver::Kind::kSpeedPpr, true);
+       }});
+  registry->Register({"resacc", "ResAcc residue accumulation (index-free)",
+                      "alpha, eps, mu", MakeResAcc});
+  registry->Register(
+      {"bippr",
+       "BiPPR single-pair estimator (needs in-adjacency, no dead ends)",
+       "alpha, eps, delta, rmax", MakeBiPpr});
+  registry->Register(
+      {"hubppr", "HubPPR single-pair with precomputed hub oracles",
+       "alpha, eps, hubs, rmax", MakeHubPpr});
+}
+
+}  // namespace ppr

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "approx/random_walk.h"
+#include "approx/residue_walks.h"
 #include "core/forward_push.h"
 #include "util/timer.h"
 
@@ -13,11 +13,15 @@ double ForaRmax(const Graph& graph, uint64_t walk_count_w) {
                          static_cast<double>(walk_count_w));
 }
 
-SolveStats Fora(const Graph& graph, NodeId source,
-                const ApproxOptions& options, Rng& rng,
-                std::vector<double>* out, const WalkIndex* index) {
+SolveStats ForaInto(const Graph& graph, NodeId source,
+                    const ApproxOptions& options, Rng& rng,
+                    PprEstimate* estimate, std::vector<double>* out,
+                    const WalkIndex* index, FifoQueue* queue) {
   PPR_CHECK(source < graph.num_nodes());
   const NodeId n = graph.num_nodes();
+  PPR_CHECK(out->size() == n);
+  PPR_CHECK(estimate->reserve.size() == n);
+  PPR_CHECK(estimate->residue.size() == n);
   const uint64_t w =
       ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
 
@@ -25,42 +29,34 @@ SolveStats Fora(const Graph& graph, NodeId source,
   SolveStats stats;
 
   // Phase 1: forward push.
-  PprEstimate estimate;
   ForwardPushOptions push_options;
   push_options.alpha = options.alpha;
   push_options.rmax = ForaRmax(graph, w);
-  SolveStats push_stats =
-      FifoForwardPush(graph, source, push_options, &estimate);
+  push_options.assume_initialized = true;
+  SolveStats push_stats = FifoForwardPush(graph, source, push_options,
+                                          estimate, /*trace=*/nullptr, queue);
   stats.push_operations = push_stats.push_operations;
   stats.edge_pushes = push_stats.edge_pushes;
   stats.final_rsum = push_stats.final_rsum;
 
   // Phase 2: Monte-Carlo refinement of the leftover residues.
-  *out = estimate.reserve;
-  const double dw = static_cast<double>(w);
-  for (NodeId v = 0; v < n; ++v) {
-    const double r = estimate.residue[v];
-    if (r <= 0.0) continue;
-    const uint64_t wv = static_cast<uint64_t>(std::ceil(r * dw));
-    const double contribution = r / static_cast<double>(wv);
-    uint64_t served = 0;
-    if (index != nullptr) {
-      auto endpoints = index->Endpoints(v);
-      served = std::min<uint64_t>(wv, endpoints.size());
-      for (uint64_t i = 0; i < served; ++i) {
-        (*out)[endpoints[i]] += contribution;
-      }
-    }
-    for (uint64_t i = served; i < wv; ++i) {
-      WalkOutcome outcome = RandomWalk(graph, v, options.alpha, rng);
-      (*out)[outcome.stop] += contribution;
-      stats.walk_steps += outcome.steps;
-    }
-    stats.random_walks += wv;
-  }
+  SeedScoresFromReserve(estimate->reserve, out);
+  ResidueWalkPhase(graph, estimate->residue, w, options.alpha, rng, index, out,
+                   &stats);
 
   stats.seconds = timer.ElapsedSeconds();
   return stats;
+}
+
+SolveStats Fora(const Graph& graph, NodeId source,
+                const ApproxOptions& options, Rng& rng,
+                std::vector<double>* out, const WalkIndex* index) {
+  PPR_CHECK(source < graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  out->assign(n, 0.0);
+  PprEstimate estimate;
+  estimate.Reset(n, source);
+  return ForaInto(graph, source, options, rng, &estimate, out, index);
 }
 
 }  // namespace ppr

@@ -5,7 +5,9 @@
 
 #include "approx/monte_carlo.h"
 #include "approx/walk_index.h"
+#include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/fifo_queue.h"
 #include "util/rng.h"
 
 namespace ppr {
@@ -28,6 +30,15 @@ namespace ppr {
 SolveStats Fora(const Graph& graph, NodeId source, const ApproxOptions& options,
                 Rng& rng, std::vector<double>* out,
                 const WalkIndex* index = nullptr);
+
+/// Workspace variant — the single composition both Fora() and the api/
+/// "fora" adapter run. `estimate` must hold the canonical start state
+/// and `out` must be all-zero, both sized n (see SpeedPprInto).
+SolveStats ForaInto(const Graph& graph, NodeId source,
+                    const ApproxOptions& options, Rng& rng,
+                    PprEstimate* estimate, std::vector<double>* out,
+                    const WalkIndex* index = nullptr,
+                    FifoQueue* queue = nullptr);
 
 /// The r_max FORA uses for a given W: 1/sqrt(m·W).
 double ForaRmax(const Graph& graph, uint64_t walk_count_w);

@@ -19,14 +19,21 @@ uint64_t ChernoffWalkCount(NodeId n, double epsilon, double mu) {
 SolveStats MonteCarlo(const Graph& graph, NodeId source,
                       const ApproxOptions& options, Rng& rng,
                       std::vector<double>* out) {
+  out->assign(graph.num_nodes(), 0.0);
+  return MonteCarloInto(graph, source, options, rng, out);
+}
+
+SolveStats MonteCarloInto(const Graph& graph, NodeId source,
+                          const ApproxOptions& options, Rng& rng,
+                          std::vector<double>* out) {
   PPR_CHECK(source < graph.num_nodes());
   const NodeId n = graph.num_nodes();
+  PPR_CHECK(out->size() == n);
   const uint64_t walks =
       ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
 
   Timer timer;
   SolveStats stats;
-  out->assign(n, 0.0);
   const double weight = 1.0 / static_cast<double>(walks);
   for (uint64_t i = 0; i < walks; ++i) {
     WalkOutcome outcome = RandomWalk(graph, source, options.alpha, rng);

@@ -35,6 +35,13 @@ SolveStats MonteCarlo(const Graph& graph, NodeId source,
                       const ApproxOptions& options, Rng& rng,
                       std::vector<double>* out);
 
+/// As MonteCarlo, but `out` must already be sized n and all-zero; the
+/// O(n) assign() is skipped. Used by the api/ adapters together with a
+/// SolverContext sparse reset.
+SolveStats MonteCarloInto(const Graph& graph, NodeId source,
+                          const ApproxOptions& options, Rng& rng,
+                          std::vector<double>* out);
+
 }  // namespace ppr
 
 #endif  // PPR_APPROX_MONTE_CARLO_H_

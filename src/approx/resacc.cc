@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "approx/fora.h"
-#include "approx/random_walk.h"
+#include "approx/residue_walks.h"
 #include "core/workspace.h"
 #include "util/fifo_queue.h"
 #include "util/timer.h"
@@ -77,21 +77,9 @@ SolveStats ResAcc(const Graph& graph, NodeId source,
 
   // Monte-Carlo phase, identical to FORA's.
   *out = reserve;
-  const double dw = static_cast<double>(w);
-  double rsum = 0.0;
-  for (NodeId v = 0; v < n; ++v) {
-    const double r = residue[v];
-    if (r <= 0.0) continue;
-    rsum += r;
-    const uint64_t wv = static_cast<uint64_t>(std::ceil(r * dw));
-    const double contribution = r / static_cast<double>(wv);
-    for (uint64_t i = 0; i < wv; ++i) {
-      WalkOutcome outcome = RandomWalk(graph, v, alpha, rng);
-      (*out)[outcome.stop] += contribution;
-      stats.walk_steps += outcome.steps;
-    }
-    stats.random_walks += wv;
-  }
+  const double rsum = estimate.ResidueSum();
+  ResidueWalkPhase(graph, residue, w, alpha, rng, /*index=*/nullptr, out,
+                   &stats);
 
   stats.final_rsum = rsum;
   stats.seconds = timer.ElapsedSeconds();

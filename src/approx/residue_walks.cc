@@ -1,0 +1,40 @@
+#include "approx/residue_walks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "approx/random_walk.h"
+
+namespace ppr {
+
+void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
+                      uint64_t walk_count_w, double alpha, Rng& rng,
+                      const WalkIndex* index, std::vector<double>* out,
+                      SolveStats* stats) {
+  const NodeId n = graph.num_nodes();
+  PPR_CHECK(residue.size() == n);
+  PPR_CHECK(out->size() == n);
+  const double dw = static_cast<double>(walk_count_w);
+  for (NodeId v = 0; v < n; ++v) {
+    const double r = residue[v];
+    if (r <= 0.0) continue;
+    const uint64_t wv = static_cast<uint64_t>(std::ceil(r * dw));
+    const double contribution = r / static_cast<double>(wv);
+    uint64_t served = 0;
+    if (index != nullptr) {
+      auto endpoints = index->Endpoints(v);
+      served = std::min<uint64_t>(wv, endpoints.size());
+      for (uint64_t i = 0; i < served; ++i) {
+        (*out)[endpoints[i]] += contribution;
+      }
+    }
+    for (uint64_t i = served; i < wv; ++i) {
+      WalkOutcome outcome = RandomWalk(graph, v, alpha, rng);
+      (*out)[outcome.stop] += contribution;
+      stats->walk_steps += outcome.steps;
+    }
+    stats->random_walks += wv;
+  }
+}
+
+}  // namespace ppr

@@ -1,0 +1,42 @@
+#ifndef PPR_APPROX_RESIDUE_WALKS_H_
+#define PPR_APPROX_RESIDUE_WALKS_H_
+
+#include <vector>
+
+#include "approx/walk_index.h"
+#include "core/workspace.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+/// The Monte-Carlo phase shared by FORA, SpeedPPR and ResAcc
+/// (Equation (14)): for every node v with leftover residue r(s,v) > 0,
+/// W_v = ceil(r(s,v)·W) α-walks from v each add r(s,v)/W_v to the
+/// estimate of their stop node. When `index` is non-null, the first
+/// min(W_v, K_v) walks consume pre-generated endpoints; any shortfall is
+/// topped up with fresh walks (§6.1's ε-dependence caveat for FORA+;
+/// never needed by SpeedPPR's d_v-sized index).
+///
+/// `out` must be sized n and already contain whatever the walks refine
+/// (typically the reserve vector); contributions are accumulated into it.
+/// Increments stats->random_walks and stats->walk_steps.
+void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
+                      uint64_t walk_count_w, double alpha, Rng& rng,
+                      const WalkIndex* index, std::vector<double>* out,
+                      SolveStats* stats);
+
+/// Support-only copy of the push reserves into the (all-zero) score
+/// buffer that the walk phase then refines: writes only nonzero
+/// entries, preserving the caller's sparse-reset accounting.
+inline void SeedScoresFromReserve(const std::vector<double>& reserve,
+                                  std::vector<double>* out) {
+  const size_t n = reserve.size();
+  for (size_t v = 0; v < n; ++v) {
+    if (reserve[v] != 0.0) (*out)[v] = reserve[v];
+  }
+}
+
+}  // namespace ppr
+
+#endif  // PPR_APPROX_RESIDUE_WALKS_H_

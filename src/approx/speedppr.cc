@@ -3,76 +3,85 @@
 #include <cmath>
 
 #include "approx/monte_carlo.h"
-#include "approx/random_walk.h"
+#include "approx/residue_walks.h"
 #include "core/forward_push.h"
 #include "core/power_push.h"
 #include "util/timer.h"
 
 namespace ppr {
 
-SolveStats SpeedPpr(const Graph& graph, NodeId source,
-                    const ApproxOptions& options, Rng& rng,
-                    std::vector<double>* out, const WalkIndex* index) {
+SolveStats SpeedPprInto(const Graph& graph, NodeId source,
+                        const ApproxOptions& options, Rng& rng,
+                        PprEstimate* estimate, std::vector<double>* out,
+                        const WalkIndex* index, FifoQueue* queue) {
   PPR_CHECK(source < graph.num_nodes());
+  PPR_CHECK(out->size() == graph.num_nodes());
   const NodeId n = graph.num_nodes();
   const uint64_t w =
       ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
 
   if (w <= graph.num_edges()) {
     // §6.1: with m >= W, plain MonteCarlo already costs O(W) <= O(m).
-    return MonteCarlo(graph, source, options, rng, out);
+    return MonteCarloInto(graph, source, options, rng, out);
   }
+  PPR_CHECK(estimate->reserve.size() == n);
+  PPR_CHECK(estimate->residue.size() == n);
 
   Timer timer;
   SolveStats stats;
 
   // Phase 1a: PowerPush down to λ = m/W.
-  PprEstimate estimate;
   PowerPushOptions push_options;
   push_options.alpha = options.alpha;
   push_options.lambda =
       static_cast<double>(graph.num_edges()) / static_cast<double>(w);
-  SolveStats push_stats = PowerPush(graph, source, push_options, &estimate);
+  push_options.assume_initialized = true;
+  SolveStats push_stats = PowerPush(graph, source, push_options, estimate,
+                                    /*trace=*/nullptr, queue);
   stats.push_operations = push_stats.push_operations;
   stats.edge_pushes = push_stats.edge_pushes;
 
   // Phase 1b: O(m) refinement (Lemma 4.5) so that no node is active
   // w.r.t. r_max = 1/W, i.e. r(s,v) <= d_v/W for every v.
   const double rmax = 1.0 / static_cast<double>(w);
-  SolveStats refine_stats =
-      FifoForwardPushRefine(graph, source, options.alpha, rmax, &estimate);
+  SolveStats refine_stats = FifoForwardPushRefine(graph, source, options.alpha,
+                                                  rmax, estimate, queue);
   stats.push_operations += refine_stats.push_operations;
   stats.edge_pushes += refine_stats.edge_pushes;
   stats.final_rsum = refine_stats.final_rsum;
 
-  // Phase 2: at most d_v walks per node.
-  *out = estimate.reserve;
-  const double dw = static_cast<double>(w);
+#ifndef NDEBUG
+  // Lemma 4.5's cap: refinement must leave W_v = ceil(r(s,v)·W) <= d_v.
   for (NodeId v = 0; v < n; ++v) {
-    const double r = estimate.residue[v];
+    const double r = estimate->residue[v];
     if (r <= 0.0) continue;
-    const uint64_t wv = static_cast<uint64_t>(std::ceil(r * dw));
-    PPR_DCHECK(wv <= EffectiveDegree(graph, v))
-        << "refinement must cap W_v at the degree";
-    const double contribution = r / static_cast<double>(wv);
-    uint64_t served = 0;
-    if (index != nullptr) {
-      auto endpoints = index->Endpoints(v);
-      served = std::min<uint64_t>(wv, endpoints.size());
-      for (uint64_t i = 0; i < served; ++i) {
-        (*out)[endpoints[i]] += contribution;
-      }
-    }
-    for (uint64_t i = served; i < wv; ++i) {
-      WalkOutcome outcome = RandomWalk(graph, v, options.alpha, rng);
-      (*out)[outcome.stop] += contribution;
-      stats.walk_steps += outcome.steps;
-    }
-    stats.random_walks += wv;
+    PPR_DCHECK(static_cast<uint64_t>(
+                   std::ceil(r * static_cast<double>(w))) <=
+               EffectiveDegree(graph, v))
+        << "refinement must cap W_v at the degree (v=" << v << ")";
   }
+#endif
+
+  // Phase 2: at most d_v walks per node.
+  SeedScoresFromReserve(estimate->reserve, out);
+  ResidueWalkPhase(graph, estimate->residue, w, options.alpha, rng, index, out,
+                   &stats);
 
   stats.seconds = timer.ElapsedSeconds();
   return stats;
+}
+
+SolveStats SpeedPpr(const Graph& graph, NodeId source,
+                    const ApproxOptions& options, Rng& rng,
+                    std::vector<double>* out, const WalkIndex* index) {
+  PPR_CHECK(source < graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  out->assign(n, 0.0);
+  PprEstimate estimate;
+  const uint64_t w =
+      ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
+  if (w > graph.num_edges()) estimate.Reset(n, source);
+  return SpeedPprInto(graph, source, options, rng, &estimate, out, index);
 }
 
 }  // namespace ppr

@@ -5,7 +5,9 @@
 
 #include "approx/monte_carlo.h"
 #include "approx/walk_index.h"
+#include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/fifo_queue.h"
 #include "util/rng.h"
 
 namespace ppr {
@@ -33,6 +35,19 @@ SolveStats SpeedPpr(const Graph& graph, NodeId source,
                     const ApproxOptions& options, Rng& rng,
                     std::vector<double>* out,
                     const WalkIndex* index = nullptr);
+
+/// Workspace variant — the single composition both SpeedPpr() and the
+/// api/ "speedppr" adapter run. `estimate` must hold the canonical
+/// start state (residue = e_source) and `out` must be all-zero, both
+/// sized n; no O(n) initialization is performed, so a SolverContext can
+/// supply sparsely-reset buffers. `queue` optionally provides the push
+/// loops' scratch FIFO. In the W ≤ m regime the walk phase runs as
+/// plain MonteCarlo and `estimate` is left untouched.
+SolveStats SpeedPprInto(const Graph& graph, NodeId source,
+                        const ApproxOptions& options, Rng& rng,
+                        PprEstimate* estimate, std::vector<double>* out,
+                        const WalkIndex* index = nullptr,
+                        FifoQueue* queue = nullptr);
 
 }  // namespace ppr
 

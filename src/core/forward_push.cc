@@ -11,9 +11,11 @@ namespace {
 /// node and pushes until the queue drains (or rsum falls to stop_rsum).
 SolveStats RunFifoLoop(const Graph& graph, NodeId source, double alpha,
                        double rmax, double stop_rsum, PprEstimate* estimate,
-                       ConvergenceTrace* trace) {
+                       ConvergenceTrace* trace, FifoQueue* scratch) {
   const NodeId n = graph.num_nodes();
-  FifoQueue queue(n);
+  FifoQueue local_queue(scratch != nullptr ? 0 : n);
+  FifoQueue& queue = scratch != nullptr ? *scratch : local_queue;
+  if (scratch != nullptr) queue.Reconfigure(n);
   double rsum = 0.0;
   for (NodeId v = 0; v < n; ++v) {
     const double r = estimate->residue[v];
@@ -71,28 +73,28 @@ SolveStats RunFifoLoop(const Graph& graph, NodeId source, double alpha,
 
 SolveStats FifoForwardPush(const Graph& graph, NodeId source,
                            const ForwardPushOptions& options, PprEstimate* out,
-                           ConvergenceTrace* trace) {
+                           ConvergenceTrace* trace, FifoQueue* queue) {
   PPR_CHECK(source < graph.num_nodes());
   PPR_CHECK(options.rmax > 0.0);
   PPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
 
   if (trace != nullptr) trace->Start();
-  out->Reset(graph.num_nodes(), source);
+  out->EnsureStartState(graph.num_nodes(), source, options.assume_initialized);
   SolveStats stats = RunFifoLoop(graph, source, options.alpha, options.rmax,
-                                 options.stop_rsum, out, trace);
+                                 options.stop_rsum, out, trace, queue);
   if (trace != nullptr) trace->Record(stats.edge_pushes, stats.final_rsum);
   return stats;
 }
 
 SolveStats FifoForwardPushRefine(const Graph& graph, NodeId source,
                                  double alpha, double rmax,
-                                 PprEstimate* estimate) {
+                                 PprEstimate* estimate, FifoQueue* queue) {
   PPR_CHECK(source < graph.num_nodes());
   PPR_CHECK(rmax > 0.0);
   PPR_CHECK(estimate->reserve.size() == graph.num_nodes());
   PPR_CHECK(estimate->residue.size() == graph.num_nodes());
   return RunFifoLoop(graph, source, alpha, rmax, /*stop_rsum=*/0.0, estimate,
-                     /*trace=*/nullptr);
+                     /*trace=*/nullptr, queue);
 }
 
 }  // namespace ppr

@@ -4,6 +4,7 @@
 #include "core/trace.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/fifo_queue.h"
 
 namespace ppr {
 
@@ -17,6 +18,12 @@ struct ForwardPushOptions {
   /// Optional early stop: additionally stop once rsum ≤ stop_rsum
   /// (0 disables; the classic algorithm runs until no node is active).
   double stop_rsum = 0.0;
+  /// When true, `out` must already hold a valid (reserve, residue) state
+  /// of size n — typically the canonical start state produced by a
+  /// SolverContext sparse reset — and the O(n) Reset() is skipped. Used
+  /// by the api/ adapters to make repeated queries allocation- and
+  /// assign-free.
+  bool assume_initialized = false;
 };
 
 /// First-In-First-Out Forward Push — the "common implementation" whose
@@ -24,9 +31,13 @@ struct ForwardPushOptions {
 /// nodes are organized in a FIFO ring with O(1) membership tests; a push
 /// converts α of a node's residue into reserve and spreads the rest over
 /// its out-neighbors. Dead-end mass is redirected to the source.
+/// `queue` optionally supplies a reusable scratch FIFO (it is
+/// Reconfigure()d to the graph's node count); nullptr allocates one
+/// per call.
 SolveStats FifoForwardPush(const Graph& graph, NodeId source,
                            const ForwardPushOptions& options, PprEstimate* out,
-                           ConvergenceTrace* trace = nullptr);
+                           ConvergenceTrace* trace = nullptr,
+                           FifoQueue* queue = nullptr);
 
 /// Continues pushing from an existing (reserve, residue) state until no
 /// node is active w.r.t. rmax. This is the O(m) post-refinement step that
@@ -34,7 +45,8 @@ SolveStats FifoForwardPush(const Graph& graph, NodeId source,
 /// starting from rsum ≤ m*rmax it costs only O(m).
 SolveStats FifoForwardPushRefine(const Graph& graph, NodeId source,
                                  double alpha, double rmax,
-                                 PprEstimate* estimate);
+                                 PprEstimate* estimate,
+                                 FifoQueue* queue = nullptr);
 
 }  // namespace ppr
 

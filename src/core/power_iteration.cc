@@ -18,7 +18,7 @@ SolveStats PowerIteration(const Graph& graph, NodeId source,
   Timer timer;
   if (trace != nullptr) trace->Start();
 
-  out->Reset(n, source);
+  out->EnsureStartState(n, source, options.assume_initialized);
   std::vector<double>& gamma = out->residue;  // γ_j, the alive-walk mass
   std::vector<double> next(n, 0.0);           // γ_{j+1}
 

@@ -15,6 +15,9 @@ struct PowerIterationOptions {
   double lambda = 1e-8;
   /// Safety cap; (1−α)^j ≤ λ needs ~log(1/λ)/α iterations, far below this.
   uint64_t max_iterations = 100000;
+  /// When true, `out` must already hold the canonical start state at
+  /// size n and the O(n) Reset() is skipped (see PowerPushOptions).
+  bool assume_initialized = false;
 };
 
 /// Power Iteration: maintains the alive-walk distribution γ_j and the

@@ -14,7 +14,7 @@ double PaperLambda(const Graph& graph) {
 
 SolveStats PowerPush(const Graph& graph, NodeId source,
                      const PowerPushOptions& options, PprEstimate* out,
-                     ConvergenceTrace* trace) {
+                     ConvergenceTrace* trace, FifoQueue* scratch) {
   PPR_CHECK(source < graph.num_nodes());
   PPR_CHECK(options.lambda > 0.0 && options.lambda < 1.0);
   PPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
@@ -29,7 +29,7 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
 
   Timer timer;
   if (trace != nullptr) trace->Start();
-  out->Reset(n, source);
+  out->EnsureStartState(n, source, options.assume_initialized);
   std::vector<double>& reserve = out->reserve;
   std::vector<double>& residue = out->residue;
 
@@ -38,7 +38,9 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
 
   // ---- Phase 1: local FIFO pushes while the frontier is sparse. ----
   if (options.use_queue_phase) {
-    FifoQueue queue(n);
+    FifoQueue local_queue(scratch != nullptr ? 0 : n);
+    FifoQueue& queue = scratch != nullptr ? *scratch : local_queue;
+    if (scratch != nullptr) queue.Reconfigure(n);
     queue.PushIfAbsent(source);
     while (!queue.empty() && queue.size() <= scan_threshold &&
            rsum > lambda) {

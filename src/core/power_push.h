@@ -4,6 +4,7 @@
 #include "core/trace.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/fifo_queue.h"
 
 namespace ppr {
 
@@ -24,6 +25,11 @@ struct PowerPushOptions {
   bool use_queue_phase = true;
   /// Ablation: disable the dynamic ℓ1 threshold (single epoch at λ).
   bool use_epochs = true;
+  /// When true, `out` must already hold the canonical start state
+  /// (reserve 0 everywhere, residue = e_source) at size n and the O(n)
+  /// Reset() is skipped — the api/ adapters pair this with a
+  /// SolverContext sparse reset.
+  bool assume_initialized = false;
 };
 
 /// The λ value the paper uses for high-precision experiments:
@@ -51,9 +57,12 @@ double PaperLambda(const Graph& graph);
 /// satisfies ‖π̂ − π‖₁ = rsum ≤ λ on dead-end-free graphs; with k dead
 /// ends the bound relaxes to λ·(1 + k/m), matching classic FwdPush
 /// termination (every node inactive w.r.t. λ/m).
+/// `queue` optionally supplies a reusable scratch FIFO for the local
+/// phase (see FifoForwardPush); nullptr allocates one per call.
 SolveStats PowerPush(const Graph& graph, NodeId source,
                      const PowerPushOptions& options, PprEstimate* out,
-                     ConvergenceTrace* trace = nullptr);
+                     ConvergenceTrace* trace = nullptr,
+                     FifoQueue* queue = nullptr);
 
 }  // namespace ppr
 

@@ -17,7 +17,7 @@ SolveStats PriorityForwardPush(const Graph& graph, NodeId source,
   Timer timer;
   if (trace != nullptr) trace->Start();
 
-  out->Reset(n, source);
+  out->EnsureStartState(n, source, options.assume_initialized);
   std::vector<double>& reserve = out->reserve;
   std::vector<double>& residue = out->residue;
 

@@ -29,6 +29,20 @@ struct PprEstimate {
     residue[source] = 1.0;
   }
 
+  /// Puts the estimate into the start state honoring the
+  /// assume_initialized convention shared by the push solvers: when
+  /// set, the caller already initialized the buffers (e.g. a
+  /// SolverContext sparse reset) and only the sizes are validated —
+  /// the O(n) assign is skipped.
+  void EnsureStartState(NodeId n, NodeId source, bool assume_initialized) {
+    if (assume_initialized) {
+      PPR_CHECK(reserve.size() == n);
+      PPR_CHECK(residue.size() == n);
+    } else {
+      Reset(n, source);
+    }
+  }
+
   double ReserveSum() const {
     double sum = 0.0;
     for (double x : reserve) sum += x;

@@ -1,12 +1,16 @@
 #ifndef PPR_EVAL_BATCH_H_
 #define PPR_EVAL_BATCH_H_
 
+#include <string_view>
 #include <vector>
 
+#include "api/query.h"
+#include "api/solver.h"
 #include "approx/monte_carlo.h"
 #include "approx/walk_index.h"
 #include "core/power_push.h"
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace ppr {
 
@@ -16,13 +20,38 @@ namespace ppr {
 /// independent RNG stream derived from (seed, source index), so results
 /// are identical for any thread count.
 
+/// Unified batch driver: answers `base` (with source replaced per entry)
+/// for every source through one prepared Solver. Each worker thread owns
+/// a SolverContext, so consecutive queries in a chunk reuse the
+/// workspace with sparse resets; the context is reseeded per source from
+/// (seed, index) for thread-count-independent results. The solver must
+/// be Prepare()d, and its Solve must be safe to call concurrently — keep
+/// all per-query mutable state in the SolverContext, as the built-in
+/// adapters do. Solve failures are fatal (PPR_CHECK).
+std::vector<std::vector<double>> BatchSolve(Solver& solver,
+                                            const std::vector<NodeId>& sources,
+                                            const PprQuery& base = {},
+                                            uint64_t seed = 1);
+
+/// As above, but creates the solver from a registry spec string (e.g.
+/// "speedppr:eps=0.3") and prepares it on `graph`. Returns the spec /
+/// prepare error instead of rows when the spec is invalid.
+Result<std::vector<std::vector<double>>> BatchSolve(
+    const Graph& graph, std::string_view solver_spec,
+    const std::vector<NodeId>& sources, const PprQuery& base = {},
+    uint64_t seed = 1);
+
 /// High-precision rows via PowerPush. Returns one reserve vector per
-/// source, aligned with `sources`.
+/// source, aligned with `sources`. Routed through BatchSolve; the
+/// ablation flags (use_queue_phase / use_epochs) keep a direct fallback.
 std::vector<std::vector<double>> BatchPowerPush(
     const Graph& graph, const std::vector<NodeId>& sources,
     const PowerPushOptions& options);
 
-/// Approximate rows via SpeedPPR (optionally indexed).
+/// Approximate rows via SpeedPPR (optionally indexed). Routed through
+/// BatchSolve when no external index is supplied; an explicit `index`
+/// keeps the direct path (the registry's "speedppr-index" builds and
+/// owns its own).
 std::vector<std::vector<double>> BatchSpeedPpr(
     const Graph& graph, const std::vector<NodeId>& sources,
     const ApproxOptions& options, uint64_t seed,

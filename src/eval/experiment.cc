@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "core/power_push.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
 #include "util/timer.h"
@@ -60,6 +61,25 @@ std::vector<double> TimePerQuery(const std::vector<NodeId>& sources,
   }
   return seconds;
 }
+
+std::vector<double> TimePerQuery(Solver& solver, SolverContext& context,
+                                 const std::vector<NodeId>& sources,
+                                 const PprQuery& base) {
+  std::vector<double> seconds;
+  seconds.reserve(sources.size());
+  PprResult result;
+  for (NodeId s : sources) {
+    PprQuery query = base;
+    query.source = s;
+    Timer timer;
+    Status status = solver.Solve(query, context, &result);
+    seconds.push_back(timer.ElapsedSeconds());
+    PPR_CHECK(status.ok()) << status.ToString();
+  }
+  return seconds;
+}
+
+double HighPrecisionLambda(const Graph& graph) { return PaperLambda(graph); }
 
 size_t BenchQueryCount(size_t default_count) {
   if (const char* env = std::getenv("PPR_BENCH_QUERIES")) {

@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "api/context.h"
+#include "api/query.h"
+#include "api/solver.h"
 #include "graph/datasets.h"
 #include "graph/graph.h"
 
@@ -32,9 +35,21 @@ double Median(std::vector<double> values);
 std::vector<double> TimePerQuery(const std::vector<NodeId>& sources,
                                  const std::function<void(NodeId)>& fn);
 
+/// Times one prepared Solver over each source (base.source replaced per
+/// entry) on a warm context — the registry-driven benches' workhorse.
+/// Solve failures are fatal.
+std::vector<double> TimePerQuery(Solver& solver, SolverContext& context,
+                                 const std::vector<NodeId>& sources,
+                                 const PprQuery& base = {});
+
 /// Bench-wide query count: the paper's 30 sources, scaled down via
 /// PPR_BENCH_QUERIES if set.
 size_t BenchQueryCount(size_t default_count = 5);
+
+/// The paper's high-precision λ, min(1e-8, 1/m) — re-exported from
+/// core/PaperLambda so registry-driven benches need no algorithm
+/// headers. Matches the "powerpush" solver's unset-lambda default.
+double HighPrecisionLambda(const Graph& graph);
 
 }  // namespace ppr
 

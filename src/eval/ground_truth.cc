@@ -1,17 +1,29 @@
 #include "eval/ground_truth.h"
 
-#include "core/power_push.h"
+#include <memory>
+
+#include "api/context.h"
+#include "api/registry.h"
 
 namespace ppr {
 
 std::vector<double> ComputeGroundTruth(const Graph& graph, NodeId source,
                                        double alpha, double lambda) {
-  PowerPushOptions options;
-  options.alpha = alpha;
-  options.lambda = lambda;
-  PprEstimate estimate;
-  PowerPush(graph, source, options, &estimate);
-  return std::move(estimate.reserve);
+  auto created = SolverRegistry::Global().Create("powerpush");
+  PPR_CHECK(created.ok()) << created.status().ToString();
+  std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+  Status prepared = solver->Prepare(graph);
+  PPR_CHECK(prepared.ok()) << prepared.ToString();
+
+  SolverContext context;
+  PprQuery query;
+  query.source = source;
+  query.alpha = alpha;
+  query.lambda = lambda;
+  PprResult result;
+  Status solved = solver->Solve(query, context, &result);
+  PPR_CHECK(solved.ok()) << solved.ToString();
+  return std::move(result.scores);
 }
 
 }  // namespace ppr

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/context.h"
+#include "api/solver.h"
 #include "approx/walk_index.h"
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -42,6 +44,13 @@ struct TopKResult {
 TopKResult TopKPpr(const Graph& graph, NodeId source, size_t k,
                    const TopKOptions& options, Rng& rng,
                    const WalkIndex* index = nullptr);
+
+/// Solver-polymorphic variant: refines through *any* prepared
+/// approximate solver (the per-round ε rides in PprQuery::epsilon). The
+/// context keeps the workspace warm across rounds; reuse it across
+/// queries for the full sparse-reset benefit.
+TopKResult TopKPpr(Solver& solver, SolverContext& context, NodeId source,
+                   size_t k, const TopKOptions& options);
 
 }  // namespace ppr
 

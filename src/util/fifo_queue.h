@@ -56,6 +56,20 @@ class FifoQueue {
     while (!empty()) Pop();
   }
 
+  /// Re-targets the queue at a (possibly different) universe. Reallocates
+  /// only when the universe changes; otherwise just drains leftovers, so
+  /// a solver context can reuse one queue across queries without paying
+  /// the O(universe) flag reset.
+  void Reconfigure(uint32_t universe) {
+    if (in_queue_.size() != universe) {
+      ring_.assign(static_cast<size_t>(universe) + 1, 0);
+      in_queue_.assign(universe, 0);
+      head_ = tail_ = 0;
+    } else {
+      Clear();
+    }
+  }
+
  private:
   size_t Advance(size_t i) const { return i + 1 == ring_.size() ? 0 : i + 1; }
 

@@ -1,0 +1,104 @@
+// Tests for the registry-driven eval drivers: BatchSolve, the
+// solver-polymorphic TopKPpr, and the solver TimePerQuery overload.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "api/context.h"
+#include "api/registry.h"
+#include "approx/speedppr.h"
+#include "eval/batch.h"
+#include "eval/experiment.h"
+#include "eval/topk_query.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(BatchSolveTest, SpecPathMatchesDirectSpeedPprPerSource) {
+  Rng graph_rng(5);
+  Graph g = ChungLuPowerLaw(150, 6.0, 2.5, graph_rng);
+  const std::vector<NodeId> sources = {1, 4, 9, 16};
+
+  // Independent baseline: the free function, one Rng per source seeded
+  // with the batch convention. (BatchSpeedPpr itself routes through
+  // BatchSolve, so it cannot serve as the cross-check.)
+  ApproxOptions options;
+  options.epsilon = 0.4;
+  std::vector<std::vector<double>> direct(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    Rng rng(SplitMix64(7 ^ (i * 0xbf58476d1ce4e5b9ULL)).Next());
+    SpeedPpr(g, sources[i], options, rng, &direct[i]);
+  }
+
+  PprQuery base;
+  base.epsilon = 0.4;
+  auto rows = BatchSolve(g, "speedppr:eps=0.4", sources, base, /*seed=*/7);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    for (size_t v = 0; v < direct[i].size(); ++v) {
+      ASSERT_EQ(rows.value()[i][v], direct[i][v]) << "row " << i;
+    }
+  }
+}
+
+TEST(BatchSolveTest, WorksAcrossFamilies) {
+  Rng graph_rng(6);
+  Graph g = BarabasiAlbert(80, 3, graph_rng);
+  const std::vector<NodeId> sources = {0, 2, 40};
+  for (const char* spec : {"powerpush", "fwdpush", "mc:eps=0.5"}) {
+    auto rows = BatchSolve(g, spec, sources);
+    ASSERT_TRUE(rows.ok()) << spec;
+    ASSERT_EQ(rows.value().size(), sources.size()) << spec;
+    for (const auto& row : rows.value()) {
+      ASSERT_EQ(row.size(), g.num_nodes()) << spec;
+      EXPECT_NEAR(testing::Sum(row), 1.0, 0.2) << spec;
+    }
+  }
+}
+
+TEST(BatchSolveTest, InvalidSpecSurfacesTheError) {
+  Graph g = CycleGraph(8);
+  auto rows = BatchSolve(g, "warpdrive", {0, 1});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TopKSolverTest, MatchesExactTopKOnSeparatedGraph) {
+  Graph g = StarGraph(20);  // hub 0 dominates every spoke's PPR
+  auto created = SolverRegistry::Global().Create("speedppr");
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+  ASSERT_TRUE(solver->Prepare(g).ok());
+
+  SolverContext context(3);
+  TopKOptions options;
+  TopKResult result = TopKPpr(*solver, context, /*source=*/1, 2, options);
+  ASSERT_EQ(result.nodes.size(), 2u);
+  // Source and hub are the two dominant nodes from any spoke.
+  EXPECT_TRUE((result.nodes[0] == 1 && result.nodes[1] == 0) ||
+              (result.nodes[0] == 0 && result.nodes[1] == 1));
+  EXPECT_GE(result.rounds, 1);
+}
+
+TEST(TimePerQueryTest, SolverOverloadTimesEachSource) {
+  Graph g = CycleGraph(32);
+  auto created = SolverRegistry::Global().Create("powerpush");
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+  ASSERT_TRUE(solver->Prepare(g).ok());
+  SolverContext context;
+  const std::vector<NodeId> sources = {0, 5, 10};
+  auto seconds = TimePerQuery(*solver, context, sources);
+  ASSERT_EQ(seconds.size(), sources.size());
+  for (double s : seconds) EXPECT_GE(s, 0.0);
+  // The batch ran on one warm context: exactly one full workspace init.
+  EXPECT_EQ(context.full_assigns(), 1u);
+  EXPECT_EQ(context.sparse_resets(), 2u);
+}
+
+}  // namespace
+}  // namespace ppr

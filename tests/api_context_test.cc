@@ -1,0 +1,118 @@
+// Unit tests for the SolverContext sparse-reset workspace protocol.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/context.h"
+#include "api/query.h"
+
+namespace ppr {
+namespace {
+
+TEST(SolverContextTest, FirstAcquireDoesOneFullAssign) {
+  SolverContext context;
+  PprEstimate* estimate = context.AcquireEstimate(100, 7);
+  EXPECT_EQ(context.full_assigns(), 1u);
+  EXPECT_EQ(context.sparse_resets(), 0u);
+  ASSERT_EQ(estimate->reserve.size(), 100u);
+  EXPECT_EQ(estimate->residue[7], 1.0);
+  EXPECT_EQ(estimate->ResidueSum(), 1.0);
+  EXPECT_EQ(estimate->ReserveSum(), 0.0);
+}
+
+TEST(SolverContextTest, SparseResetAfterExportLeavesCanonicalState) {
+  SolverContext context;
+  PprEstimate* estimate = context.AcquireEstimate(50, 0);
+  // Simulate a solve that touched a handful of entries.
+  estimate->reserve[0] = 0.3;
+  estimate->reserve[10] = 0.2;
+  estimate->residue[0] = 0.0;
+  estimate->residue[20] = 0.5;
+
+  PprResult result;
+  context.ExportEstimate(/*with_residues=*/true, &result);
+  EXPECT_EQ(result.scores[10], 0.2);
+  EXPECT_EQ(result.residues[20], 0.5);
+
+  // Re-acquire for a different source: only a sparse reset, and the
+  // workspace is back to the canonical start state.
+  estimate = context.AcquireEstimate(50, 5);
+  EXPECT_EQ(context.full_assigns(), 1u);
+  EXPECT_EQ(context.sparse_resets(), 1u);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(estimate->reserve[v], 0.0) << v;
+    EXPECT_EQ(estimate->residue[v], v == 5 ? 1.0 : 0.0) << v;
+  }
+}
+
+TEST(SolverContextTest, AcquireWithoutExportFallsBackToFullAssign) {
+  SolverContext context;
+  PprEstimate* estimate = context.AcquireEstimate(30, 0);
+  estimate->reserve[13] = 1.0;  // solve aborted: support never recorded
+  context.AcquireEstimate(30, 1);
+  EXPECT_EQ(context.full_assigns(), 2u);
+  EXPECT_EQ(context.sparse_resets(), 0u);
+}
+
+TEST(SolverContextTest, SizeChangeForcesFullAssign) {
+  SolverContext context;
+  context.AcquireEstimate(30, 0);
+  PprResult result;
+  context.ExportEstimate(false, &result);
+  context.AcquireEstimate(40, 0);
+  EXPECT_EQ(context.full_assigns(), 2u);
+}
+
+TEST(SolverContextTest, ScoresFollowTheSameProtocol) {
+  SolverContext context;
+  std::vector<double>* scores = context.AcquireScores(64);
+  EXPECT_EQ(context.full_assigns(), 1u);
+  (*scores)[3] = 0.5;
+  (*scores)[60] = 0.5;
+  PprResult result;
+  context.ExportScores(&result);
+  EXPECT_EQ(result.scores[3], 0.5);
+
+  scores = context.AcquireScores(64);
+  EXPECT_EQ(context.full_assigns(), 1u);
+  EXPECT_EQ(context.sparse_resets(), 1u);
+  for (double x : *scores) EXPECT_EQ(x, 0.0);
+}
+
+TEST(SolverContextTest, ReleaseEstimateRecordsSupportWithoutExport) {
+  SolverContext context;
+  PprEstimate* estimate = context.AcquireEstimate(20, 0);
+  estimate->reserve[4] = 0.25;
+  estimate->residue[9] = 0.75;
+  context.ReleaseEstimate();
+
+  estimate = context.AcquireEstimate(20, 2);
+  EXPECT_EQ(context.full_assigns(), 1u);
+  EXPECT_EQ(context.sparse_resets(), 1u);
+  EXPECT_EQ(estimate->reserve[4], 0.0);
+  EXPECT_EQ(estimate->residue[9], 0.0);
+  EXPECT_EQ(estimate->residue[2], 1.0);
+}
+
+TEST(SolverContextTest, QueueIsReusedAcrossAcquires) {
+  SolverContext context;
+  FifoQueue* q1 = context.AcquireQueue(16);
+  q1->PushIfAbsent(3);
+  FifoQueue* q2 = context.AcquireQueue(16);
+  EXPECT_EQ(q1, q2);
+  EXPECT_TRUE(q2->empty()) << "Reconfigure drains leftovers";
+  FifoQueue* q3 = context.AcquireQueue(32);
+  EXPECT_EQ(q1, q3);
+}
+
+TEST(SolverContextTest, ReseedReplaysTheRngStream) {
+  SolverContext context(42);
+  const uint64_t first = context.rng().NextUint64();
+  context.rng().NextUint64();
+  context.Reseed(42);
+  EXPECT_EQ(context.rng().NextUint64(), first);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,136 @@
+// Tests for the solver spec grammar (name[:key=value{,key=value}]) and
+// the typed OptionReader used by solver factories.
+
+#include <gtest/gtest.h>
+
+#include "api/registry.h"
+
+namespace ppr {
+namespace {
+
+TEST(ParseSolverSpecTest, NameOnly) {
+  auto spec = ParseSolverSpec("powerpush");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().name, "powerpush");
+  EXPECT_TRUE(spec.value().options.empty());
+}
+
+TEST(ParseSolverSpecTest, OptionsAndWhitespace) {
+  auto spec = ParseSolverSpec(" speedppr : eps = 0.1 , indexed = true ");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().name, "speedppr");
+  ASSERT_EQ(spec.value().options.size(), 2u);
+  EXPECT_EQ(spec.value().options[0].key, "eps");
+  EXPECT_EQ(spec.value().options[0].value, "0.1");
+  EXPECT_EQ(spec.value().options[1].key, "indexed");
+  EXPECT_EQ(spec.value().options[1].value, "true");
+}
+
+TEST(ParseSolverSpecTest, BareKeyIsTrueShorthand) {
+  auto spec = ParseSolverSpec("fora:indexed");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec.value().options.size(), 1u);
+  EXPECT_EQ(spec.value().options[0].key, "indexed");
+  EXPECT_EQ(spec.value().options[0].value, "true");
+}
+
+TEST(ParseSolverSpecTest, TrailingCommaForgiven) {
+  auto spec = ParseSolverSpec("mc:eps=0.2,");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().options.size(), 1u);
+}
+
+TEST(ParseSolverSpecTest, EmptyNameRejected) {
+  EXPECT_FALSE(ParseSolverSpec("").ok());
+  EXPECT_FALSE(ParseSolverSpec(":eps=1").ok());
+}
+
+TEST(OptionReaderTest, TypedGettersAndDefaults) {
+  auto parsed =
+      ParseSolverSpec("x:alpha=0.15,count=42,flag=off,frac=0.5");
+  ASSERT_TRUE(parsed.ok());
+  double alpha = 0.2, frac = 0.0;
+  uint64_t count = 0;
+  bool flag = true;
+  OptionReader reader(parsed.value());
+  reader.Double("alpha", &alpha)
+      .Uint64("count", &count)
+      .Bool("flag", &flag)
+      .Double("frac", &frac)
+      .Double("missing", &frac);  // absent key leaves the value alone
+  ASSERT_TRUE(reader.Finish().ok());
+  EXPECT_DOUBLE_EQ(alpha, 0.15);
+  EXPECT_EQ(count, 42u);
+  EXPECT_FALSE(flag);
+  EXPECT_DOUBLE_EQ(frac, 0.5);
+}
+
+TEST(OptionReaderTest, DuplicateKeyReportedAsDuplicate) {
+  auto parsed = ParseSolverSpec("x:eps=0.1,eps=0.2");
+  ASSERT_TRUE(parsed.ok());
+  double d = 0;
+  OptionReader reader(parsed.value());
+  reader.Double("eps", &d);
+  Status status = reader.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(OptionReaderTest, UnknownKeyFailsFinish) {
+  auto parsed = ParseSolverSpec("x:mystery=1");
+  ASSERT_TRUE(parsed.ok());
+  double d = 0;
+  OptionReader reader(parsed.value());
+  reader.Double("alpha", &d);
+  Status status = reader.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("mystery"), std::string::npos);
+}
+
+TEST(OptionReaderTest, BadNumberReported) {
+  auto parsed = ParseSolverSpec("x:alpha=fast");
+  ASSERT_TRUE(parsed.ok());
+  double d = 0;
+  OptionReader reader(parsed.value());
+  reader.Double("alpha", &d);
+  EXPECT_FALSE(reader.Finish().ok());
+}
+
+TEST(OptionReaderTest, BadBoolReported) {
+  auto parsed = ParseSolverSpec("x:flag=maybe");
+  ASSERT_TRUE(parsed.ok());
+  bool b = false;
+  OptionReader reader(parsed.value());
+  reader.Bool("flag", &b);
+  EXPECT_FALSE(reader.Finish().ok());
+}
+
+TEST(RegistryOptionTest, IndexEntriesRejectTheIndexedKey) {
+  // "speedppr-index:indexed=false" would run the wrong variant under an
+  // -index name; the -index entries therefore do not accept the key.
+  for (const char* spec :
+       {"speedppr-index:indexed=false", "fora-index:indexed=true"}) {
+    auto created = SolverRegistry::Global().Create(spec);
+    ASSERT_FALSE(created.ok()) << spec;
+    EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+  EXPECT_TRUE(SolverRegistry::Global().Create("speedppr:indexed=true").ok());
+}
+
+TEST(RegistryOptionTest, OptionOverridesReachTheSolver) {
+  // eps=0.1 through the spec string must change the advertised bound.
+  auto loose = SolverRegistry::Global().Create("mc:eps=0.5");
+  auto tight = SolverRegistry::Global().Create("mc:eps=0.1");
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  PprQuery query;
+  EXPECT_DOUBLE_EQ(loose.value()->AdvertisedL1Bound(query), 0.5);
+  EXPECT_DOUBLE_EQ(tight.value()->AdvertisedL1Bound(query), 0.1);
+  // And the per-query override wins over the configured default.
+  query.epsilon = 0.3;
+  EXPECT_DOUBLE_EQ(tight.value()->AdvertisedL1Bound(query), 0.3);
+}
+
+}  // namespace
+}  // namespace ppr
