@@ -1,15 +1,23 @@
 #ifndef PPR_BENCH_BENCH_COMMON_H_
 #define PPR_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
 // Shared conventions for the reproduction harness. Every binary:
 //   * prints which paper table/figure it regenerates and the workload,
 //   * honours PPR_BENCH_SCALE (dataset size multiplier),
 //     PPR_BENCH_DATASETS (comma-separated subset) and PPR_BENCH_QUERIES
 //     (#query sources),
-//   * reports via ppr::TablePrinter so outputs diff cleanly.
+//   * reports via ppr::TablePrinter so outputs diff cleanly,
+//   * can emit a machine-readable BENCH_<name>.json via BenchJsonWriter
+//     so perf trajectories are trackable across commits.
 
 namespace ppr {
 namespace bench {
@@ -29,6 +37,106 @@ inline void PrintHeader(const char* experiment, const char* description) {
   std::printf("%s\n%s\n", experiment, description);
   std::printf("==============================================================\n");
 }
+
+/// Accumulates flat records and writes them as BENCH_<name>.json into
+/// PPR_BENCH_JSON_DIR (default: the working directory):
+///
+///   BenchJsonWriter json("scaling");
+///   json.Add().Str("solver", "powitr").Int("threads", 4).Num("sec", t);
+///   json.Write();   // -> {"bench": "scaling", "results": [{...}, ...]}
+///
+/// Fields keep insertion order; values are strings, doubles or integer
+/// counters — all a perf dashboard needs.
+class BenchJsonWriter {
+ public:
+  class Record {
+   public:
+    Record& Str(const char* key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + Escaped(value) + "\"");
+      return *this;
+    }
+    Record& Num(const char* key, double value) {
+      if (!std::isfinite(value)) {
+        // Bare inf/nan tokens are not legal JSON.
+        fields_.emplace_back(key, "null");
+        return *this;
+      }
+      char buffer[40];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+      fields_.emplace_back(key, buffer);
+      return *this;
+    }
+    Record& Int(const char* key, uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+
+    std::string ToJson() const {
+      std::string out = "{";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+      }
+      return out + "}";
+    }
+
+   private:
+    static std::string Escaped(const std::string& text) {
+      std::string out;
+      out.reserve(text.size());
+      for (char c : text) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+          continue;
+        }
+        out += c;
+      }
+      return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// The returned reference stays valid across later Add() calls
+  /// (records_ is a deque, not a vector).
+  Record& Add() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes BENCH_<name>.json; returns the path, or "" when the file
+  /// cannot be written (reported on stderr, never fatal — the stdout
+  /// table remains the primary artifact).
+  std::string Write() const {
+    const char* dir = std::getenv("PPR_BENCH_JSON_DIR");
+    const std::string path = std::string(dir != nullptr ? dir : ".") +
+                             "/BENCH_" + bench_name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fprintf(out, "{\"bench\": \"%s\", \"results\": [", bench_name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(out, "%s\n  %s", i > 0 ? "," : "",
+                   records_[i].ToJson().c_str());
+    }
+    std::fprintf(out, "\n]}\n");
+    std::fclose(out);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return path;
+  }
+
+ private:
+  std::string bench_name_;
+  std::deque<Record> records_;
+};
 
 }  // namespace bench
 }  // namespace ppr

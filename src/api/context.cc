@@ -44,6 +44,12 @@ FifoQueue* SolverContext::AcquireQueue(NodeId n) {
   return &queue_;
 }
 
+ThreadDenseBuffers* SolverContext::AcquireThreadBuffers(unsigned count,
+                                                        NodeId n) {
+  EnsureThreadBuffers(&thread_buffers_, count, n);
+  return &thread_buffers_;
+}
+
 void SolverContext::ExportEstimate(bool with_residues, PprResult* result) {
   const NodeId n = static_cast<NodeId>(estimate_.reserve.size());
   result->scores.resize(n);

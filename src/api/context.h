@@ -61,6 +61,18 @@ class SolverContext {
   /// when n changes).
   FifoQueue* AcquireQueue(NodeId n);
 
+  /// Returns `count` all-zero dense buffers of size n for the parallel
+  /// kernels' per-thread reductions (threads= option). The kernels
+  /// return them zeroed (their merge passes re-zero what the scatter
+  /// touched), so a warm context pays the O(n·count) initialization only
+  /// on first use or shape change.
+  ThreadDenseBuffers* AcquireThreadBuffers(unsigned count, NodeId n);
+
+  /// Uninitialized-content scratch for the order= layouts' result remap:
+  /// Solver::Solve gathers into it and swaps it with the result vector,
+  /// so a warm context performs no per-query allocation for the remap.
+  std::vector<double>* RemapScratch() { return &remap_scratch_; }
+
   /// Copies the estimate workspace into result->scores (and, when
   /// `with_residues`, result->residues), recording the workspace support
   /// so the next AcquireEstimate can sparse-reset.
@@ -96,6 +108,8 @@ class SolverContext {
   bool scores_clean_ = false;
 
   FifoQueue queue_{0};
+  ThreadDenseBuffers thread_buffers_;
+  std::vector<double> remap_scratch_;
 
   uint64_t full_assigns_ = 0;
   uint64_t sparse_resets_ = 0;

@@ -141,6 +141,20 @@ OptionReader& OptionReader::Bool(std::string_view key, bool* out) {
   return *this;
 }
 
+OptionReader& OptionReader::String(std::string_view key, std::string* out) {
+  const SolverSpec::Option* option = Take(key);
+  if (option == nullptr) return *this;
+  if (option->value.empty()) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("option '" + option->key +
+                                        "' expects a value");
+    }
+    return *this;
+  }
+  *out = option->value;
+  return *this;
+}
+
 Status OptionReader::Finish() const {
   if (!status_.ok()) return status_;
   for (size_t i = 0; i < spec_.options.size(); ++i) {

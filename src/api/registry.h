@@ -44,6 +44,8 @@ class OptionReader {
   OptionReader& Uint64(std::string_view key, uint64_t* out);
   OptionReader& Int(std::string_view key, int* out);
   OptionReader& Bool(std::string_view key, bool* out);
+  /// Verbatim string value (order=, cache_dir=); empty values rejected.
+  OptionReader& String(std::string_view key, std::string* out);
 
   Status Finish() const;
 

@@ -1,8 +1,11 @@
 #include "api/solver.h"
 
 #include <limits>
+#include <utility>
 
 #include "eval/metrics.h"
+#include "graph/permute.h"
+#include "util/parallel.h"
 
 namespace ppr {
 
@@ -20,6 +23,27 @@ const char* SolverFamilyName(SolverFamily family) {
   return "unknown";
 }
 
+Result<GraphOrder> ParseGraphOrder(std::string_view text) {
+  if (text == "none") return GraphOrder::kNone;
+  if (text == "degree") return GraphOrder::kDegree;
+  if (text == "bfs") return GraphOrder::kBfs;
+  return Status::InvalidArgument("option 'order' expects none, degree or "
+                                 "bfs; got '" +
+                                 std::string(text) + "'");
+}
+
+namespace {
+
+NodeId MaxOutDegreeNode(const Graph& graph) {
+  NodeId best = 0;
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    if (graph.OutDegree(v) > graph.OutDegree(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
 Status Solver::Prepare(const Graph& graph) {
   if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("cannot prepare a solver on an empty graph");
@@ -34,7 +58,20 @@ Status Solver::Prepare(const Graph& graph) {
     return Status::FailedPrecondition(
         std::string(name()) + " requires a graph without dead ends");
   }
-  graph_ = &graph;
+  perm_.clear();
+  permuted_.reset();
+  if (order_ != GraphOrder::kNone) {
+    perm_ = order_ == GraphOrder::kDegree
+                ? DegreeDescendingOrder(graph)
+                : BfsOrder(graph, MaxOutDegreeNode(graph));
+    permuted_ = std::make_unique<Graph>(PermuteGraph(graph, perm_));
+    // Relabeling preserves degrees, so the precondition checks above
+    // transfer; only the transpose must be rebuilt for the copy.
+    if (caps.needs_in_adjacency) permuted_->BuildInAdjacency();
+    graph_ = permuted_.get();
+  } else {
+    graph_ = &graph;
+  }
   return Status::OK();
 }
 
@@ -52,7 +89,26 @@ Status Solver::Solve(const PprQuery& query, SolverContext& context,
   result->residues.clear();
   result->top_nodes.clear();
   result->stats = SolveStats{};
-  PPR_RETURN_IF_ERROR(DoSolve(query, context, result));
+  if (perm_.empty()) {
+    PPR_RETURN_IF_ERROR(DoSolve(query, context, result));
+  } else {
+    PprQuery mapped = query;
+    mapped.source = perm_[query.source];
+    if (query.target != kNoTarget) mapped.target = perm_[query.target];
+    PPR_RETURN_IF_ERROR(DoSolve(mapped, context, result));
+    // Back to original ids: entry v lives at layout slot perm_[v]. The
+    // gather-and-swap through the context scratch keeps warm queries
+    // allocation-free.
+    const NodeId n = static_cast<NodeId>(result->scores.size());
+    std::vector<double>& scratch = *context.RemapScratch();
+    scratch.resize(n);
+    for (NodeId v = 0; v < n; ++v) scratch[v] = result->scores[perm_[v]];
+    result->scores.swap(scratch);
+    if (!result->residues.empty()) {
+      for (NodeId v = 0; v < n; ++v) scratch[v] = result->residues[perm_[v]];
+      result->residues.swap(scratch);
+    }
+  }
   result->solver = name();
   result->l1_bound = AdvertisedL1Bound(query);
   if (query.top_k > 0) {
@@ -63,6 +119,10 @@ Status Solver::Solve(const PprQuery& query, SolverContext& context,
 
 double Solver::AdvertisedL1Bound(const PprQuery& /*query*/) const {
   return std::numeric_limits<double>::infinity();
+}
+
+unsigned Solver::ResolvedWorkers() const {
+  return threads_ == 0 ? ParallelThreadCount() : threads_;
 }
 
 }  // namespace ppr

@@ -1,7 +1,9 @@
 #ifndef PPR_API_SOLVER_H_
 #define PPR_API_SOLVER_H_
 
+#include <memory>
 #include <string_view>
+#include <vector>
 
 #include "api/context.h"
 #include "api/query.h"
@@ -9,6 +11,19 @@
 #include "util/status.h"
 
 namespace ppr {
+
+/// Prepare-time CSR layouts selectable with the order= solver option
+/// (§5 of the paper: storage order is part of PowerPush's win). The
+/// solver permutes a private copy of the graph and transparently maps
+/// queries in and results back, so callers always speak original ids.
+enum class GraphOrder {
+  kNone,    ///< solve on the caller's graph as-is (default)
+  kDegree,  ///< hubs first (DegreeDescendingOrder): hot CSR rows cluster
+  kBfs,     ///< BFS from the max-out-degree node: neighbors get nearby ids
+};
+
+/// Parses an order= option value ("none", "degree", "bfs").
+Result<GraphOrder> ParseGraphOrder(std::string_view text);
 
 /// What a solver computes, grouped the way the paper groups algorithms.
 enum class SolverFamily {
@@ -89,14 +104,44 @@ class Solver {
   /// Prepare().
   virtual double AdvertisedL1Bound(const PprQuery& query) const;
 
+  /// The graph queries run against: the caller's graph, or the solver's
+  /// relabeled copy when an order= layout is configured.
   const Graph* graph() const { return graph_; }
 
+  // ---- cross-cutting options (set by the registry factories) ----------
+
+  /// Worker threads for the solver's parallel stages; 0 defers to
+  /// ParallelThreadCount() for the thread-count-invariant stages (walk
+  /// phases, single-pair materialization) and keeps the order-sensitive
+  /// dense kernels serial (see docs/api.md, "Parallelism & determinism").
+  void set_threads(unsigned threads) { threads_ = threads; }
+  unsigned threads() const { return threads_; }
+
+  /// Storage layout applied at the next Prepare().
+  void set_graph_order(GraphOrder order) { order_ = order; }
+
  protected:
-  /// Algorithm body; preconditions already validated by Solve().
+  /// Algorithm body; preconditions already validated by Solve(). Runs in
+  /// layout space: query ids are already permuted and results are mapped
+  /// back by Solve().
   virtual Status DoSolve(const PprQuery& query, SolverContext& context,
                          PprResult* result) = 0;
 
+  /// threads= as the auto-parallelizing stages resolve it: the explicit
+  /// count, else ParallelThreadCount(). Adapters use this instead of
+  /// re-deriving it so the asymmetric policy — walk phases auto-scale,
+  /// dense kernels stay serial at 0 — lives in one place.
+  unsigned ResolvedWorkers() const;
+
   const Graph* graph_ = nullptr;
+
+ private:
+  unsigned threads_ = 0;
+  GraphOrder order_ = GraphOrder::kNone;
+  /// Original id -> layout id; empty when order_ == kNone.
+  std::vector<NodeId> perm_;
+  /// The relabeled CSR copy graph_ points into under a layout.
+  std::unique_ptr<Graph> permuted_;
 };
 
 }  // namespace ppr

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "api/registry.h"
 #include "api/solver.h"
@@ -31,10 +32,39 @@
 #include "core/power_iteration.h"
 #include "core/power_push.h"
 #include "core/priority_push.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace ppr {
 namespace {
+
+/// The cross-cutting options every registered solver accepts. threads=
+/// selects the worker count for the solver's parallel stages (0 = defer
+/// to PPR_THREADS/hardware for the thread-count-invariant stages, serial
+/// for the order-sensitive dense kernels); order= selects the Prepare-
+/// time CSR layout. Factories Read() before Finish() and Apply() after
+/// construction.
+struct CommonOptions {
+  uint64_t threads = 0;
+  std::string order_text = "none";
+
+  void Read(OptionReader& reader) {
+    reader.Uint64("threads", &threads).String("order", &order_text);
+  }
+
+  Status Apply(Solver* solver) const {
+    if (threads > 256) {
+      return Status::InvalidArgument(
+          "option 'threads' expects at most 256 worker threads");
+    }
+    auto order = ParseGraphOrder(order_text);
+    if (!order.ok()) return order.status();
+    solver->set_threads(static_cast<unsigned>(threads));
+    solver->set_graph_order(order.value());
+    return Status::OK();
+  }
+};
 
 /// Shared per-solver configuration defaults and query resolution.
 struct ParamDefaults {
@@ -84,7 +114,9 @@ class ForwardPushSolver : public Solver {
 
   Status Prepare(const Graph& graph) override {
     PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
-    dead_ends_ = graph.CountDeadEnds();
+    // graph_ rather than the argument: a configured order= layout means
+    // the solver runs on its relabeled copy from here on.
+    dead_ends_ = graph_->CountDeadEnds();
     return Status::OK();
   }
 
@@ -154,7 +186,7 @@ class PowerPushSolver : public Solver {
 
   Status Prepare(const Graph& graph) override {
     PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
-    dead_ends_ = graph.CountDeadEnds();
+    dead_ends_ = graph_->CountDeadEnds();
     return Status::OK();
   }
 
@@ -176,8 +208,12 @@ class PowerPushSolver : public Solver {
     options.epoch_num = epochs_;
     options.scan_threshold_fraction = scan_threshold_;
     options.assume_initialized = true;
+    options.threads = threads();
     result->stats = PowerPush(*graph_, query.source, options, estimate,
-                              context.trace(), context.AcquireQueue(n));
+                              context.trace(), context.AcquireQueue(n),
+                              threads() > 1
+                                  ? context.AcquireThreadBuffers(threads(), n)
+                                  : nullptr);
     context.ExportEstimate(query.want_residues, result);
     return Status::OK();
   }
@@ -221,14 +257,19 @@ class PowerIterationSolver : public Solver {
  protected:
   Status DoSolve(const PprQuery& query, SolverContext& context,
                  PprResult* result) override {
-    PprEstimate* estimate =
-        context.AcquireEstimate(graph_->num_nodes(), query.source);
+    const NodeId n = graph_->num_nodes();
+    PprEstimate* estimate = context.AcquireEstimate(n, query.source);
     PowerIterationOptions options;
     options.alpha = params_.Alpha(query);
     options.lambda = params_.Lambda(query);
     options.assume_initialized = true;
+    options.threads = threads();
     result->stats = PowerIteration(*graph_, query.source, options, estimate,
-                                   context.trace());
+                                   context.trace(),
+                                   threads() > 1
+                                       ? context.AcquireThreadBuffers(
+                                             threads(), n)
+                                       : nullptr);
     context.ExportEstimate(query.want_residues, result);
     return Status::OK();
   }
@@ -256,12 +297,17 @@ class PageRankSolver : public Solver {
   }
 
  protected:
-  Status DoSolve(const PprQuery& query, SolverContext& /*context*/,
+  Status DoSolve(const PprQuery& query, SolverContext& context,
                  PprResult* result) override {
     PageRankOptions options;
     options.alpha = params_.Alpha(query);
     options.lambda = params_.Lambda(query);
-    result->scores = PageRank(*graph_, options, &result->stats);
+    options.threads = threads();
+    result->scores =
+        PageRank(*graph_, options, &result->stats,
+                 threads() > 1 ? context.AcquireThreadBuffers(
+                                     threads(), graph_->num_nodes())
+                               : nullptr);
     return Status::OK();
   }
 
@@ -291,7 +337,7 @@ class BepiApiSolver : public Solver {
     BepiOptions options;
     options.alpha = params_.alpha;
     options.max_iterations = max_iterations_;
-    bepi_ = BepiSolver::Preprocess(graph, options);
+    bepi_ = BepiSolver::Preprocess(*graph_, options);
     return Status::OK();
   }
 
@@ -355,9 +401,16 @@ class MonteCarloSolver : public Solver {
     options.alpha = params_.Alpha(query);
     options.epsilon = params_.Epsilon(query);
     options.mu = params_.Mu(query, n);
+    options.threads = threads();
     std::vector<double>* scores = context.AcquireScores(n);
-    result->stats =
-        MonteCarloInto(*graph_, query.source, options, context.rng(), scores);
+    // Scratch feeds only the dense-counts branch; the stop-list branch
+    // would leave O(n·workers) buffers pinned unused.
+    const unsigned workers = ResolvedWorkers();
+    result->stats = MonteCarloInto(
+        *graph_, query.source, options, context.rng(), scores,
+        workers > 1 && MonteCarloUsesDenseCounts(n, options)
+            ? context.AcquireThreadBuffers(workers, n)
+            : nullptr);
     context.ExportScores(result);
     return Status::OK();
   }
@@ -373,12 +426,13 @@ class TwoPhaseSolver : public Solver {
   enum class Kind { kFora, kSpeedPpr };
 
   TwoPhaseSolver(Kind kind, ParamDefaults params, bool indexed,
-                 double index_eps, uint64_t index_seed)
+                 double index_eps, uint64_t index_seed, std::string cache_dir)
       : kind_(kind),
         params_(params),
         indexed_(indexed),
         index_eps_(index_eps),
-        index_seed_(index_seed) {}
+        index_seed_(index_seed),
+        cache_dir_(std::move(cache_dir)) {}
 
   std::string_view name() const override {
     return kind_ == Kind::kFora ? "fora" : "speedppr";
@@ -397,20 +451,49 @@ class TwoPhaseSolver : public Solver {
     PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
     index_.reset();
     if (!indexed_) return Status::OK();
-    const NodeId n = graph.num_nodes();
+    const NodeId n = graph_->num_nodes();
+    WalkIndex::Sizing sizing;
+    uint64_t w;
     if (kind_ == Kind::kSpeedPpr) {
       // ε-independent sizing: exactly d_v walks per node (§6.2).
-      index_ = std::make_unique<WalkIndex>(
-          WalkIndex::BuildParallel(graph, params_.alpha,
-                                   WalkIndex::Sizing::kSpeedPpr,
-                                   /*walk_count_w=*/0, index_seed_));
+      sizing = WalkIndex::Sizing::kSpeedPpr;
+      w = 0;
     } else {
       // FORA+ sizing depends on W and therefore on the ε the index is
       // built for (§6.1); smaller index_eps serves every larger ε.
+      sizing = WalkIndex::Sizing::kForaPlus;
       const double eps = index_eps_ > 0 ? index_eps_ : params_.epsilon;
-      const uint64_t w = ChernoffWalkCount(n, eps, params_.Mu({}, n));
-      index_ = std::make_unique<WalkIndex>(WalkIndex::BuildParallel(
-          graph, params_.alpha, WalkIndex::Sizing::kForaPlus, w, index_seed_));
+      w = ChernoffWalkCount(n, eps, params_.Mu({}, n));
+    }
+    // cache_dir=: reuse a previously saved index whose filename matches
+    // every build input; otherwise build and save for the next Prepare.
+    std::string cache_path;
+    if (!cache_dir_.empty()) {
+      // The fingerprint is taken from graph_: under an order= layout the
+      // permuted CSR fingerprints differently, so caches built for
+      // different layouts of the same graph never cross-load.
+      cache_path = cache_dir_ + "/" +
+                   WalkIndex::CacheFileName(sizing, params_.alpha, w,
+                                            index_seed_,
+                                            graph_->Fingerprint());
+      auto loaded = WalkIndex::LoadFrom(cache_path);
+      if (loaded.ok() && loaded.value().num_nodes() == n &&
+          loaded.value().alpha() == params_.alpha) {
+        index_ = std::make_unique<WalkIndex>(std::move(loaded).ValueOrDie());
+        return Status::OK();
+      }
+    }
+    index_ = std::make_unique<WalkIndex>(WalkIndex::BuildParallel(
+        *graph_, params_.alpha, sizing, w, index_seed_));
+    if (!cache_path.empty()) {
+      // The in-memory index is valid either way; a failed save (missing
+      // or read-only cache_dir) costs the next Prepare a rebuild, not
+      // this one its solver.
+      Status saved = index_->SaveTo(cache_path);
+      if (!saved.ok()) {
+        PPR_LOG(Warning) << "walk-index cache not saved: "
+                         << saved.ToString();
+      }
     }
     return Status::OK();
   }
@@ -435,15 +518,29 @@ class TwoPhaseSolver : public Solver {
     options.alpha = alpha;
     options.epsilon = params_.Epsilon(query);
     options.mu = params_.Mu(query, n);
+    options.threads = threads();
 
     // The compositions live in SpeedPprInto/ForaInto — shared with the
     // free functions, so the two entry points cannot drift.
     PprEstimate* estimate = context.AcquireEstimate(n, query.source);
     std::vector<double>* scores = context.AcquireScores(n);
     if (kind_ == Kind::kSpeedPpr) {
+      // Lend scratch only to the stages that will read it: the PowerPush
+      // scan under an explicit threads=N, or the W <= m MonteCarlo
+      // fallback (which auto-parallelizes under threads=0). Acquiring
+      // unconditionally would pin O(n·workers) buffers that the common
+      // W > m, threads=0 path never touches.
+      const unsigned workers = ResolvedWorkers();
+      const bool mc_fallback_wants_scratch =
+          SpeedPprUsesMonteCarloFallback(*graph_, options) &&
+          MonteCarloUsesDenseCounts(n, options);
+      ThreadDenseBuffers* scratch =
+          workers > 1 && (threads() > 1 || mc_fallback_wants_scratch)
+              ? context.AcquireThreadBuffers(workers, n)
+              : nullptr;
       result->stats =
           SpeedPprInto(*graph_, query.source, options, context.rng(), estimate,
-                       scores, index_.get(), context.AcquireQueue(n));
+                       scores, index_.get(), context.AcquireQueue(n), scratch);
     } else {
       result->stats =
           ForaInto(*graph_, query.source, options, context.rng(), estimate,
@@ -460,6 +557,7 @@ class TwoPhaseSolver : public Solver {
   const bool indexed_;
   const double index_eps_;
   const uint64_t index_seed_;
+  const std::string cache_dir_;
   std::unique_ptr<WalkIndex> index_;
 };
 
@@ -488,6 +586,7 @@ class ResAccSolver : public Solver {
     options.alpha = params_.Alpha(query);
     options.epsilon = params_.Epsilon(query);
     options.mu = params_.Mu(query, graph_->num_nodes());
+    options.threads = threads();
     result->stats = ResAcc(*graph_, query.source, options, context.rng(),
                            &result->scores);
     return Status::OK();
@@ -541,11 +640,28 @@ class SinglePairSolver : public Solver {
       stats.random_walks = pair.walks;
       stats.push_operations = pair.backward_pushes;
     } else {
-      for (NodeId t = 0; t < n; ++t) {
-        BiPprResult pair = SolvePair(query.source, t, query, context.rng());
-        result->scores[t] = pair.estimate;
-        stats.random_walks += pair.walks;
-        stats.push_operations += pair.backward_pushes;
+      // Materializing the column runs every target on its own RNG
+      // stream derived from one context draw; targets write disjoint
+      // entries, so the fan-out parallelizes with bit-identical results
+      // for every thread count.
+      const uint64_t seed = context.rng().NextUint64();
+      const unsigned workers = ResolvedWorkers();
+      std::vector<uint64_t> walks(workers, 0);
+      std::vector<uint64_t> pushes(workers, 0);
+      ParallelForThreads(0, n, workers,
+                         [&](uint64_t lo, uint64_t hi, unsigned w) {
+        for (uint64_t t = lo; t < hi; ++t) {
+          Rng rng = SplitStream(seed, t);
+          BiPprResult pair =
+              SolvePair(query.source, static_cast<NodeId>(t), query, rng);
+          result->scores[t] = pair.estimate;
+          walks[w] += pair.walks;
+          pushes[w] += pair.backward_pushes;
+        }
+      }, /*grain=*/1);
+      for (unsigned w = 0; w < workers; ++w) {
+        stats.random_walks += walks[w];
+        stats.push_operations += pushes[w];
       }
     }
     stats.seconds = timer.ElapsedSeconds();
@@ -601,7 +717,9 @@ class HubPprSolver : public SinglePairSolver {
     options.alpha = params_.alpha;
     options.num_hubs = static_cast<NodeId>(num_hubs_);
     if (rmax_ > 0) options.rmax = rmax_;
-    index_ = HubPprIndex::Build(graph, options);
+    // graph_, not the argument: under order= the hub oracles must live
+    // in the same relabeled id space the queries arrive in.
+    index_ = HubPprIndex::Build(*graph_, options);
     return Status::OK();
   }
 
@@ -621,17 +739,27 @@ class HubPprSolver : public SinglePairSolver {
 // Factories + registration
 // --------------------------------------------------------------------
 
+/// Applies the cross-cutting options and hands the solver over — the
+/// shared tail of every factory.
+Result<std::unique_ptr<Solver>> FinishSolver(const CommonOptions& common,
+                                             std::unique_ptr<Solver> solver) {
+  PPR_RETURN_IF_ERROR(common.Apply(solver.get()));
+  return solver;
+}
+
 Result<std::unique_ptr<Solver>> MakeForwardPush(const SolverSpec& spec,
                                                 bool priority) {
   ParamDefaults params;
   double rmax = 0.0;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("lambda", &params.lambda)
       .Double("rmax", &rmax);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(
-      new ForwardPushSolver(priority, params, rmax));
+  return FinishSolver(common, std::unique_ptr<Solver>(new ForwardPushSolver(
+                                  priority, params, rmax)));
 }
 
 Result<std::unique_ptr<Solver>> MakePowerPush(const SolverSpec& spec) {
@@ -639,52 +767,66 @@ Result<std::unique_ptr<Solver>> MakePowerPush(const SolverSpec& spec) {
   double lambda = 0.0;  // unset → paper default min(1e-8, 1/m)
   int epochs = 8;
   double scan_threshold = 0.25;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("lambda", &lambda)
       .Int("epochs", &epochs)
       .Double("scan_threshold", &scan_threshold);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(
-      new PowerPushSolver(params, lambda, epochs, scan_threshold));
+  return FinishSolver(common, std::unique_ptr<Solver>(new PowerPushSolver(
+                                  params, lambda, epochs, scan_threshold)));
 }
 
 Result<std::unique_ptr<Solver>> MakePowerIteration(const SolverSpec& spec) {
   ParamDefaults params;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha).Double("lambda", &params.lambda);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(new PowerIterationSolver(params));
+  return FinishSolver(
+      common, std::unique_ptr<Solver>(new PowerIterationSolver(params)));
 }
 
 Result<std::unique_ptr<Solver>> MakePageRank(const SolverSpec& spec) {
   ParamDefaults params;
   params.lambda = 1e-10;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha).Double("lambda", &params.lambda);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(new PageRankSolver(params));
+  return FinishSolver(common,
+                      std::unique_ptr<Solver>(new PageRankSolver(params)));
 }
 
 Result<std::unique_ptr<Solver>> MakeBepi(const SolverSpec& spec) {
   ParamDefaults params;
   uint64_t max_iterations = 1000;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("lambda", &params.lambda)
       .Uint64("max_iterations", &max_iterations);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(new BepiApiSolver(params, max_iterations));
+  return FinishSolver(common, std::unique_ptr<Solver>(new BepiApiSolver(
+                                  params, max_iterations)));
 }
 
 Result<std::unique_ptr<Solver>> MakeMonteCarlo(const SolverSpec& spec) {
   ParamDefaults params;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("eps", &params.epsilon)
       .Double("mu", &params.mu);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(new MonteCarloSolver(params));
+  return FinishSolver(common,
+                      std::unique_ptr<Solver>(new MonteCarloSolver(params)));
 }
 
 Result<std::unique_ptr<Solver>> MakeTwoPhase(const SolverSpec& spec,
@@ -694,11 +836,15 @@ Result<std::unique_ptr<Solver>> MakeTwoPhase(const SolverSpec& spec,
   bool indexed = default_indexed;
   double index_eps = 0.0;
   uint64_t seed = SolverContext::kDefaultSeed;
+  std::string cache_dir;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("eps", &params.epsilon)
       .Double("mu", &params.mu)
-      .Uint64("seed", &seed);
+      .Uint64("seed", &seed)
+      .String("cache_dir", &cache_dir);
   if (!default_indexed) {
     // The "-index" registry entries do not accept `indexed`: silently
     // honoring indexed=false would run the wrong variant under an
@@ -709,99 +855,121 @@ Result<std::unique_ptr<Solver>> MakeTwoPhase(const SolverSpec& spec,
     reader.Double("index_eps", &index_eps);
   }
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(
-      new TwoPhaseSolver(kind, params, indexed, index_eps, seed));
+  if (!cache_dir.empty() && !indexed) {
+    return Status::InvalidArgument(
+        "option 'cache_dir' needs an index; use the -index variant or "
+        "indexed=true");
+  }
+  return FinishSolver(common, std::unique_ptr<Solver>(new TwoPhaseSolver(
+                                  kind, params, indexed, index_eps, seed,
+                                  std::move(cache_dir))));
 }
 
 Result<std::unique_ptr<Solver>> MakeResAcc(const SolverSpec& spec) {
   ParamDefaults params;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("eps", &params.epsilon)
       .Double("mu", &params.mu);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(new ResAccSolver(params));
+  return FinishSolver(common,
+                      std::unique_ptr<Solver>(new ResAccSolver(params)));
 }
 
 Result<std::unique_ptr<Solver>> MakeBiPpr(const SolverSpec& spec) {
   ParamDefaults params;
   double delta = 0.0;
   double rmax = 0.0;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("eps", &params.epsilon)
       .Double("delta", &delta)
       .Double("rmax", &rmax);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(new BiPprSolver(params, delta, rmax));
+  return FinishSolver(common, std::unique_ptr<Solver>(new BiPprSolver(
+                                  params, delta, rmax)));
 }
 
 Result<std::unique_ptr<Solver>> MakeHubPpr(const SolverSpec& spec) {
   ParamDefaults params;
   uint64_t hubs = 0;
   double rmax = 1e-5;
+  CommonOptions common;
   OptionReader reader(spec);
+  common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("eps", &params.epsilon)
       .Uint64("hubs", &hubs)
       .Double("rmax", &rmax);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return std::unique_ptr<Solver>(new HubPprSolver(params, hubs, rmax));
+  return FinishSolver(common, std::unique_ptr<Solver>(new HubPprSolver(
+                                  params, hubs, rmax)));
 }
 
 }  // namespace
 
 void RegisterBuiltinSolvers(SolverRegistry* registry) {
+  // Every solver additionally accepts the cross-cutting threads= and
+  // order= options (see CommonOptions / docs/api.md).
   registry->Register(
       {"fwdpush", "FIFO Forward Push (Algorithm 2), l1 <= m*rmax",
-       "alpha, lambda, rmax",
+       "alpha, lambda, rmax, threads, order",
        [](const SolverSpec& s) { return MakeForwardPush(s, false); }});
   registry->Register(
       {"prioritypush", "max-benefit-first Forward Push (push ablation)",
-       "alpha, lambda, rmax",
+       "alpha, lambda, rmax, threads, order",
        [](const SolverSpec& s) { return MakeForwardPush(s, true); }});
   registry->Register(
       {"powerpush", "Power Iteration with Forward Push (Algorithm 3)",
-       "alpha, lambda, epochs, scan_threshold", MakePowerPush});
+       "alpha, lambda, epochs, scan_threshold, threads, order",
+       MakePowerPush});
   registry->Register({"powitr", "vanilla Power Iteration (Section 3.1)",
-                      "alpha, lambda", MakePowerIteration});
+                      "alpha, lambda, threads, order", MakePowerIteration});
   registry->Register({"pagerank",
                       "global PageRank (uniform teleport; ignores source)",
-                      "alpha, lambda", MakePageRank});
+                      "alpha, lambda, threads, order", MakePageRank});
   registry->Register(
       {"bepi", "BePI block elimination (needs in-adjacency; lambda = delta)",
-       "alpha, lambda, max_iterations", MakeBepi});
+       "alpha, lambda, max_iterations, threads, order", MakeBepi});
   registry->Register({"mc", "plain Monte Carlo, W Chernoff-sized walks",
-                      "alpha, eps, mu", MakeMonteCarlo});
+                      "alpha, eps, mu, threads, order", MakeMonteCarlo});
   registry->Register(
       {"fora", "FORA two-phase framework (Wang et al., KDD'17)",
-       "alpha, eps, mu, indexed, index_eps, seed", [](const SolverSpec& s) {
+       "alpha, eps, mu, indexed, index_eps, seed, cache_dir, threads, order",
+       [](const SolverSpec& s) {
          return MakeTwoPhase(s, TwoPhaseSolver::Kind::kFora, false);
        }});
   registry->Register(
       {"fora-index", "FORA+ with a pre-built eps-bound walk index",
-       "alpha, eps, mu, index_eps, seed", [](const SolverSpec& s) {
+       "alpha, eps, mu, index_eps, seed, cache_dir, threads, order",
+       [](const SolverSpec& s) {
          return MakeTwoPhase(s, TwoPhaseSolver::Kind::kFora, true);
        }});
   registry->Register(
       {"speedppr", "SpeedPPR (Algorithm 4), PowerPush + capped walks",
-       "alpha, eps, mu, indexed, seed", [](const SolverSpec& s) {
+       "alpha, eps, mu, indexed, seed, cache_dir, threads, order",
+       [](const SolverSpec& s) {
          return MakeTwoPhase(s, TwoPhaseSolver::Kind::kSpeedPpr, false);
        }});
   registry->Register(
       {"speedppr-index", "SpeedPPR with the eps-independent d_v walk index",
-       "alpha, eps, mu, seed", [](const SolverSpec& s) {
+       "alpha, eps, mu, seed, cache_dir, threads, order",
+       [](const SolverSpec& s) {
          return MakeTwoPhase(s, TwoPhaseSolver::Kind::kSpeedPpr, true);
        }});
   registry->Register({"resacc", "ResAcc residue accumulation (index-free)",
-                      "alpha, eps, mu", MakeResAcc});
+                      "alpha, eps, mu, threads, order", MakeResAcc});
   registry->Register(
       {"bippr",
        "BiPPR single-pair estimator (needs in-adjacency, no dead ends)",
-       "alpha, eps, delta, rmax", MakeBiPpr});
+       "alpha, eps, delta, rmax, threads, order", MakeBiPpr});
   registry->Register(
       {"hubppr", "HubPPR single-pair with precomputed hub oracles",
-       "alpha, eps, hubs, rmax", MakeHubPpr});
+       "alpha, eps, hubs, rmax, threads, order", MakeHubPpr});
 }
 
 }  // namespace ppr

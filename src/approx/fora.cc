@@ -42,7 +42,7 @@ SolveStats ForaInto(const Graph& graph, NodeId source,
   // Phase 2: Monte-Carlo refinement of the leftover residues.
   SeedScoresFromReserve(estimate->reserve, out);
   ResidueWalkPhase(graph, estimate->residue, w, options.alpha, rng, index, out,
-                   &stats);
+                   &stats, options.threads);
 
   stats.seconds = timer.ElapsedSeconds();
   return stats;

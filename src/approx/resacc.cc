@@ -79,7 +79,7 @@ SolveStats ResAcc(const Graph& graph, NodeId source,
   *out = reserve;
   const double rsum = estimate.ResidueSum();
   ResidueWalkPhase(graph, residue, w, alpha, rng, /*index=*/nullptr, out,
-                   &stats);
+                   &stats, options.threads);
 
   stats.final_rsum = rsum;
   stats.seconds = timer.ElapsedSeconds();

@@ -18,13 +18,23 @@ namespace ppr {
 /// topped up with fresh walks (§6.1's ε-dependence caveat for FORA+;
 /// never needed by SpeedPPR's d_v-sized index).
 ///
+/// Parallelism and determinism: one draw from `rng` seeds the phase, and
+/// every node's walks run on an independent stream derived from
+/// (seed, v) — the WalkIndex::BuildParallel scheme. With threads > 1 the
+/// nodes are split into contiguous, walk-count-balanced chunks; each
+/// worker appends its contributions to a private accumulator, and the
+/// accumulators are merged in chunk order, which replays the serial
+/// node-ascending accumulation order exactly. Results are therefore
+/// bit-identical for EVERY thread count (including 1). threads = 0
+/// defers to ParallelThreadCount() (PPR_THREADS / hardware).
+///
 /// `out` must be sized n and already contain whatever the walks refine
 /// (typically the reserve vector); contributions are accumulated into it.
 /// Increments stats->random_walks and stats->walk_steps.
 void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
                       uint64_t walk_count_w, double alpha, Rng& rng,
                       const WalkIndex* index, std::vector<double>* out,
-                      SolveStats* stats);
+                      SolveStats* stats, unsigned threads = 0);
 
 /// Support-only copy of the push reserves into the (all-zero) score
 /// buffer that the walk phase then refines: writes only nonzero

@@ -13,16 +13,17 @@ namespace ppr {
 SolveStats SpeedPprInto(const Graph& graph, NodeId source,
                         const ApproxOptions& options, Rng& rng,
                         PprEstimate* estimate, std::vector<double>* out,
-                        const WalkIndex* index, FifoQueue* queue) {
+                        const WalkIndex* index, FifoQueue* queue,
+                        ThreadDenseBuffers* thread_scratch) {
   PPR_CHECK(source < graph.num_nodes());
   PPR_CHECK(out->size() == graph.num_nodes());
   const NodeId n = graph.num_nodes();
   const uint64_t w =
       ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
 
-  if (w <= graph.num_edges()) {
+  if (SpeedPprUsesMonteCarloFallback(graph, options)) {
     // §6.1: with m >= W, plain MonteCarlo already costs O(W) <= O(m).
-    return MonteCarloInto(graph, source, options, rng, out);
+    return MonteCarloInto(graph, source, options, rng, out, thread_scratch);
   }
   PPR_CHECK(estimate->reserve.size() == n);
   PPR_CHECK(estimate->residue.size() == n);
@@ -36,8 +37,9 @@ SolveStats SpeedPprInto(const Graph& graph, NodeId source,
   push_options.lambda =
       static_cast<double>(graph.num_edges()) / static_cast<double>(w);
   push_options.assume_initialized = true;
+  push_options.threads = options.threads;
   SolveStats push_stats = PowerPush(graph, source, push_options, estimate,
-                                    /*trace=*/nullptr, queue);
+                                    /*trace=*/nullptr, queue, thread_scratch);
   stats.push_operations = push_stats.push_operations;
   stats.edge_pushes = push_stats.edge_pushes;
 
@@ -65,7 +67,7 @@ SolveStats SpeedPprInto(const Graph& graph, NodeId source,
   // Phase 2: at most d_v walks per node.
   SeedScoresFromReserve(estimate->reserve, out);
   ResidueWalkPhase(graph, estimate->residue, w, options.alpha, rng, index, out,
-                   &stats);
+                   &stats, options.threads);
 
   stats.seconds = timer.ElapsedSeconds();
   return stats;
@@ -78,9 +80,9 @@ SolveStats SpeedPpr(const Graph& graph, NodeId source,
   const NodeId n = graph.num_nodes();
   out->assign(n, 0.0);
   PprEstimate estimate;
-  const uint64_t w =
-      ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n));
-  if (w > graph.num_edges()) estimate.Reset(n, source);
+  if (!SpeedPprUsesMonteCarloFallback(graph, options)) {
+    estimate.Reset(n, source);
+  }
   return SpeedPprInto(graph, source, options, rng, &estimate, out, index);
 }
 

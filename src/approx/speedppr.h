@@ -36,6 +36,16 @@ SolveStats SpeedPpr(const Graph& graph, NodeId source,
                     std::vector<double>* out,
                     const WalkIndex* index = nullptr);
 
+/// True when SpeedPpr runs as plain MonteCarlo (W ≤ m, §6.1). The
+/// adapter gates its scratch lending on this predicate so it cannot
+/// drift from the branch inside SpeedPprInto.
+inline bool SpeedPprUsesMonteCarloFallback(const Graph& graph,
+                                           const ApproxOptions& options) {
+  const NodeId n = graph.num_nodes();
+  return ChernoffWalkCount(n, options.epsilon, options.ResolvedMu(n)) <=
+         graph.num_edges();
+}
+
 /// Workspace variant — the single composition both SpeedPpr() and the
 /// api/ "speedppr" adapter run. `estimate` must hold the canonical
 /// start state (residue = e_source) and `out` must be all-zero, both
@@ -43,11 +53,14 @@ SolveStats SpeedPpr(const Graph& graph, NodeId source,
 /// supply sparsely-reset buffers. `queue` optionally provides the push
 /// loops' scratch FIFO. In the W ≤ m regime the walk phase runs as
 /// plain MonteCarlo and `estimate` is left untouched.
+/// `thread_scratch` optionally lends the PowerPush stage's per-thread
+/// buffers when options.threads > 1 (see ThreadDenseBuffers).
 SolveStats SpeedPprInto(const Graph& graph, NodeId source,
                         const ApproxOptions& options, Rng& rng,
                         PprEstimate* estimate, std::vector<double>* out,
                         const WalkIndex* index = nullptr,
-                        FifoQueue* queue = nullptr);
+                        FifoQueue* queue = nullptr,
+                        ThreadDenseBuffers* thread_scratch = nullptr);
 
 }  // namespace ppr
 

@@ -1,6 +1,7 @@
 #include "approx/walk_index.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 
 #include "approx/random_walk.h"
@@ -73,7 +74,7 @@ WalkIndex WalkIndex::BuildParallel(const Graph& graph, double alpha,
   // seeded from (seed, v), so the output is thread-count independent.
   ParallelFor(0, n, [&](uint64_t lo, uint64_t hi, unsigned) {
     for (uint64_t v = lo; v < hi; ++v) {
-      Rng rng(SplitMix64(seed ^ (v * 0x9e3779b97f4a7c15ULL)).Next());
+      Rng rng = SplitStream(seed, v);
       for (uint64_t i = index.offsets_[v]; i < index.offsets_[v + 1]; ++i) {
         index.endpoints_[i] =
             RandomWalk(graph, static_cast<NodeId>(v), alpha, rng).stop;
@@ -82,6 +83,22 @@ WalkIndex WalkIndex::BuildParallel(const Graph& graph, double alpha,
   });
   index.build_seconds_ = timer.ElapsedSeconds();
   return index;
+}
+
+std::string WalkIndex::CacheFileName(Sizing sizing, double alpha,
+                                     uint64_t walk_count_w, uint64_t seed,
+                                     uint64_t graph_fingerprint) {
+  char buffer[160];
+  // %.17g: alphas that differ anywhere in the double must not collide
+  // on one filename (the load-time alpha check would make such a cache
+  // thrash forever instead of ever hitting).
+  std::snprintf(buffer, sizeof(buffer),
+                "widx_%s_a%.17g_w%llu_s%llu_g%016llx.bin",
+                sizing == Sizing::kForaPlus ? "fora" : "speedppr", alpha,
+                static_cast<unsigned long long>(walk_count_w),
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(graph_fingerprint));
+  return buffer;
 }
 
 Status WalkIndex::SaveTo(const std::string& path) const {

@@ -64,6 +64,14 @@ class WalkIndex {
   Status SaveTo(const std::string& path) const;
   static Result<WalkIndex> LoadFrom(const std::string& path);
 
+  /// Canonical cache filename used by the registry's cache_dir= option:
+  /// encodes every build input (sizing, alpha, W, seed) plus the
+  /// Graph::Fingerprint() of the exact CSR the index was generated on,
+  /// so a stale or foreign cache never matches by name.
+  static std::string CacheFileName(Sizing sizing, double alpha,
+                                   uint64_t walk_count_w, uint64_t seed,
+                                   uint64_t graph_fingerprint);
+
  private:
   WalkIndex() = default;
 

@@ -15,6 +15,9 @@ struct PageRankOptions {
   /// ℓ1 convergence threshold on the alive mass.
   double lambda = 1e-10;
   uint64_t max_iterations = 10000;
+  /// Worker threads for the per-iteration scan; 0 or 1 runs the serial
+  /// kernel, N > 1 the chunked-SpMV kernel (see PowerIterationOptions).
+  unsigned threads = 0;
 };
 
 /// Global PageRank — the uniform-teleport special case of PPR
@@ -25,10 +28,13 @@ struct PageRankOptions {
 /// per-source "jump back to s" rule averages to uniform over all
 /// sources).
 ///
-/// Returns the PageRank vector (sums to 1).
+/// Returns the PageRank vector (sums to 1). `thread_scratch` optionally
+/// lends the parallel kernel's per-thread accumulators (see
+/// ThreadDenseBuffers); nullptr allocates locally.
 std::vector<double> PageRank(const Graph& graph,
                              const PageRankOptions& options = {},
-                             SolveStats* stats = nullptr);
+                             SolveStats* stats = nullptr,
+                             ThreadDenseBuffers* thread_scratch = nullptr);
 
 }  // namespace ppr
 

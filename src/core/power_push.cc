@@ -4,9 +4,78 @@
 #include <cmath>
 
 #include "util/fifo_queue.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace ppr {
+
+namespace {
+
+/// One simultaneous scan pass over edge-balanced row chunks: every node
+/// active w.r.t. epoch_rmax is pushed against the residue snapshot, the
+/// outgoing mass lands in per-thread buffers, and a merge folds the
+/// buffers back into the residue in worker order. Returns the number of
+/// pushes performed.
+uint64_t ParallelScanPass(const Graph& graph, NodeId source, double alpha,
+                          double epoch_rmax,
+                          const std::vector<uint64_t>& row_bounds,
+                          unsigned threads, PprEstimate* out,
+                          ThreadDenseBuffers& deltas, SolveStats* stats) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double>& reserve = out->reserve;
+  std::vector<double>& residue = out->residue;
+  const auto& offsets = graph.out_offsets();
+  const auto& targets = graph.out_targets();
+  std::vector<uint64_t> chunk_pushes(threads, 0);
+  std::vector<uint64_t> chunk_edges(threads, 0);
+  ParallelForThreads(0, threads, threads,
+                     [&](uint64_t lo, uint64_t hi, unsigned) {
+    for (uint64_t c = lo; c < hi; ++c) {
+      std::vector<double>& delta = deltas[c];
+      for (uint64_t v = row_bounds[c]; v < row_bounds[c + 1]; ++v) {
+        const double r = residue[v];
+        const NodeId d = static_cast<NodeId>(offsets[v + 1] - offsets[v]);
+        const NodeId deff = d == 0 ? 1 : d;
+        if (r <= static_cast<double>(deff) * epoch_rmax) continue;
+        reserve[v] += alpha * r;
+        const double push = (1.0 - alpha) * r;
+        residue[v] = 0.0;
+        if (d == 0) {
+          delta[source] += push;
+          chunk_edges[c] += 1;
+        } else {
+          const double inc = push / d;
+          for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+            delta[targets[e]] += inc;
+          }
+          chunk_edges[c] += d;
+        }
+        chunk_pushes[c]++;
+      }
+    }
+  }, /*grain=*/1);
+
+  ParallelForThreads(0, n, threads, [&](uint64_t lo, uint64_t hi, unsigned) {
+    for (uint64_t v = lo; v < hi; ++v) {
+      double sum = residue[v];
+      for (unsigned w = 0; w < threads; ++w) {
+        sum += deltas[w][v];
+        deltas[w][v] = 0.0;
+      }
+      residue[v] = sum;
+    }
+  });
+
+  uint64_t pushes = 0;
+  for (unsigned w = 0; w < threads; ++w) {
+    pushes += chunk_pushes[w];
+    stats->push_operations += chunk_pushes[w];
+    stats->edge_pushes += chunk_edges[w];
+  }
+  return pushes;
+}
+
+}  // namespace
 
 double PaperLambda(const Graph& graph) {
   return std::min(1e-8, 1.0 / static_cast<double>(graph.num_edges()));
@@ -14,7 +83,8 @@ double PaperLambda(const Graph& graph) {
 
 SolveStats PowerPush(const Graph& graph, NodeId source,
                      const PowerPushOptions& options, PprEstimate* out,
-                     ConvergenceTrace* trace, FifoQueue* scratch) {
+                     ConvergenceTrace* trace, FifoQueue* scratch,
+                     ThreadDenseBuffers* thread_scratch) {
   PPR_CHECK(source < graph.num_nodes());
   PPR_CHECK(options.lambda > 0.0 && options.lambda < 1.0);
   PPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
@@ -77,8 +147,19 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
     }
   }
 
-  // ---- Phase 2: global sequential scans with a dynamic threshold. ----
+  // ---- Phase 2: global scans with a dynamic threshold. ----
   if (rsum > lambda) {
+    const unsigned threads = options.threads <= 1 ? 1 : options.threads;
+    std::vector<uint64_t> row_bounds;
+    ThreadDenseBuffers local_buffers;
+    ThreadDenseBuffers* deltas = nullptr;
+    if (threads > 1) {
+      const auto& off = graph.out_offsets();
+      row_bounds = BalancedChunkBounds(
+          n, threads, [&](uint64_t v) { return off[v + 1] - off[v] + 1; });
+      deltas = thread_scratch != nullptr ? thread_scratch : &local_buffers;
+      EnsureThreadBuffers(deltas, threads, n);
+    }
     const int epochs = options.use_epochs ? options.epoch_num : 1;
     const auto& offsets = graph.out_offsets();
     const auto& targets = graph.out_targets();
@@ -92,6 +173,18 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
       const double epoch_rmax =
           epoch_target / static_cast<double>(graph.num_edges());
       while (rsum > epoch_target) {
+        if (threads > 1) {
+          const uint64_t pushes = ParallelScanPass(
+              graph, source, alpha, epoch_rmax, row_bounds, threads, out,
+              *deltas, &stats);
+          stats.iterations++;
+          rsum = out->ResidueSum();
+          if (trace != nullptr && trace->Due(stats.edge_pushes)) {
+            trace->Record(stats.edge_pushes, rsum);
+          }
+          if (pushes == 0) break;
+          continue;
+        }
         // One asynchronous pass over the concatenated adjacency array:
         // pushes later in the pass see residue deposited earlier in the
         // same pass.

@@ -73,6 +73,29 @@ struct SolveStats {
   double final_rsum = 0.0;
 };
 
+/// Per-thread dense accumulators used by the parallel iteration kernels
+/// (PowItr, PageRank, PowerPush's scan phase): worker w scatters its
+/// chunk's pushes into buffer w, and a merge pass folds the buffers into
+/// the real vector in fixed worker order so results are deterministic
+/// for a given thread count.
+///
+/// Contract: buffers handed to a kernel must be all-zero, and every
+/// kernel returns them all-zero (the merge re-zeroes whatever the
+/// scatter touched), so a SolverContext can lend the same buffers to
+/// query after query without O(n·threads) reinitialization.
+using ThreadDenseBuffers = std::vector<std::vector<double>>;
+
+/// Sizes `buffers` to `count` all-zero vectors of length n, reusing (and
+/// trusting, per the contract above) buffers that already match.
+inline void EnsureThreadBuffers(ThreadDenseBuffers* buffers, unsigned count,
+                                NodeId n) {
+  if (buffers->size() > count) buffers->resize(count);
+  while (buffers->size() < count) buffers->emplace_back();
+  for (auto& buffer : *buffers) {
+    if (buffer.size() != n) buffer.assign(n, 0.0);
+  }
+}
+
 /// Effective degree used in the active-node test r(s,v) > d_v * rmax.
 /// Dead ends use 1 so that the test stays meaningful (the paper assumes no
 /// dead ends; we instead redirect their mass to the source, and a dead end

@@ -16,6 +16,22 @@ Graph::Graph(std::vector<EdgeId> out_offsets, std::vector<NodeId> out_targets)
   for (NodeId t : out_targets_) PPR_CHECK(t < num_nodes());
 }
 
+uint64_t Graph::Fingerprint() const {
+  // FNV-1a with a final avalanche; collision-resistant enough for cache
+  // keying (not for adversarial inputs).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    h = (h ^ x) * 0x100000001b3ULL;
+  };
+  mix(out_offsets_.size());
+  for (EdgeId offset : out_offsets_) mix(offset);
+  for (NodeId target : out_targets_) mix(target);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
 void Graph::BuildInAdjacency() {
   if (has_in_adjacency() || num_nodes() == 0) return;
   const NodeId n = num_nodes();

@@ -97,6 +97,13 @@ class Graph {
   const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
   const std::vector<NodeId>& out_targets() const { return out_targets_; }
 
+  /// 64-bit hash of the out-CSR arrays. Two graphs with different edges
+  /// (or the same edges under a different node labeling) fingerprint
+  /// differently with overwhelming probability; used to key on-disk
+  /// caches (WalkIndex cache_dir=) to the exact graph they were built
+  /// on. O(n + m).
+  uint64_t Fingerprint() const;
+
  private:
   std::vector<EdgeId> out_offsets_;
   std::vector<NodeId> out_targets_;

@@ -1,9 +1,9 @@
 #include "graph/permute.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
-
-#include "graph/graph_builder.h"
+#include <utility>
 
 namespace ppr {
 
@@ -17,18 +17,24 @@ Graph PermuteGraph(const Graph& graph, const std::vector<NodeId>& perm) {
     for (NodeId i = 0; i < n; ++i) PPR_DCHECK(check[i] == i);
   }
 #endif
-  GraphBuilder builder;
-  builder.Reserve(graph.num_edges());
+  // Built directly in CSR form rather than through GraphBuilder: a
+  // permutation preserves the node universe by definition, whereas the
+  // builder derives it from the edges and would silently drop an
+  // isolated node that the order assigns the highest id.
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
   for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : graph.OutNeighbors(u)) {
-      builder.AddEdge(perm[u], perm[v]);
-    }
+    offsets[perm[u] + 1] = graph.OutDegree(u);
   }
-  BuildOptions options;
-  options.remove_isolated = false;  // keep ids stable under permutation
-  options.remove_self_loops = false;
-  options.deduplicate = false;
-  return builder.Build(options);
+  for (NodeId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<NodeId> targets(graph.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    EdgeId cursor = offsets[perm[u]];
+    for (NodeId v : graph.OutNeighbors(u)) targets[cursor++] = perm[v];
+    // Graph::HasEdge binary-searches, so each list stays sorted.
+    std::sort(targets.begin() + static_cast<int64_t>(offsets[perm[u]]),
+              targets.begin() + static_cast<int64_t>(offsets[perm[u] + 1]));
+  }
+  return Graph(std::move(offsets), std::move(targets));
 }
 
 std::vector<NodeId> DegreeDescendingOrder(const Graph& graph) {

@@ -9,7 +9,16 @@
 
 namespace ppr {
 
+namespace {
+/// True on threads spawned by ParallelForThreads, so auto-sized
+/// (threads=0) stages nested inside an outer parallel region — e.g. a
+/// walk phase running under a BatchSolve worker — resolve to serial
+/// instead of oversubscribing the machine. Explicit counts still win.
+thread_local bool t_inside_parallel_worker = false;
+}  // namespace
+
 unsigned ParallelThreadCount() {
+  if (t_inside_parallel_worker) return 1;
   if (const char* env = std::getenv("PPR_THREADS")) {
     int v = std::atoi(env);
     if (v >= 1) return static_cast<unsigned>(v);
@@ -21,11 +30,18 @@ unsigned ParallelThreadCount() {
 void ParallelFor(uint64_t begin, uint64_t end,
                  const std::function<void(uint64_t, uint64_t, unsigned)>& fn,
                  uint64_t grain) {
+  ParallelForThreads(begin, end, ParallelThreadCount(), fn, grain);
+}
+
+void ParallelForThreads(uint64_t begin, uint64_t end, unsigned threads,
+                        const std::function<void(uint64_t, uint64_t, unsigned)>&
+                            fn,
+                        uint64_t grain) {
   PPR_CHECK(begin <= end);
   PPR_CHECK(grain >= 1);
+  PPR_CHECK(threads >= 1);
   if (begin == end) return;
   const uint64_t range = end - begin;
-  unsigned threads = ParallelThreadCount();
   // Spawning threads below ~2 grains of work costs more than it saves.
   if (threads <= 1 || range < 2 * grain) {
     fn(begin, end, 0);
@@ -41,9 +57,37 @@ void ParallelFor(uint64_t begin, uint64_t end,
     const uint64_t lo = begin + w * chunk;
     const uint64_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    workers.emplace_back([&fn, lo, hi, w] { fn(lo, hi, w); });
+    workers.emplace_back([&fn, lo, hi, w] {
+      t_inside_parallel_worker = true;
+      fn(lo, hi, w);
+    });
   }
   for (std::thread& t : workers) t.join();
+}
+
+std::vector<uint64_t> BalancedChunkBounds(
+    uint64_t n, unsigned chunks,
+    const std::function<uint64_t(uint64_t)>& weight, uint64_t known_total) {
+  PPR_CHECK(chunks >= 1);
+  uint64_t total = known_total;
+  if (total == 0) {
+    for (uint64_t i = 0; i < n; ++i) total += weight(i);
+  }
+
+  std::vector<uint64_t> bounds;
+  bounds.reserve(chunks + 1);
+  bounds.push_back(0);
+  uint64_t accumulated = 0;
+  uint64_t next = 0;
+  for (unsigned c = 1; c < chunks; ++c) {
+    // Chunk c ends once the running weight reaches c/chunks of the total
+    // (ceiling so empty-weight prefixes don't produce zero-width tails).
+    const uint64_t target = (total * c + chunks - 1) / chunks;
+    while (next < n && accumulated < target) accumulated += weight(next++);
+    bounds.push_back(next);
+  }
+  bounds.push_back(n);
+  return bounds;
 }
 
 }  // namespace ppr

@@ -3,11 +3,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace ppr {
 
 /// Number of worker threads used by ParallelFor: hardware concurrency by
 /// default, overridable with PPR_THREADS (1 disables parallelism).
+/// Returns 1 on a thread that is itself a ParallelForThreads worker, so
+/// auto-sized nested stages (a solver's walk phase under a BatchSolve
+/// worker) degrade to serial instead of oversubscribing; explicit
+/// ParallelForThreads counts are unaffected.
 unsigned ParallelThreadCount();
 
 /// Runs fn(begin..end) across threads in contiguous chunks:
@@ -23,6 +28,27 @@ unsigned ParallelThreadCount();
 void ParallelFor(uint64_t begin, uint64_t end,
                  const std::function<void(uint64_t, uint64_t, unsigned)>& fn,
                  uint64_t grain = 2048);
+
+/// As above with an explicit thread count instead of
+/// ParallelThreadCount(). The registry solvers use this to honor their
+/// threads= option: an explicit count must win over the PPR_THREADS
+/// environment override, which only governs the default.
+void ParallelForThreads(uint64_t begin, uint64_t end, unsigned threads,
+                        const std::function<void(uint64_t, uint64_t, unsigned)>&
+                            fn,
+                        uint64_t grain = 2048);
+
+/// Splits [0, n) into `chunks` contiguous ranges of roughly equal total
+/// weight and returns the chunks+1 ascending boundaries (front 0, back
+/// n). Used to partition CSR rows by edge count or residues by walk
+/// count so skewed degree distributions don't starve all but one
+/// worker. Deterministic; some ranges may be empty when the weight is
+/// concentrated on few items. `known_total`, when the caller already
+/// holds Σ weight(i), skips the totaling pass; 0 computes it.
+std::vector<uint64_t> BalancedChunkBounds(
+    uint64_t n, unsigned chunks,
+    const std::function<uint64_t(uint64_t)>& weight,
+    uint64_t known_total = 0);
 
 }  // namespace ppr
 

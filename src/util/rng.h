@@ -66,6 +66,15 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Derives child stream `index` of `seed` — the (seed, i) splitting
+/// scheme shared by WalkIndex::BuildParallel, the walk phases, and the
+/// single-pair fan-out. All of those must agree bit for bit on this
+/// composition for the documented determinism contracts to hold, so it
+/// lives here instead of being restated at each call site.
+inline Rng SplitStream(uint64_t seed, uint64_t index) {
+  return Rng(SplitMix64(seed ^ (index * 0x9e3779b97f4a7c15ULL)).Next());
+}
+
 }  // namespace ppr
 
 #endif  // PPR_UTIL_RNG_H_

@@ -70,6 +70,85 @@ TEST(ParallelForTest, ChunksAreDisjointAndOrderedPerWorker) {
   ASSERT_EQ(cursor, 50000u);
 }
 
+TEST(ParallelForThreadsTest, ExplicitCountOverridesEnvironment) {
+  // threads= on a solver must win over PPR_THREADS; the explicit
+  // overload therefore ignores the env var entirely.
+  ASSERT_EQ(setenv("PPR_THREADS", "1", 1), 0);
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> chunks;
+  ParallelForThreads(0, 100000, 4, [&](uint64_t lo, uint64_t hi, unsigned) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(unsetenv("PPR_THREADS"), 0);
+  EXPECT_EQ(chunks.size(), 4u);
+  std::sort(chunks.begin(), chunks.end());
+  uint64_t cursor = 0;
+  for (auto [lo, hi] : chunks) {
+    ASSERT_EQ(lo, cursor);
+    cursor = hi;
+  }
+  ASSERT_EQ(cursor, 100000u);
+}
+
+TEST(ParallelForThreadsTest, AutoSizingIsSerialInsideAWorker) {
+  // A nested auto-sized stage (threads=0 → ParallelThreadCount) must
+  // not fan out again from within a worker thread — BatchSolve workers
+  // running walk phases rely on this to avoid oversubscription.
+  std::atomic<unsigned> max_nested{0};
+  ParallelForThreads(0, 100000, 4, [&](uint64_t, uint64_t, unsigned) {
+    const unsigned nested = ParallelThreadCount();
+    unsigned seen = max_nested.load();
+    while (nested > seen && !max_nested.compare_exchange_weak(seen, nested)) {
+    }
+  });
+  EXPECT_EQ(max_nested.load(), 1u);
+  // Back on the caller's thread the default is restored.
+  EXPECT_GE(ParallelThreadCount(), 1u);
+}
+
+TEST(BalancedChunkBoundsTest, UniformWeightsSplitEvenly) {
+  const auto bounds = BalancedChunkBounds(1000, 4, [](uint64_t) { return 1; });
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 1000u);
+  for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+    EXPECT_NEAR(static_cast<double>(bounds[c + 1] - bounds[c]), 250.0, 1.0);
+  }
+}
+
+TEST(BalancedChunkBoundsTest, SkewedWeightsBalanceTotals) {
+  // Item 0 carries half the total weight: it must sit alone-ish in the
+  // first chunk instead of dragging half the items with it.
+  auto weight = [](uint64_t i) { return i == 0 ? uint64_t{1000} : 1; };
+  const auto bounds = BalancedChunkBounds(1001, 4, weight);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.back(), 1001u);
+  // First chunk reaches the 1/4 target with item 0 alone.
+  EXPECT_EQ(bounds[1], 1u);
+  // Bounds stay monotone; no chunk holds more than the heavy item's
+  // weight plus one target's worth of light items.
+  auto chunk_weight = [&](size_t c) {
+    uint64_t total = 0;
+    for (uint64_t i = bounds[c]; i < bounds[c + 1]; ++i) total += weight(i);
+    return total;
+  };
+  for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+    ASSERT_LE(bounds[c], bounds[c + 1]);
+    EXPECT_LE(chunk_weight(c), 1000u + 501u) << c;
+  }
+}
+
+TEST(BalancedChunkBoundsTest, ZeroTotalWeightStillCoversRange) {
+  const auto bounds = BalancedChunkBounds(10, 3, [](uint64_t) { return 0; });
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 10u);
+  for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+    ASSERT_LE(bounds[c], bounds[c + 1]);
+  }
+}
+
 TEST(ParallelForTest, PprThreadsEnvForcesSingleThread) {
   ASSERT_EQ(setenv("PPR_THREADS", "1", 1), 0);
   EXPECT_EQ(ParallelThreadCount(), 1u);
