@@ -38,6 +38,7 @@ int main() {
 
   TablePrinter table({"Dataset", "PowerPush(s)", "BePI(s)", "FwdPush(s)",
                       "PowItr(s)", "BePI x", "FwdPush x", "PowItr x"});
+  bench::BenchJsonWriter json("fig4");
 
   for (auto& named : LoadBenchDatasets(bench::kDefaultScale)) {
     Graph& graph = named.graph;
@@ -57,6 +58,12 @@ int main() {
       PPR_CHECK(prepared.ok()) << label << ": " << prepared.ToString();
       SolverContext context;
       means.push_back(Mean(TimePerQuery(*solver, context, sources, base)));
+      json.Add()
+          .Str("dataset", named.name)
+          .Str("solver", spec)
+          .Num("lambda", lambda)
+          .Int("queries", sources.size())
+          .Num("mean_seconds", means.back());
     }
 
     const double pp = means[0];
@@ -71,6 +78,7 @@ int main() {
                   ratio(means[3])});
   }
   std::printf("%s\n", table.ToString().c_str());
+  json.Write();
   std::printf("Expected shape: PowerPush <= all competitors; BePI's "
               "preprocessing cost is NOT included (see Table 2).\n");
   return 0;

@@ -66,6 +66,7 @@ int main() {
       {"PowItr", "powitr"},
       {"FwdPush", "fwdpush"},
   };
+  bench::BenchJsonWriter json("fig5");
 
   for (auto& named : LoadBenchDatasets(bench::kDefaultScale)) {
     Graph& graph = named.graph;
@@ -95,6 +96,14 @@ int main() {
       Status solved = solver->Solve(query, context, &result);
       PPR_CHECK(solved.ok()) << label << ": " << solved.ToString();
       PrintTrace(label, trace);
+      for (const auto& point : trace.points()) {
+        json.Add()
+            .Str("dataset", named.name)
+            .Str("solver", spec)
+            .Num("seconds", point.seconds)
+            .Num("rsum", point.rsum)
+            .Int("edge_pushes", point.updates);
+      }
       series.push_back({label, trace.points()});
     }
     MaybeWriteCsv(named.name, series);
@@ -118,12 +127,19 @@ int main() {
         Timer timer;
         PPR_CHECK(bepi->Solve(bepi_query, context, &result).ok());
         cumulative += timer.ElapsedSeconds();
-        std::printf(" (%.3fs, %.1e)", cumulative,
-                    L1Distance(result.scores, gt));
+        const double l1 = L1Distance(result.scores, gt);
+        std::printf(" (%.3fs, %.1e)", cumulative, l1);
+        json.Add()
+            .Str("dataset", named.name)
+            .Str("solver", "bepi")
+            .Num("delta", delta)
+            .Num("seconds", cumulative)
+            .Num("l1_error", l1);
       }
       std::printf("\n");
     }
   }
+  json.Write();
   std::printf("\nExpected shape: log-scale errors fall linearly with time "
               "(exponential convergence); PowerPush steepest.\n");
   return 0;

@@ -41,6 +41,7 @@ int main() {
       {"PowerPush", "powerpush"},  // lambda defaults to min(1e-8, 1/m)
   };
 
+  bench::BenchJsonWriter json("fig7");
   for (auto& named : LoadBenchDatasets(bench::kApproxScale)) {
     Graph& graph = named.graph;
     const NodeId n = graph.num_nodes();
@@ -71,13 +72,21 @@ int main() {
       row.emplace_back(eps_buf);
       for (size_t i = 0; i < solvers.size(); ++i) {
         SolverContext context(1000 + static_cast<uint64_t>(eps * 100));
-        row.push_back(HumanSeconds(
-            Mean(TimePerQuery(*solvers[i], context, sources, base))));
+        const double mean =
+            Mean(TimePerQuery(*solvers[i], context, sources, base));
+        row.push_back(HumanSeconds(mean));
+        json.Add()
+            .Str("dataset", named.name)
+            .Str("solver", competitors[i].second)
+            .Num("eps", eps)
+            .Int("queries", sources.size())
+            .Num("mean_seconds", mean);
       }
       table.AddRow(row);
     }
     std::printf("%s", table.ToString().c_str());
   }
+  json.Write();
   std::printf("\nExpected shape: SpeedPPR-Index fastest; index-free "
               "SpeedPPR ~ FORA-Index; PowerPush flat in eps.\n");
   return 0;

@@ -1,0 +1,160 @@
+// Serve-path throughput and latency: PprServer answering a fixed query
+// set from concurrent clients, swept over worker counts and solvers.
+// Emits BENCH_serve.json (qps, qps per worker, p50/p99/max latency) so
+// serving regressions are trackable across commits, next to the
+// per-query kernel numbers from bench_scaling.
+//
+// Expected shape: qps grows with workers until the thread budget or the
+// per-query kernel parallelism saturates the machine; qps_per_worker > 1
+// everywhere (queries here are millisecond-scale); p99 stays within a
+// small multiple of p50 — the context pool keeps per-query setup O(touched).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "eval/query_gen.h"
+#include "serve/ppr_server.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "util/worker_pool.h"
+
+namespace {
+
+using namespace ppr;
+
+struct ServeLoad {
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;
+  uint64_t rejected = 0;
+};
+
+/// `clients` threads split `queries` round-robin and submit them as fast
+/// as the bounded queue admits (blocking batch discipline, so nothing is
+/// shed and every latency is measured).
+ServeLoad DriveLoad(PprServer& server, const std::vector<PprQuery>& queries,
+                    unsigned clients) {
+  std::vector<std::vector<double>> per_client(clients);
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<PprFuture> futures;
+      for (size_t i = c; i < queries.size(); i += clients) {
+        // Block politely when the queue is full: this bench measures
+        // capacity, not shedding.
+        while (true) {
+          auto submitted = server.Submit(queries[i], {}, /*seed=*/1 + i);
+          if (submitted.ok()) {
+            futures.push_back(std::move(submitted).ValueOrDie());
+            break;
+          }
+          PPR_CHECK(submitted.status().code() == StatusCode::kUnavailable)
+              << submitted.status().ToString();
+          std::this_thread::yield();
+        }
+      }
+      for (PprFuture& f : futures) {
+        PprResult result;
+        PPR_CHECK(f.Get(&result).ok());
+        per_client[c].push_back(f.latency_seconds());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ServeLoad load;
+  load.wall_seconds = timer.ElapsedSeconds();
+  for (auto& latencies : per_client) {
+    load.latencies.insert(load.latencies.end(), latencies.begin(),
+                          latencies.end());
+  }
+  load.rejected = server.stats().rejected;
+  return load;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Serve path: PprServer throughput and latency",
+      "Fixed query set, concurrent clients; workers swept up to the\n"
+      "thread budget. Latency = submit-to-completion per query.");
+
+  const size_t query_count = 64 * BenchQueryCount(4);
+  bench::BenchJsonWriter json("serve");
+
+  std::vector<unsigned> worker_counts = {1, 2, 4};
+  const unsigned budget = ThreadBudget();
+  while (worker_counts.back() * 2 <= budget) {
+    worker_counts.push_back(worker_counts.back() * 2);
+  }
+
+  const std::vector<std::pair<const char*, const char*>> hosted = {
+      {"PowerPush", "powerpush:lambda=1e-7"},
+      {"SpeedPPR", "speedppr:eps=0.5"},
+  };
+
+  for (auto& named : LoadBenchDatasets(bench::kApproxScale, /*max_count=*/2)) {
+    Graph& graph = named.graph;
+    std::printf("\n--- %s (n=%u, m=%llu, %zu queries) ---\n",
+                named.paper_name.c_str(), graph.num_nodes(),
+                static_cast<unsigned long long>(graph.num_edges()),
+                query_count);
+    auto sources = SampleQuerySources(graph, query_count);
+    std::vector<PprQuery> queries(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) queries[i].source = sources[i];
+
+    for (const auto& [label, spec] : hosted) {
+      TablePrinter table({"workers", "clients", "qps", "qps/worker",
+                          "p50(ms)", "p99(ms)", "max(ms)"});
+      for (unsigned workers : worker_counts) {
+        PprServerOptions options;
+        options.workers = workers;
+        options.queue_capacity = 256;
+        PprServer server(options);
+        PPR_CHECK_OK(server.AddSolver(spec, graph));
+        PPR_CHECK_OK(server.Start());
+        const unsigned clients = workers;  // closed loop, one per worker
+        ServeLoad load = DriveLoad(server, queries, clients);
+        server.Stop();
+
+        const double qps =
+            static_cast<double>(load.latencies.size()) / load.wall_seconds;
+        const double p50 = Percentile(load.latencies, 50.0) * 1e3;
+        const double p99 = Percentile(load.latencies, 99.0) * 1e3;
+        const double pmax = Percentile(load.latencies, 100.0) * 1e3;
+        char row[5][32];
+        std::snprintf(row[0], sizeof(row[0]), "%.0f", qps);
+        std::snprintf(row[1], sizeof(row[1]), "%.1f", qps / workers);
+        std::snprintf(row[2], sizeof(row[2]), "%.3f", p50);
+        std::snprintf(row[3], sizeof(row[3]), "%.3f", p99);
+        std::snprintf(row[4], sizeof(row[4]), "%.3f", pmax);
+        table.AddRow({std::to_string(workers), std::to_string(clients),
+                      row[0], row[1], row[2], row[3], row[4]});
+
+        json.Add()
+            .Str("dataset", named.name)
+            .Str("solver", spec)
+            .Int("workers", workers)
+            .Int("clients", clients)
+            .Int("queries", load.latencies.size())
+            .Int("rejected", load.rejected)
+            .Num("wall_seconds", load.wall_seconds)
+            .Num("qps", qps)
+            .Num("qps_per_worker", qps / workers)
+            .Num("p50_ms", p50)
+            .Num("p99_ms", p99)
+            .Num("max_ms", pmax);
+      }
+      std::printf("%s — %s\n%s", label, spec, table.ToString().c_str());
+    }
+  }
+  json.Write();
+  std::printf("\nExpected shape: qps scales with workers; qps/worker > 1\n"
+              "throughout (millisecond queries on a warm context pool).\n");
+  return 0;
+}

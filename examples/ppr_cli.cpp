@@ -10,6 +10,15 @@
 //     --topk=10          number of results printed
 //     --undirected       symmetrize the input edge list
 //
+// Serving mode (--serve) runs a PprServer on the loaded graph and fires
+// randomly-sourced queries at it, reporting throughput, latency
+// percentiles and backpressure rejections — a one-command load probe:
+//     --serve            serve instead of answering one query
+//     --qps=0            submission rate (0 = as fast as possible)
+//     --duration=5       seconds of load
+//     --serve-workers=0  server worker threads (0 = thread budget)
+//     --serve-queue=1024 bounded queue capacity
+//
 // Every solver is dispatched through SolverRegistry — run with --help to
 // see the registered names and their option keys. The spec may carry
 // solver-specific overrides ("speedppr:eps=0.1,indexed=true"); the
@@ -18,17 +27,23 @@
 // The first argument is either a SNAP-format edge list ("src dst" per
 // line, '#' comments) or a built-in dataset name such as "pokec-sim".
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/context.h"
 #include "api/registry.h"
+#include "eval/experiment.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
+#include "serve/ppr_server.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace {
@@ -40,6 +55,90 @@ bool IsDatasetName(const std::string& name) {
     if (spec.name == name || spec.paper_name == name) return true;
   }
   return false;
+}
+
+/// --serve: open-loop load generation against a PprServer hosting the
+/// --algo solver. Sources are sampled uniformly; --qps paces
+/// submissions (0 floods). Rejected submissions (full queue) are
+/// counted, not retried — the report shows what the server sheds.
+int RunServeMode(const std::string& algo, const Graph& graph, double qps,
+                 double duration, uint64_t workers, uint64_t queue_capacity) {
+  PprServerOptions options;
+  options.workers = static_cast<unsigned>(workers);
+  options.queue_capacity = static_cast<size_t>(queue_capacity);
+  PprServer server(options);
+  Status added = server.AddSolver(algo, graph);
+  if (!added.ok()) {
+    std::fprintf(stderr, "serve: %s\n", added.ToString().c_str());
+    return 1;
+  }
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  char qps_text[32] = "unlimited";
+  if (qps > 0) std::snprintf(qps_text, sizeof(qps_text), "%g", qps);
+  std::printf("serving %s: workers=%u queue=%zu qps=%s duration=%.1fs\n",
+              algo.c_str(), server.options().workers,
+              server.options().queue_capacity, qps_text, duration);
+
+  Rng rng(20260731);
+  std::vector<PprFuture> futures;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration));
+  uint64_t fired = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (qps > 0) {
+      const auto due =
+          start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(static_cast<double>(fired) / qps));
+      // Check before sleeping: a slot past the deadline must not extend
+      // the probe by one inter-arrival interval.
+      if (due >= deadline) break;
+      std::this_thread::sleep_until(due);
+    }
+    PprQuery query;
+    query.source = static_cast<NodeId>(rng.NextBounded(graph.num_nodes()));
+    auto submitted = server.Submit(query);
+    fired++;
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).ValueOrDie());
+    } else {
+      // Backpressure hit. The server already tallied the rejection;
+      // back off briefly instead of hammering Submit millions of times.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  for (const PprFuture& f : futures) f.Wait();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Stop();
+
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (const PprFuture& f : futures) latencies.push_back(f.latency_seconds());
+  const PprServerStats stats = server.stats();
+  std::printf("submitted: %llu  accepted: %llu  rejected: %llu  "
+              "completed: %llu  failed: %llu\n",
+              static_cast<unsigned long long>(fired),
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("throughput: %.1f queries/s over %.2fs\n",
+              static_cast<double>(stats.completed) / wall, wall);
+  if (!latencies.empty()) {
+    std::printf("latency: p50=%.3fms p99=%.3fms max=%.3fms\n",
+                Percentile(latencies, 50.0) * 1e3,
+                Percentile(latencies, 99.0) * 1e3,
+                Percentile(latencies, 100.0) * 1e3);
+  }
+  return 0;
 }
 
 int Usage(const FlagParser& parser) {
@@ -61,6 +160,11 @@ int main(int argc, char** argv) {
   uint64_t target = static_cast<uint64_t>(kNoTarget);
   uint64_t topk = 10;
   bool undirected = false;
+  bool serve = false;
+  double qps = 0.0;
+  double duration = 5.0;
+  uint64_t serve_workers = 0;
+  uint64_t serve_queue = 1024;
 
   FlagParser parser;
   parser.AddString("algo", &algo,
@@ -71,6 +175,13 @@ int main(int argc, char** argv) {
   parser.AddUint64("target", &target, "single-pair target node");
   parser.AddUint64("topk", &topk, "number of results printed");
   parser.AddBool("undirected", &undirected, "symmetrize the edge list");
+  parser.AddBool("serve", &serve, "run a PprServer load probe instead");
+  parser.AddDouble("qps", &qps, "serve: submission rate (0 = flood)");
+  parser.AddDouble("duration", &duration, "serve: seconds of load");
+  parser.AddUint64("serve-workers", &serve_workers,
+                   "serve: worker threads (0 = thread budget)");
+  parser.AddUint64("serve-queue", &serve_queue,
+                   "serve: bounded queue capacity");
 
   Status parse_status = parser.Parse(argc, argv);
   if (!parse_status.ok()) {
@@ -104,6 +215,16 @@ int main(int argc, char** argv) {
     }
     graph = std::move(loaded).ValueOrDie();
   }
+  if (solver->capabilities().needs_in_adjacency) graph.BuildInAdjacency();
+  if (serve) {
+    // The server prepares its own solver instance from the spec; the
+    // <source> positional is ignored (sources are sampled).
+    std::printf("graph: n=%u m=%llu | serve --algo=%s\n", graph.num_nodes(),
+                static_cast<unsigned long long>(graph.num_edges()),
+                algo.c_str());
+    return RunServeMode(algo, graph, qps, duration, serve_workers,
+                        serve_queue);
+  }
   if (source >= graph.num_nodes()) {
     std::fprintf(stderr, "source %u out of range (n=%u)\n", source,
                  graph.num_nodes());
@@ -117,8 +238,6 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(target), graph.num_nodes());
     return 1;
   }
-  if (solver->capabilities().needs_in_adjacency) graph.BuildInAdjacency();
-
   std::printf("graph: n=%u m=%llu | algo=%s source=%u\n", graph.num_nodes(),
               static_cast<unsigned long long>(graph.num_edges()),
               algo.c_str(), source);

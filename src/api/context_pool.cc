@@ -1,0 +1,87 @@
+#include "api/context_pool.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ppr {
+
+ContextPool::ContextPool(size_t capacity, uint64_t seed) {
+  PPR_CHECK(capacity >= 1);
+  contexts_.reserve(capacity);
+  free_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    contexts_.push_back(std::make_unique<SolverContext>(
+        SplitMix64(seed ^ (i * 0x9e3779b97f4a7c15ULL)).Next()));
+    free_.push_back(contexts_.back().get());
+  }
+}
+
+ContextPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_), context_(other.context_) {
+  other.pool_ = nullptr;
+  other.context_ = nullptr;
+}
+
+ContextPool::Lease& ContextPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    context_ = other.context_;
+    other.pool_ = nullptr;
+    other.context_ = nullptr;
+  }
+  return *this;
+}
+
+void ContextPool::Lease::Release() {
+  if (context_ != nullptr) {
+    pool_->Return(context_);
+    pool_ = nullptr;
+    context_ = nullptr;
+  }
+}
+
+ContextPool::Lease ContextPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  free_cv_.wait(lock, [this] { return !free_.empty(); });
+  SolverContext* context = free_.back();
+  free_.pop_back();
+  return Lease(this, context);
+}
+
+std::optional<ContextPool::Lease> ContextPool::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) return std::nullopt;
+  SolverContext* context = free_.back();
+  free_.pop_back();
+  return Lease(this, context);
+}
+
+void ContextPool::Return(SolverContext* context) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(context);
+  }
+  free_cv_.notify_one();
+}
+
+size_t ContextPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+uint64_t ContextPool::TotalFullAssigns() const {
+  uint64_t total = 0;
+  for (const auto& context : contexts_) total += context->full_assigns();
+  return total;
+}
+
+uint64_t ContextPool::TotalSparseResets() const {
+  uint64_t total = 0;
+  for (const auto& context : contexts_) total += context->sparse_resets();
+  return total;
+}
+
+}  // namespace ppr

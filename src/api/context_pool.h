@@ -1,0 +1,88 @@
+#ifndef PPR_API_CONTEXT_POOL_H_
+#define PPR_API_CONTEXT_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "api/context.h"
+
+namespace ppr {
+
+/// A fixed set of warm SolverContexts checked out per query.
+///
+/// The point: a SolverContext's sparse-reset contract makes the *second*
+/// query on a context nearly free, so a server answering thousands of
+/// queries should cycle a handful of contexts instead of constructing
+/// one per query (each construction pays the next solve's full O(n)
+/// workspace assign). The pool never grows — exhaustion blocks until a
+/// lease returns, which is what keeps every context warm. With
+/// capacity >= the number of serving threads, Acquire never blocks in
+/// steady state.
+///
+/// Thread-safe. The handed-out SolverContext itself is single-threaded,
+/// as always — the lease is exclusive until destroyed.
+class ContextPool {
+ public:
+  /// Eagerly constructs `capacity` contexts (capacity >= 1). Context i
+  /// starts seeded with SplitStream(seed, i); servers reseed per query
+  /// anyway, so the initial seeds only matter for ad-hoc use.
+  explicit ContextPool(size_t capacity,
+                       uint64_t seed = SolverContext::kDefaultSeed);
+
+  /// Exclusive handle on a pooled context; returns it on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { Release(); }
+
+    bool valid() const { return context_ != nullptr; }
+    SolverContext& operator*() const { return *context_; }
+    SolverContext* operator->() const { return context_; }
+
+    /// Returns the context early (idempotent).
+    void Release();
+
+   private:
+    friend class ContextPool;
+    Lease(ContextPool* pool, SolverContext* context)
+        : pool_(pool), context_(context) {}
+
+    ContextPool* pool_ = nullptr;
+    SolverContext* context_ = nullptr;
+  };
+
+  /// Blocks until a context is free.
+  Lease Acquire();
+
+  /// Returns an invalid lease instead of blocking when the pool is
+  /// exhausted.
+  std::optional<Lease> TryAcquire();
+
+  size_t capacity() const { return contexts_.size(); }
+  size_t available() const;
+
+  /// Σ full_assigns() over every pooled context. Only meaningful when no
+  /// lease is outstanding (the serve tests assert warm-pool steady state
+  /// performs zero new full assigns).
+  uint64_t TotalFullAssigns() const;
+  /// Σ sparse_resets() over every pooled context; same caveat.
+  uint64_t TotalSparseResets() const;
+
+ private:
+  void Return(SolverContext* context);
+
+  std::vector<std::unique_ptr<SolverContext>> contexts_;
+  mutable std::mutex mu_;
+  std::condition_variable free_cv_;
+  std::vector<SolverContext*> free_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_API_CONTEXT_POOL_H_

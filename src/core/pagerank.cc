@@ -1,5 +1,6 @@
 #include "core/pagerank.h"
 
+#include "core/scatter_merge.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -37,54 +38,46 @@ std::vector<double> PageRank(const Graph& graph,
     std::vector<uint64_t> chunk_edges(threads, 0);
     while (rsum > options.lambda &&
            stats.iterations < options.max_iterations) {
-      ParallelForThreads(0, threads, threads,
-                         [&](uint64_t lo, uint64_t hi, unsigned) {
-        for (uint64_t c = lo; c < hi; ++c) {
-          std::vector<double>& delta = deltas[c];
-          double dangling = 0.0;
-          for (uint64_t v = row_bounds[c]; v < row_bounds[c + 1]; ++v) {
-            const double g = gamma[v];
-            if (g == 0.0) continue;
-            rank[v] += alpha * g;
-            const double push = (1.0 - alpha) * g;
-            const NodeId d = graph.OutDegree(static_cast<NodeId>(v));
-            if (d == 0) {
-              dangling += push;
-              chunk_edges[c] += 1;
-            } else {
-              const double inc = push / d;
-              for (NodeId u : graph.OutNeighbors(static_cast<NodeId>(v))) {
-                delta[u] += inc;
+      ScatterMergeStep(
+          n, row_bounds, threads, deltas,
+          [&](unsigned c, uint64_t row_begin, uint64_t row_end,
+              std::vector<double>& delta) {
+            double dangling = 0.0;
+            for (uint64_t v = row_begin; v < row_end; ++v) {
+              const double g = gamma[v];
+              if (g == 0.0) continue;
+              rank[v] += alpha * g;
+              const double push = (1.0 - alpha) * g;
+              const NodeId d = graph.OutDegree(static_cast<NodeId>(v));
+              if (d == 0) {
+                dangling += push;
+                chunk_edges[c] += 1;
+              } else {
+                const double inc = push / d;
+                for (NodeId u : graph.OutNeighbors(static_cast<NodeId>(v))) {
+                  delta[u] += inc;
+                }
+                chunk_edges[c] += d;
               }
-              chunk_edges[c] += d;
+              chunk_pushes[c]++;
             }
-            chunk_pushes[c]++;
-          }
-          chunk_dangling[c] = dangling;
-        }
-      }, /*grain=*/1);
-
-      double dangling = 0.0;
-      for (unsigned w = 0; w < threads; ++w) {
-        dangling += chunk_dangling[w];
-        chunk_dangling[w] = 0.0;
-        stats.push_operations += chunk_pushes[w];
-        stats.edge_pushes += chunk_edges[w];
-        chunk_pushes[w] = 0;
-        chunk_edges[w] = 0;
-      }
-      const double share = dangling > 0.0 ? dangling / n : 0.0;
-      ParallelForThreads(0, n, threads,
-                         [&](uint64_t lo, uint64_t hi, unsigned) {
-        for (uint64_t v = lo; v < hi; ++v) {
-          double sum = share;
-          for (unsigned w = 0; w < threads; ++w) {
-            sum += deltas[w][v];
-            deltas[w][v] = 0.0;
-          }
-          gamma[v] = sum;
-        }
-      });
+            chunk_dangling[c] = dangling;
+          },
+          gamma, /*accumulate=*/false,
+          // Between scatter and merge: fold the per-chunk dangling mass
+          // into the uniform share every merged entry receives.
+          [&] {
+            double dangling = 0.0;
+            for (unsigned w = 0; w < threads; ++w) {
+              dangling += chunk_dangling[w];
+              chunk_dangling[w] = 0.0;
+              stats.push_operations += chunk_pushes[w];
+              stats.edge_pushes += chunk_edges[w];
+              chunk_pushes[w] = 0;
+              chunk_edges[w] = 0;
+            }
+            return dangling > 0.0 ? dangling / n : 0.0;
+          });
       rsum *= (1.0 - alpha);
       stats.iterations++;
     }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/scatter_merge.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -9,9 +10,10 @@ namespace ppr {
 
 namespace {
 
-/// One parallel γ → (π̂, γ') step: workers scatter their rows' pushes
-/// into per-thread buffers, then a merge pass rebuilds gamma as the
-/// worker-ordered sum (and re-zeroes the buffers). Returns the new rsum.
+/// One parallel γ → (π̂, γ') step: chunks scatter their rows' pushes
+/// into per-chunk buffers, then the merge rebuilds gamma as the
+/// chunk-ordered sum (ScatterMergeStep re-zeroes the buffers). Returns
+/// the new rsum.
 double ParallelPowerStep(const Graph& graph, NodeId source, double alpha,
                          const std::vector<uint64_t>& row_bounds,
                          unsigned threads, std::vector<double>& gamma,
@@ -21,45 +23,33 @@ double ParallelPowerStep(const Graph& graph, NodeId source, double alpha,
                          std::vector<uint64_t>& chunk_pushes,
                          std::vector<uint64_t>& chunk_edges,
                          SolveStats* stats) {
-  const NodeId n = graph.num_nodes();
-  ParallelForThreads(0, threads, threads,
-                     [&](uint64_t lo, uint64_t hi, unsigned) {
-    for (uint64_t c = lo; c < hi; ++c) {
-      std::vector<double>& delta = deltas[c];
-      double rsum = 0.0;
-      for (uint64_t v = row_bounds[c]; v < row_bounds[c + 1]; ++v) {
-        const double r = gamma[v];
-        if (r == 0.0) continue;
-        reserve[v] += alpha * r;
-        const double push = (1.0 - alpha) * r;
-        const NodeId d = graph.OutDegree(static_cast<NodeId>(v));
-        if (d == 0) {
-          delta[source] += push;
-          chunk_edges[c] += 1;
-        } else {
-          const double inc = push / d;
-          for (NodeId u : graph.OutNeighbors(static_cast<NodeId>(v))) {
-            delta[u] += inc;
+  ScatterMergeStep(
+      graph.num_nodes(), row_bounds, threads, deltas,
+      [&](unsigned c, uint64_t row_begin, uint64_t row_end,
+          std::vector<double>& delta) {
+        double rsum = 0.0;
+        for (uint64_t v = row_begin; v < row_end; ++v) {
+          const double r = gamma[v];
+          if (r == 0.0) continue;
+          reserve[v] += alpha * r;
+          const double push = (1.0 - alpha) * r;
+          const NodeId d = graph.OutDegree(static_cast<NodeId>(v));
+          if (d == 0) {
+            delta[source] += push;
+            chunk_edges[c] += 1;
+          } else {
+            const double inc = push / d;
+            for (NodeId u : graph.OutNeighbors(static_cast<NodeId>(v))) {
+              delta[u] += inc;
+            }
+            chunk_edges[c] += d;
           }
-          chunk_edges[c] += d;
+          rsum += push;
+          chunk_pushes[c]++;
         }
-        rsum += push;
-        chunk_pushes[c]++;
-      }
-      chunk_rsum[c] = rsum;
-    }
-  }, /*grain=*/1);
-
-  ParallelForThreads(0, n, threads, [&](uint64_t lo, uint64_t hi, unsigned) {
-    for (uint64_t v = lo; v < hi; ++v) {
-      double sum = 0.0;
-      for (unsigned w = 0; w < threads; ++w) {
-        sum += deltas[w][v];
-        deltas[w][v] = 0.0;
-      }
-      gamma[v] = sum;
-    }
-  });
+        chunk_rsum[c] = rsum;
+      },
+      gamma, /*accumulate=*/false);
 
   double next_rsum = 0.0;
   for (unsigned w = 0; w < threads; ++w) {

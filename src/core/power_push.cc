@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/scatter_merge.h"
 #include "util/fifo_queue.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -13,58 +14,47 @@ namespace {
 
 /// One simultaneous scan pass over edge-balanced row chunks: every node
 /// active w.r.t. epoch_rmax is pushed against the residue snapshot, the
-/// outgoing mass lands in per-thread buffers, and a merge folds the
-/// buffers back into the residue in worker order. Returns the number of
+/// outgoing mass lands in per-chunk buffers, and the merge folds the
+/// buffers back into the residue in chunk order (accumulate mode: the
+/// residue keeps its sub-threshold entries). Returns the number of
 /// pushes performed.
 uint64_t ParallelScanPass(const Graph& graph, NodeId source, double alpha,
                           double epoch_rmax,
                           const std::vector<uint64_t>& row_bounds,
                           unsigned threads, PprEstimate* out,
                           ThreadDenseBuffers& deltas, SolveStats* stats) {
-  const NodeId n = graph.num_nodes();
   std::vector<double>& reserve = out->reserve;
   std::vector<double>& residue = out->residue;
   const auto& offsets = graph.out_offsets();
   const auto& targets = graph.out_targets();
   std::vector<uint64_t> chunk_pushes(threads, 0);
   std::vector<uint64_t> chunk_edges(threads, 0);
-  ParallelForThreads(0, threads, threads,
-                     [&](uint64_t lo, uint64_t hi, unsigned) {
-    for (uint64_t c = lo; c < hi; ++c) {
-      std::vector<double>& delta = deltas[c];
-      for (uint64_t v = row_bounds[c]; v < row_bounds[c + 1]; ++v) {
-        const double r = residue[v];
-        const NodeId d = static_cast<NodeId>(offsets[v + 1] - offsets[v]);
-        const NodeId deff = d == 0 ? 1 : d;
-        if (r <= static_cast<double>(deff) * epoch_rmax) continue;
-        reserve[v] += alpha * r;
-        const double push = (1.0 - alpha) * r;
-        residue[v] = 0.0;
-        if (d == 0) {
-          delta[source] += push;
-          chunk_edges[c] += 1;
-        } else {
-          const double inc = push / d;
-          for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
-            delta[targets[e]] += inc;
+  ScatterMergeStep(
+      graph.num_nodes(), row_bounds, threads, deltas,
+      [&](unsigned c, uint64_t row_begin, uint64_t row_end,
+          std::vector<double>& delta) {
+        for (uint64_t v = row_begin; v < row_end; ++v) {
+          const double r = residue[v];
+          const NodeId d = static_cast<NodeId>(offsets[v + 1] - offsets[v]);
+          const NodeId deff = d == 0 ? 1 : d;
+          if (r <= static_cast<double>(deff) * epoch_rmax) continue;
+          reserve[v] += alpha * r;
+          const double push = (1.0 - alpha) * r;
+          residue[v] = 0.0;
+          if (d == 0) {
+            delta[source] += push;
+            chunk_edges[c] += 1;
+          } else {
+            const double inc = push / d;
+            for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+              delta[targets[e]] += inc;
+            }
+            chunk_edges[c] += d;
           }
-          chunk_edges[c] += d;
+          chunk_pushes[c]++;
         }
-        chunk_pushes[c]++;
-      }
-    }
-  }, /*grain=*/1);
-
-  ParallelForThreads(0, n, threads, [&](uint64_t lo, uint64_t hi, unsigned) {
-    for (uint64_t v = lo; v < hi; ++v) {
-      double sum = residue[v];
-      for (unsigned w = 0; w < threads; ++w) {
-        sum += deltas[w][v];
-        deltas[w][v] = 0.0;
-      }
-      residue[v] = sum;
-    }
-  });
+      },
+      residue, /*accumulate=*/true);
 
   uint64_t pushes = 0;
   for (unsigned w = 0; w < threads; ++w) {

@@ -1,0 +1,39 @@
+#include "core/scatter_merge.h"
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace ppr {
+
+void ScatterMergeStep(NodeId n, const std::vector<uint64_t>& row_bounds,
+                      unsigned chunks, ThreadDenseBuffers& deltas,
+                      const ScatterBody& scatter, std::vector<double>& target,
+                      bool accumulate,
+                      const std::function<double()>& between) {
+  PPR_DCHECK(row_bounds.size() == chunks + 1);
+  PPR_DCHECK(deltas.size() >= chunks);
+  PPR_DCHECK(target.size() == n);
+
+  ParallelForThreads(0, chunks, chunks,
+                     [&](uint64_t lo, uint64_t hi, unsigned) {
+    for (uint64_t c = lo; c < hi; ++c) {
+      scatter(static_cast<unsigned>(c), row_bounds[c], row_bounds[c + 1],
+              deltas[c]);
+    }
+  }, /*grain=*/1);
+
+  const double uniform = between ? between() : 0.0;
+
+  ParallelForThreads(0, n, chunks, [&](uint64_t lo, uint64_t hi, unsigned) {
+    for (uint64_t v = lo; v < hi; ++v) {
+      double sum = (accumulate ? target[v] : 0.0) + uniform;
+      for (unsigned w = 0; w < chunks; ++w) {
+        sum += deltas[w][v];
+        deltas[w][v] = 0.0;
+      }
+      target[v] = sum;
+    }
+  });
+}
+
+}  // namespace ppr

@@ -1,0 +1,50 @@
+#ifndef PPR_CORE_SCATTER_MERGE_H_
+#define PPR_CORE_SCATTER_MERGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/workspace.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Per-chunk row body of a scatter/merge superstep: process rows
+/// [row_begin, row_end) of chunk `c`, accumulating every pushed value
+/// into `delta` (all-zero on entry, per the ThreadDenseBuffers lending
+/// contract). Chunk-local counters (rsum, pushes, dangling mass) belong
+/// in caller-owned per-chunk arrays captured by the closure.
+using ScatterBody = std::function<void(
+    unsigned c, uint64_t row_begin, uint64_t row_end,
+    std::vector<double>& delta)>;
+
+/// One deterministic scatter/merge superstep — the pattern PowItr,
+/// PageRank and PowerPush's scan phase each used to restate inline:
+///
+///  1. scatter: chunk c runs `scatter` over its rows
+///     [row_bounds[c], row_bounds[c+1]), landing outgoing mass in the
+///     per-chunk buffer deltas[c];
+///  2. barrier, then `between` (if given) runs once on the calling
+///     thread — e.g. PageRank folds its per-chunk dangling mass here —
+///     and returns a uniform term added to every merged entry;
+///  3. merge: target[v] = (accumulate ? target[v] : 0) + uniform
+///            + Σ_c deltas[c][v], folding chunks in ascending order and
+///     re-zeroing deltas[c][v], so the buffers come back all-zero.
+///
+/// The fixed fold order makes the result deterministic for a given chunk
+/// count, and both phases run through ParallelForThreads, i.e. on the
+/// shared WorkerPool — a superstep inside one query of a busy PprServer
+/// shares workers with every other query instead of spawning its own.
+///
+/// Requires row_bounds.size() == chunks + 1 (BalancedChunkBounds output)
+/// and deltas sized [chunks][n] all-zero (EnsureThreadBuffers).
+void ScatterMergeStep(NodeId n, const std::vector<uint64_t>& row_bounds,
+                      unsigned chunks, ThreadDenseBuffers& deltas,
+                      const ScatterBody& scatter, std::vector<double>& target,
+                      bool accumulate,
+                      const std::function<double()>& between = nullptr);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_SCATTER_MERGE_H_

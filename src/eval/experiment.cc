@@ -1,6 +1,7 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "core/power_push.h"
@@ -48,6 +49,20 @@ double Median(std::vector<double> values) {
   const size_t mid = values.size() / 2;
   std::nth_element(values.begin(), values.begin() + mid, values.end());
   return values[mid];
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  PPR_CHECK(p >= 0.0 && p <= 100.0);
+  // Nearest-rank on the sorted sample: index ⌈p/100·n⌉-1, clamped. The
+  // convention is simple and never interpolates beyond observed values —
+  // right for latency reporting, where p99 should be a real latency.
+  const size_t n = values.size();
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+  if (rank > 0) rank--;
+  if (rank >= n) rank = n - 1;
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
 }
 
 std::vector<double> TimePerQuery(const std::vector<NodeId>& sources,

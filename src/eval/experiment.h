@@ -31,6 +31,11 @@ std::vector<NamedGraph> LoadBenchDatasets(double scale = 1.0,
 double Mean(const std::vector<double>& values);
 double Median(std::vector<double> values);
 
+/// Nearest-rank percentile of a sample, p in [0, 100] — the latency
+/// reporter for the serve path (p=50/p=99 in bench_serve and ppr_cli
+/// --serve).
+double Percentile(std::vector<double> values, double p);
+
 /// Times `fn` over each source and returns per-source seconds.
 std::vector<double> TimePerQuery(const std::vector<NodeId>& sources,
                                  const std::function<void(NodeId)>& fn);

@@ -1,0 +1,112 @@
+#ifndef PPR_SERVE_BOUNDED_QUEUE_H_
+#define PPR_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ppr {
+
+/// A bounded multi-producer multi-consumer FIFO — the PprServer's
+/// request queue. Two admission disciplines:
+///
+///  * TryPush: backpressure by rejection — returns false immediately
+///    when the queue is full (the server turns that into an Unavailable
+///    status, so clients learn about overload instead of piling up
+///    unbounded work);
+///  * Push: backpressure by blocking — waits for space; used by the
+///    synchronous batch path, where the caller *is* the client and
+///    waiting is the contract.
+///
+/// Close() wakes every waiter. Consumers drain whatever was admitted
+/// before the close (Pop returns the remaining items, then nullopt), so
+/// a server shutdown completes accepted queries instead of dropping
+/// them silently.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    PPR_CHECK(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admit; false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking admit; false only when the queue is (or becomes) closed.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      producer_cv_.wait(
+          lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained; nullopt means "no more items, ever".
+  std::optional<T> Pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    producer_cv_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all waiters; already-admitted items
+  /// remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_SERVE_BOUNDED_QUEUE_H_

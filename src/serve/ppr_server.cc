@@ -1,0 +1,267 @@
+#include "serve/ppr_server.h"
+
+#include <utility>
+
+#include "api/registry.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/worker_pool.h"
+
+namespace ppr {
+
+// ---------------------------------------------------------------- future
+
+struct PprFuture::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  PprResult result;
+  std::chrono::steady_clock::time_point submitted;
+  double latency_seconds = 0.0;
+};
+
+bool PprFuture::done() const {
+  PPR_CHECK(valid());
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void PprFuture::Wait() const {
+  PPR_CHECK(valid());
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+Status PprFuture::Get(PprResult* out) const {
+  PPR_CHECK(valid());
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  if (state_->status.ok() && out != nullptr) *out = state_->result;
+  return state_->status;
+}
+
+double PprFuture::latency_seconds() const {
+  PPR_CHECK(valid());
+  std::lock_guard<std::mutex> lock(state_->mu);
+  PPR_CHECK(state_->done);
+  return state_->latency_seconds;
+}
+
+// ---------------------------------------------------------------- server
+
+namespace {
+
+unsigned ResolveWorkers(const PprServerOptions& options) {
+  return options.workers > 0 ? options.workers : ThreadBudget();
+}
+
+size_t ResolveContexts(const PprServerOptions& options) {
+  return options.contexts > 0 ? options.contexts
+                              : static_cast<size_t>(ResolveWorkers(options));
+}
+
+}  // namespace
+
+PprServer::PprServer(PprServerOptions options)
+    : options_(options),
+      contexts_(ResolveContexts(options), options.seed),
+      queue_(options.queue_capacity) {
+  options_.workers = ResolveWorkers(options);
+  options_.contexts = ResolveContexts(options);
+}
+
+PprServer::~PprServer() { Stop(); }
+
+Status PprServer::AddSolver(std::string_view spec, const Graph& graph) {
+  auto created = SolverRegistry::Global().Create(spec);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+  PPR_RETURN_IF_ERROR(solver->Prepare(graph));
+  return AddSolver(std::string(spec), std::move(solver));
+}
+
+Status PprServer::AddSolver(std::string name, std::unique_ptr<Solver> solver) {
+  PPR_CHECK(solver != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("AddSolver after Start()");
+  }
+  for (const Hosted& hosted : solvers_) {
+    if (hosted.name == name) {
+      return Status::InvalidArgument("solver '" + name + "' already added");
+    }
+  }
+  solvers_.push_back({std::move(name), std::move(solver)});
+  return Status::OK();
+}
+
+Status PprServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("Start() called twice");
+  if (solvers_.empty()) {
+    return Status::FailedPrecondition("Start() with no solver added");
+  }
+  started_ = true;
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void PprServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) {
+      stopped_ = true;
+      return;
+    }
+    stopped_ = true;
+  }
+  // Closing the queue (a) fails later Submits and (b) lets the workers
+  // drain every accepted request before their Pop returns nullopt — the
+  // join below therefore completes all in-flight futures.
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+bool PprServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stopped_;
+}
+
+Solver* PprServer::FindSolver(std::string_view name) const {
+  if (name.empty()) return solvers_.empty() ? nullptr : solvers_[0].solver.get();
+  for (const Hosted& hosted : solvers_) {
+    if (hosted.name == name) return hosted.solver.get();
+  }
+  return nullptr;
+}
+
+Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
+                                     std::string_view solver, uint64_t seed,
+                                     bool blocking) {
+  internal::ServeRequest request;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) {
+      return Status::FailedPrecondition("server is not running");
+    }
+    request.solver = FindSolver(solver);
+    if (request.solver == nullptr) {
+      return Status::NotFound("no solver '" + std::string(solver) +
+                              "' on this server");
+    }
+    request.seed =
+        seed != 0 ? seed
+                  : SplitStream(options_.seed, next_submission_).NextUint64();
+    next_submission_++;
+  }
+  request.query = query;
+  request.state = std::make_shared<PprFuture::State>();
+  request.state->submitted = std::chrono::steady_clock::now();
+  PprFuture future(request.state);
+
+  const bool admitted = blocking ? queue_.Push(std::move(request))
+                                 : queue_.TryPush(std::move(request));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admitted) {
+    // A Stop() racing this submission closes the queue; that is a
+    // lifecycle refusal, not load shedding.
+    if (queue_.closed()) {
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    rejected_++;
+    return Status::Unavailable(
+        "request queue full (" + std::to_string(queue_.capacity()) +
+        " pending); retry later or raise queue_capacity");
+  }
+  submitted_++;
+  return future;
+}
+
+Result<PprFuture> PprServer::Submit(const PprQuery& query,
+                                    std::string_view solver, uint64_t seed) {
+  return Enqueue(query, solver, seed, /*blocking=*/false);
+}
+
+Status PprServer::SolveBatch(const std::vector<PprQuery>& queries,
+                             std::vector<PprResult>* results,
+                             std::string_view solver, uint64_t seed) {
+  PPR_CHECK(results != nullptr);
+  const uint64_t base_seed = seed != 0 ? seed : options_.seed;
+  std::vector<PprFuture> futures;
+  futures.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto submitted = Enqueue(queries[i], solver,
+                             SplitStream(base_seed, i).NextUint64(),
+                             /*blocking=*/true);
+    if (!submitted.ok()) {
+      // Already-admitted entries still complete (the workers own them);
+      // wait so the caller never observes half-admitted batches racing.
+      for (const PprFuture& f : futures) f.Wait();
+      return submitted.status();
+    }
+    futures.push_back(std::move(submitted).ValueOrDie());
+  }
+  results->assign(queries.size(), PprResult{});
+  Status first_error;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Status status = futures[i].Get(&(*results)[i]);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+void PprServer::WorkerLoop() {
+  while (auto request = queue_.Pop()) {
+    ContextPool::Lease context = contexts_.Acquire();
+    context->Reseed(request->seed);
+    PprResult result;
+    Status status = request->solver->Solve(request->query, *context, &result);
+    context.Release();
+
+    PprFuture::State& state = *request->state;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.status = status;
+      state.result = std::move(result);
+      state.latency_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        state.submitted)
+              .count();
+      state.done = true;
+    }
+    state.cv.notify_all();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      completed_++;
+    } else {
+      failed_++;
+    }
+  }
+}
+
+PprServerStats PprServer::stats() const {
+  PprServerStats stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.completed = completed_;
+  stats.failed = failed_;
+  stats.queue_depth = queue_.size();
+  return stats;
+}
+
+std::vector<std::string> PprServer::solver_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(solvers_.size());
+  for (const Hosted& hosted : solvers_) names.push_back(hosted.name);
+  return names;
+}
+
+}  // namespace ppr

@@ -1,0 +1,207 @@
+#ifndef PPR_SERVE_PPR_SERVER_H_
+#define PPR_SERVE_PPR_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/context_pool.h"
+#include "api/query.h"
+#include "api/solver.h"
+#include "serve/bounded_queue.h"
+#include "util/status.h"
+
+namespace ppr {
+
+/// Completion handle for one submitted query. Cheap to copy (shared
+/// state); Wait/Get may be called from any thread, any number of times.
+class PprFuture {
+ public:
+  /// Opaque shared completion state (defined in ppr_server.cc).
+  struct State;
+
+  PprFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the query finished (successfully or not).
+  bool done() const;
+
+  /// Blocks until the query finishes.
+  void Wait() const;
+
+  /// Blocks, then returns the query's terminal status. On OK and
+  /// non-null `out`, the result is copied out (copied, not moved, so
+  /// repeated Get calls agree).
+  Status Get(PprResult* out) const;
+
+  /// Seconds from Submit() to completion. Valid once done().
+  double latency_seconds() const;
+
+ private:
+  friend class PprServer;
+  explicit PprFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+namespace internal {
+
+/// One queued unit of server work. Header-visible only so the server can
+/// hold a BoundedQueue<ServeRequest> by value.
+struct ServeRequest {
+  PprQuery query;
+  Solver* solver = nullptr;
+  uint64_t seed = 0;
+  std::shared_ptr<PprFuture::State> state;
+};
+
+}  // namespace internal
+
+struct PprServerOptions {
+  /// Serving threads — concurrent queries in flight. 0 → ThreadBudget().
+  /// Each worker runs its query's serial phases itself and shares the
+  /// budgeted WorkerPool for the parallel kernels, so total compute
+  /// threads are bounded by workers + the pool — not by workers ×
+  /// threads= as the old spawn-per-stage scheme multiplied. Keep
+  /// workers within the machine share you intend the server to use.
+  unsigned workers = 0;
+  /// Bounded request-queue capacity; a full queue rejects Submit with
+  /// Unavailable (see docs/serving.md, "Backpressure").
+  size_t queue_capacity = 1024;
+  /// Warm SolverContexts cycled across queries. 0 → workers.
+  size_t contexts = 0;
+  /// Base seed: query i with no explicit seed gets SplitStream(seed, i)
+  /// by global submission index.
+  uint64_t seed = SolverContext::kDefaultSeed;
+};
+
+/// Point-in-time counters (monotonic except queue_depth).
+struct PprServerStats {
+  uint64_t submitted = 0;  ///< accepted into the queue
+  uint64_t rejected = 0;   ///< refused with Unavailable (queue full)
+  uint64_t completed = 0;  ///< finished with an OK status
+  uint64_t failed = 0;     ///< finished with a non-OK status
+  size_t queue_depth = 0;  ///< requests currently waiting
+};
+
+/// A concurrent SSPPR query server over the unified Solver API.
+///
+/// Lifecycle:
+///
+///   PprServer server({.workers = 4, .queue_capacity = 256});
+///   server.AddSolver("powerpush", graph);        // prepares via registry
+///   server.AddSolver("speedppr:eps=0.3", graph);
+///   server.Start();
+///   auto ticket = server.Submit(query);              // default solver
+///   auto other  = server.Submit(query, "speedppr:eps=0.3");
+///   PprResult result;
+///   Status status = ticket.value().Get(&result);
+///   server.Stop();   // drains accepted queries, joins workers
+///
+/// Concurrency & determinism: each worker checks a warm SolverContext
+/// out of the pool, reseeds it to the query's seed and calls
+/// Solver::Solve — the same composition a serial caller performs. The
+/// context-reuse conformance contract (warm == cold, bit for bit) then
+/// guarantees a served result is identical to a serial Solve of the
+/// same (query, seed), regardless of worker count, queue order or which
+/// context a query lands on. serve_test asserts this for every
+/// registered solver.
+///
+/// Backpressure: Submit never blocks — a full queue returns Unavailable
+/// immediately and the query is not admitted. The synchronous
+/// SolveBatch path instead waits for queue space (the caller is the
+/// client; blocking it *is* the backpressure).
+///
+/// Shutdown: Stop() closes the queue (later Submits fail), lets the
+/// workers drain every accepted request, then joins. Every future
+/// obtained from an accepted Submit therefore completes. Idempotent;
+/// the destructor calls it.
+class PprServer {
+ public:
+  explicit PprServer(PprServerOptions options = {});
+  ~PprServer();
+
+  PprServer(const PprServer&) = delete;
+  PprServer& operator=(const PprServer&) = delete;
+
+  /// Creates `spec` via SolverRegistry::Global(), prepares it on `graph`
+  /// (index builds happen here, not per query) and makes it routable
+  /// under the exact spec string. The first added solver is the default.
+  /// The graph must outlive the server. Fails after Start().
+  Status AddSolver(std::string_view spec, const Graph& graph);
+
+  /// As above with a caller-constructed, already-Prepare()d solver —
+  /// the hook tests use to inject instrumented solvers.
+  Status AddSolver(std::string name, std::unique_ptr<Solver> solver);
+
+  /// Spawns the worker threads. Requires at least one solver.
+  Status Start();
+
+  /// Drains accepted queries and joins the workers. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// Non-blocking submission. `solver` routes by spec string as given to
+  /// AddSolver (empty → default). `seed` 0 derives a per-query stream
+  /// from options.seed and the submission index. Unavailable when the
+  /// queue is full, FailedPrecondition when not running, NotFound for an
+  /// unknown solver spec.
+  Result<PprFuture> Submit(const PprQuery& query, std::string_view solver = {},
+                           uint64_t seed = 0);
+
+  /// Synchronous batch path: admits every query (waiting for queue space
+  /// instead of rejecting), blocks until all finish, and fills `results`
+  /// aligned with `queries`. Per-entry seed i is SplitStream(seed, i)
+  /// (seed 0 → options.seed), so a batch is reproducible regardless of
+  /// worker count. Returns the first per-query failure, if any.
+  Status SolveBatch(const std::vector<PprQuery>& queries,
+                    std::vector<PprResult>* results,
+                    std::string_view solver = {}, uint64_t seed = 0);
+
+  PprServerStats stats() const;
+  std::vector<std::string> solver_names() const;
+  const PprServerOptions& options() const { return options_; }
+
+  /// The warm-context pool (read-only; the serve tests assert its
+  /// recycling counters).
+  const ContextPool& context_pool() const { return contexts_; }
+
+ private:
+  struct Hosted {
+    std::string name;
+    std::unique_ptr<Solver> solver;
+  };
+
+  Solver* FindSolver(std::string_view name) const;
+  void WorkerLoop();
+  Result<PprFuture> Enqueue(const PprQuery& query, std::string_view solver,
+                            uint64_t seed, bool blocking);
+
+  PprServerOptions options_;
+  std::vector<Hosted> solvers_;
+  ContextPool contexts_;
+  BoundedQueue<internal::ServeRequest> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  bool started_ = false;
+  bool stopped_ = false;
+  uint64_t next_submission_ = 0;
+  uint64_t submitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_SERVE_PPR_SERVER_H_

@@ -6,25 +6,44 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/worker_pool.h"
 
 namespace ppr {
 
 namespace {
-/// True on threads spawned by ParallelForThreads, so auto-sized
+/// True on threads executing a parallel-region chunk, so auto-sized
 /// (threads=0) stages nested inside an outer parallel region — e.g. a
 /// walk phase running under a BatchSolve worker — resolve to serial
 /// instead of oversubscribing the machine. Explicit counts still win.
+/// Set via internal::ScopedParallelWorker by the WorkerPool.
 thread_local bool t_inside_parallel_worker = false;
 }  // namespace
 
-unsigned ParallelThreadCount() {
-  if (t_inside_parallel_worker) return 1;
+namespace internal {
+
+unsigned ConfiguredThreadCount() {
   if (const char* env = std::getenv("PPR_THREADS")) {
     int v = std::atoi(env);
     if (v >= 1) return static_cast<unsigned>(v);
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+ScopedParallelWorker::ScopedParallelWorker()
+    : previous_(t_inside_parallel_worker) {
+  t_inside_parallel_worker = true;
+}
+
+ScopedParallelWorker::~ScopedParallelWorker() {
+  t_inside_parallel_worker = previous_;
+}
+
+}  // namespace internal
+
+unsigned ParallelThreadCount() {
+  if (t_inside_parallel_worker) return 1;
+  return internal::ConfiguredThreadCount();
 }
 
 void ParallelFor(uint64_t begin, uint64_t end,
@@ -50,19 +69,19 @@ void ParallelForThreads(uint64_t begin, uint64_t end, unsigned threads,
   threads =
       static_cast<unsigned>(std::min<uint64_t>(threads, range / grain + 1));
 
+  // The chunk partition is a pure function of (range, threads) — the
+  // same boundaries and worker indices the thread-per-chunk
+  // implementation produced — so per-chunk RNG streams and buffers stay
+  // bit-identical. Execution is delegated to the shared persistent pool:
+  // chunk w may run on any pool worker or on this thread, but runs
+  // exactly once with index w.
   const uint64_t chunk = (range + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
+  const unsigned nchunks = static_cast<unsigned>((range + chunk - 1) / chunk);
+  WorkerPool::Shared().Run(nchunks, [&fn, begin, end, chunk](unsigned w) {
     const uint64_t lo = begin + w * chunk;
     const uint64_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&fn, lo, hi, w] {
-      t_inside_parallel_worker = true;
-      fn(lo, hi, w);
-    });
-  }
-  for (std::thread& t : workers) t.join();
+    fn(lo, hi, w);
+  });
 }
 
 std::vector<uint64_t> BalancedChunkBounds(

@@ -33,6 +33,18 @@ void ParallelFor(uint64_t begin, uint64_t end,
 /// ParallelThreadCount(). The registry solvers use this to honor their
 /// threads= option: an explicit count must win over the PPR_THREADS
 /// environment override, which only governs the default.
+///
+/// `threads` fixes the *logical* work partition — chunk boundaries,
+/// worker indices (and therefore per-chunk buffers and RNG streams) are
+/// exactly those of `threads` workers, so results stay bit-identical to
+/// the historical thread-spawning implementation. *Physical* execution
+/// is a separate, process-wide resource: chunks run on the shared
+/// WorkerPool (ThreadBudget() - 1 threads) plus each calling thread.
+/// Concurrent parallel regions — a PprServer answering many threads=N
+/// queries at once — therefore share one pool instead of multiplying
+/// into N threads per caller; total compute threads are bounded by
+/// pool + callers, independent of N (see docs/serving.md, "The thread
+/// budget").
 void ParallelForThreads(uint64_t begin, uint64_t end, unsigned threads,
                         const std::function<void(uint64_t, uint64_t, unsigned)>&
                             fn,
@@ -49,6 +61,31 @@ std::vector<uint64_t> BalancedChunkBounds(
     uint64_t n, unsigned chunks,
     const std::function<uint64_t(uint64_t)>& weight,
     uint64_t known_total = 0);
+
+namespace internal {
+
+/// The PPR_THREADS / hardware-concurrency resolution shared by
+/// ParallelThreadCount (re-read per call, worker-flag aside) and
+/// ThreadBudget (cached at first use): env value when >= 1, else
+/// hardware concurrency, never 0.
+unsigned ConfiguredThreadCount();
+
+/// RAII marker: while alive, the current thread reports itself as a
+/// parallel worker, so auto-sized nested stages (threads=0) resolve to
+/// serial via ParallelThreadCount() == 1. WorkerPool wraps every chunk
+/// execution in one; nothing else should need it.
+class ScopedParallelWorker {
+ public:
+  ScopedParallelWorker();
+  ~ScopedParallelWorker();
+  ScopedParallelWorker(const ScopedParallelWorker&) = delete;
+  ScopedParallelWorker& operator=(const ScopedParallelWorker&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace internal
 
 }  // namespace ppr
 

@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kCorruption,
   kUnimplemented,
+  /// Transient overload: retry later (e.g. a full PprServer queue).
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("IOError", ...).
@@ -53,6 +55,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

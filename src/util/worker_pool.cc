@@ -1,0 +1,156 @@
+#include "util/worker_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace ppr {
+
+unsigned ThreadBudget() {
+  static const unsigned budget = internal::ConfiguredThreadCount();
+  return budget;
+}
+
+WorkerPool::WorkerPool(unsigned num_threads) : num_threads_(num_threads) {
+  threads_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // Another caller (say the destructor racing an explicit Shutdown)
+      // owns the join; wait until it finishes so "after Shutdown the
+      // workers are stopped" holds for every caller.
+      work_cv_.wait(lock, [this] { return joined_; });
+      return;
+    }
+    shutdown_ = true;
+    to_join.swap(threads_);  // exactly one caller joins each thread
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : to_join) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    joined_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void WorkerPool::WorkerLoop() {
+  // Workers only ever run region chunks, so the nested-auto-sizing flag
+  // can stay set for the thread's whole lifetime.
+  internal::ScopedParallelWorker worker_marker;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // shutdown with the queue drained
+    Region* r = pending_.front();
+    const unsigned c = r->next_chunk++;
+    RetireIfFullyClaimed(r);
+    lock.unlock();
+    ExecuteChunk(r, c);
+    lock.lock();
+  }
+}
+
+void WorkerPool::RetireIfFullyClaimed(Region* r) {
+  if (r->next_chunk < r->chunks) return;
+  auto it = std::find(pending_.begin(), pending_.end(), r);
+  if (it != pending_.end()) pending_.erase(it);
+}
+
+void WorkerPool::ExecuteChunk(Region* r, unsigned c) {
+  bool skip;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    skip = r->failed;
+    if (!skip) {
+      active_++;
+      peak_active_ = std::max(peak_active_, active_);
+    }
+  }
+  if (!skip) {
+    try {
+      internal::ScopedParallelWorker worker_marker;
+      (*r->fn)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!r->failed) {
+        r->failed = true;
+        r->error = std::current_exception();
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!skip) active_--;
+  r->done++;
+  if (r->done == r->chunks) r->done_cv.notify_all();
+}
+
+void WorkerPool::Run(unsigned chunks, const std::function<void(unsigned)>& fn) {
+  if (chunks == 0) return;
+  Region region;
+  region.fn = &fn;
+  region.chunks = chunks;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // After Shutdown (or with zero workers) nobody will pick the region
+    // up, so don't enqueue it — the help loop below runs every chunk on
+    // this thread, in index order.
+    if (!joined_ && !shutdown_ && num_threads_ > 0 && chunks > 1) {
+      pending_.push_back(&region);
+    }
+  }
+  if (chunks > 1) work_cv_.notify_all();
+
+  // Help-first: claim this region's chunks until none are left, then
+  // wait for the stragglers other threads claimed.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (region.next_chunk < region.chunks) {
+      const unsigned c = region.next_chunk++;
+      RetireIfFullyClaimed(&region);
+      lock.unlock();
+      ExecuteChunk(&region, c);
+      lock.lock();
+      continue;
+    }
+    if (region.done == region.chunks) break;
+    region.done_cv.wait(lock);
+  }
+  lock.unlock();
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+unsigned WorkerPool::active_executors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+unsigned WorkerPool::peak_executors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_active_;
+}
+
+void WorkerPool::ResetPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_active_ = active_;
+}
+
+WorkerPool& WorkerPool::Shared() {
+  // Deliberately leaked: idle workers block on the pool's own (leaked)
+  // condition variable, so process exit never races a destructor.
+  static WorkerPool* shared = new WorkerPool(ThreadBudget() - 1);
+  return *shared;
+}
+
+}  // namespace ppr

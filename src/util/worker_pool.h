@@ -1,0 +1,122 @@
+#ifndef PPR_UTIL_WORKER_POOL_H_
+#define PPR_UTIL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppr {
+
+/// The process-wide worker-thread budget: PPR_THREADS when set (>= 1),
+/// hardware concurrency otherwise. Unlike ParallelThreadCount() — which
+/// re-reads the environment on every call and only picks the *default*
+/// chunk count — the budget caps *physical* parallelism process-wide and
+/// is read once, at first use (the shared pool is sized from it).
+unsigned ThreadBudget();
+
+/// A persistent pool of worker threads executing indexed task regions.
+///
+/// ParallelForThreads historically spawned fresh std::threads per stage;
+/// for small queries the spawn/join overhead dominates, and concurrent
+/// queries each spawning threads= workers multiply into oversubscription.
+/// WorkerPool fixes both: threads are created once, and every parallel
+/// region in the process shares them.
+///
+/// Run(chunks, fn) executes fn(0..chunks-1), each chunk exactly once, and
+/// blocks until all finish. The *submitting thread participates*: it
+/// claims and runs chunks of its own region whenever no pool worker got
+/// there first ("help-first" scheduling). That gives two guarantees:
+///
+///  * progress without reservation — a pool of zero workers (budget 1)
+///    still completes every region, serially on the caller;
+///  * nested regions never deadlock — a chunk that itself calls Run()
+///    drains the inner region on its own thread if the pool is saturated,
+///    because a region only ever waits on its *own* chunks.
+///
+/// Scheduling is FIFO across regions and by ascending chunk index within
+/// a region. Which OS thread runs a chunk is not deterministic — callers
+/// needing reproducibility must key per-chunk state (buffers, RNG
+/// streams) on the chunk index, which is exactly the contract the
+/// parallel kernels already follow.
+///
+/// An exception thrown by fn is captured, the region's remaining chunks
+/// are skipped, and the first exception rethrows from Run() on the
+/// submitting thread. The pool stays usable afterwards.
+class WorkerPool {
+ public:
+  /// Creates `num_threads` persistent workers (0 is valid: every region
+  /// then runs inline on its submitter).
+  explicit WorkerPool(unsigned num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Executes fn(0..chunks-1) and blocks until every chunk finished.
+  /// Chunks run with the "inside parallel worker" flag set (see
+  /// ParallelThreadCount), on pool workers and on the calling thread
+  /// alike. Safe to call concurrently from many threads and from inside
+  /// a running chunk. After Shutdown() regions run inline on the caller.
+  void Run(unsigned chunks, const std::function<void(unsigned)>& fn);
+
+  /// Stops and joins the workers after the queued regions drain.
+  /// Idempotent; later Run() calls degrade to inline execution.
+  void Shutdown();
+
+  unsigned num_threads() const { return num_threads_; }
+
+  // ---- instrumentation (for the oversubscription regression tests) ----
+
+  /// Threads currently executing a chunk (pool workers + helping
+  /// submitters).
+  unsigned active_executors() const;
+  /// High-water mark of active_executors() since the last ResetPeak().
+  unsigned peak_executors() const;
+  void ResetPeak();
+
+  /// The process-wide pool every ParallelForThreads region runs on,
+  /// lazily created with ThreadBudget() - 1 workers (the submitting
+  /// thread is the budget's remaining slot). Never destroyed — workers
+  /// idle on a condition variable until process exit, which sidesteps
+  /// static-destruction-order hazards for late parallel work.
+  static WorkerPool& Shared();
+
+ private:
+  struct Region {
+    const std::function<void(unsigned)>* fn = nullptr;
+    unsigned chunks = 0;
+    unsigned next_chunk = 0;  // first unclaimed index (guarded by mu_)
+    unsigned done = 0;        // finished chunks (guarded by mu_)
+    bool failed = false;      // first exception wins; rest are skipped
+    std::exception_ptr error;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+  /// Runs chunk `c` of `r` (or skips it when the region already failed)
+  /// and updates completion state. Called with mu_ *unlocked*.
+  void ExecuteChunk(Region* r, unsigned c);
+  /// Pops `r` from pending_ once its last chunk is claimed. Requires mu_.
+  void RetireIfFullyClaimed(Region* r);
+
+  const unsigned num_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  /// Regions with unclaimed chunks, FIFO. A region leaves the deque when
+  /// its last chunk is claimed (not when it finishes).
+  std::deque<Region*> pending_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+  bool joined_ = false;
+
+  unsigned active_ = 0;  // guarded by mu_
+  unsigned peak_active_ = 0;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_WORKER_POOL_H_

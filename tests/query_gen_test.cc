@@ -40,6 +40,19 @@ TEST(ExperimentHelpersTest, MeanAndMedian) {
   EXPECT_DOUBLE_EQ(Median({4.0, 1.0}), 4.0);  // upper median
 }
 
+TEST(ExperimentHelpersTest, PercentileNearestRank) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(Percentile(sample, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  // Never interpolates: the answer is always an observed value.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 10.0}, 75.0), 10.0);
+}
+
 TEST(ExperimentHelpersTest, TimePerQueryRunsEachSource) {
   std::vector<NodeId> sources = {1, 2, 3};
   int calls = 0;

@@ -22,6 +22,7 @@ TEST(StatusTest, FactoryMethodsSetCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Corruption("c").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::Unimplemented("u").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("busy").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::IOError("disk on fire").message(), "disk on fire");
 }
 
@@ -39,6 +40,7 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {

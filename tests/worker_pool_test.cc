@@ -1,0 +1,215 @@
+// Unit tests for the persistent WorkerPool: exactly-once chunk
+// execution, ordering guarantees, nested regions (no deadlock, no
+// oversubscription), exception propagation, idempotent shutdown — and
+// the PPR_THREADS thread-budget regression: concurrent parallel regions
+// share one physical worker set instead of multiplying thread counts.
+
+#include "util/worker_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+
+namespace ppr {
+namespace {
+
+TEST(WorkerPoolTest, RunsEveryChunkExactlyOnce) {
+  WorkerPool pool(3);
+  constexpr unsigned kChunks = 64;
+  std::vector<std::atomic<int>> runs(kChunks);
+  for (auto& r : runs) r.store(0);
+  pool.Run(kChunks, [&](unsigned c) {
+    ASSERT_LT(c, kChunks);
+    runs[c].fetch_add(1);
+  });
+  for (unsigned c = 0; c < kChunks; ++c) {
+    EXPECT_EQ(runs[c].load(), 1) << "chunk " << c;
+  }
+}
+
+TEST(WorkerPoolTest, ZeroWorkersRunInlineInChunkOrder) {
+  // With no pool threads the submitter runs everything itself; chunk
+  // claim order is ascending, so execution order is too — the
+  // degenerate budget=1 case stays fully deterministic.
+  WorkerPool pool(0);
+  std::vector<unsigned> order;
+  pool.Run(8, [&](unsigned c) { order.push_back(c); });
+  ASSERT_EQ(order.size(), 8u);
+  for (unsigned c = 0; c < 8; ++c) EXPECT_EQ(order[c], c);
+}
+
+TEST(WorkerPoolTest, ManyConcurrentRegionsAllComplete) {
+  // Soak: regions submitted from many threads onto a small pool all
+  // finish, with every chunk of every region run exactly once.
+  WorkerPool pool(2);
+  constexpr unsigned kSubmitters = 6;
+  constexpr unsigned kRegionsEach = 20;
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (unsigned s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (unsigned r = 0; r < kRegionsEach; ++r) {
+        pool.Run(5, [&](unsigned c) { total.fetch_add(c + 1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  // Each region contributes 1+2+3+4+5 = 15.
+  EXPECT_EQ(total.load(), uint64_t{15} * kSubmitters * kRegionsEach);
+}
+
+TEST(WorkerPoolTest, NestedRunDoesNotDeadlock) {
+  // A chunk spawning its own region must complete even when every pool
+  // worker is busy in the outer region — help-first scheduling drains
+  // the inner region on the worker's own thread.
+  WorkerPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.Run(4, [&](unsigned) {
+    pool.Run(4, [&](unsigned) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+}
+
+TEST(WorkerPoolTest, NestedParallelForDoesNotDeadlockOrOversubscribe) {
+  // The ParallelForThreads form of the same property, on the shared
+  // pool: an explicit outer region whose chunks run explicit inner
+  // regions. Physical concurrency stays within (pool workers + the one
+  // submitting thread), no matter that 4*4 chunks are requested.
+  std::atomic<unsigned> active{0};
+  std::atomic<unsigned> peak{0};
+  ParallelForThreads(0, 4, 4, [&](uint64_t, uint64_t, unsigned) {
+    ParallelForThreads(0, 4, 4, [&](uint64_t, uint64_t, unsigned) {
+      const unsigned now = active.fetch_add(1) + 1;
+      unsigned seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      active.fetch_sub(1);
+    }, /*grain=*/1);
+  }, /*grain=*/1);
+  EXPECT_LE(peak.load(), WorkerPool::Shared().num_threads() + 1);
+}
+
+TEST(WorkerPoolTest, ConcurrentRegionsShareTheBudget) {
+  // The oversubscription regression the serve path depends on: four
+  // client threads each requesting an 8-way region used to spawn up to
+  // 32 OS threads; on the shared pool, physical executors are capped by
+  // (pool workers + the 4 submitting threads). The logical partition is
+  // untouched — every call still sees its 8 chunks.
+  constexpr unsigned kClients = 4;
+  constexpr unsigned kRequested = 8;
+  std::atomic<unsigned> active{0};
+  std::atomic<unsigned> peak{0};
+  std::atomic<unsigned> chunks_seen{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (unsigned i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      ParallelForThreads(0, 8 * 4096, kRequested,
+                         [&](uint64_t, uint64_t, unsigned) {
+        chunks_seen.fetch_add(1);
+        const unsigned now = active.fetch_add(1) + 1;
+        unsigned seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        active.fetch_sub(1);
+      });
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(chunks_seen.load(), kClients * kRequested);
+  EXPECT_LE(peak.load(), WorkerPool::Shared().num_threads() + kClients);
+}
+
+TEST(WorkerPoolTest, ExceptionPropagatesToSubmitterAndPoolSurvives) {
+  WorkerPool pool(2);
+  EXPECT_THROW(
+      pool.Run(8,
+               [&](unsigned c) {
+                 if (c == 3) throw std::runtime_error("chunk 3 failed");
+               }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> total{0};
+  pool.Run(8, [&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(WorkerPoolTest, ExceptionSkipsRemainingChunksOfTheRegion) {
+  // Inline pool (0 workers) claims in order, so everything after the
+  // throwing chunk must be skipped — fail fast, don't burn the budget.
+  WorkerPool pool(0);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.Run(8,
+                        [&](unsigned c) {
+                          executed.fetch_add(1);
+                          if (c == 2) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 3);  // chunks 0, 1, 2
+}
+
+TEST(WorkerPoolTest, ConcurrentShutdownJoinsExactlyOnce) {
+  // Two racing Shutdown calls (say an explicit one racing the
+  // destructor) must not both join the worker threads; the loser waits
+  // for the winner, and both return with the pool stopped.
+  for (int round = 0; round < 20; ++round) {
+    WorkerPool pool(2);
+    std::thread racer([&] { pool.Shutdown(); });
+    pool.Shutdown();
+    racer.join();
+    std::atomic<int> total{0};
+    pool.Run(3, [&](unsigned) { total.fetch_add(1); });  // inline now
+    EXPECT_EQ(total.load(), 3);
+  }
+}
+
+TEST(WorkerPoolTest, ShutdownIsIdempotentAndRunDegradesInline) {
+  WorkerPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  std::vector<unsigned> order;
+  pool.Run(4, [&](unsigned c) { order.push_back(c); });  // inline now
+  ASSERT_EQ(order.size(), 4u);
+  for (unsigned c = 0; c < 4; ++c) EXPECT_EQ(order[c], c);
+}
+
+TEST(WorkerPoolTest, ChunksReportInsideParallelWorker) {
+  // Every chunk — on a pool worker or the helping submitter — must see
+  // ParallelThreadCount() == 1 so nested auto-sized stages stay serial.
+  WorkerPool pool(2);
+  std::atomic<bool> all_serial{true};
+  pool.Run(8, [&](unsigned) {
+    if (ParallelThreadCount() != 1) all_serial.store(false);
+  });
+  EXPECT_TRUE(all_serial.load());
+  EXPECT_GE(ParallelThreadCount(), 1u);  // caller flag restored
+}
+
+TEST(WorkerPoolTest, PeakInstrumentationResets) {
+  WorkerPool pool(2);
+  pool.Run(4, [](unsigned) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  EXPECT_GE(pool.peak_executors(), 1u);
+  pool.ResetPeak();
+  EXPECT_EQ(pool.peak_executors(), 0u);
+  EXPECT_EQ(pool.active_executors(), 0u);
+}
+
+TEST(ThreadBudgetTest, BudgetIsAtLeastOneAndSizesTheSharedPool) {
+  EXPECT_GE(ThreadBudget(), 1u);
+  // Shared pool = budget minus the submitting thread's slot.
+  EXPECT_EQ(WorkerPool::Shared().num_threads(), ThreadBudget() - 1);
+}
+
+}  // namespace
+}  // namespace ppr
