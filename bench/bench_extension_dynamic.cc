@@ -1,18 +1,31 @@
 // Extension bench (beyond the paper's figures): evolving-graph PPR.
 //
 // §7 cites a line of work on PPR over dynamic graphs; this bench
-// quantifies what the incremental tracker (core/dynamic_ppr.h) buys over
-// re-solving from scratch with FIFO-FwdPush after every edge arrival, on
-// a stream of random insertions into each stand-in dataset.
+// quantifies what the incremental "dynfwdpush" solver buys over serving
+// stale results or re-solving from scratch, on a mixed insert/delete
+// stream (eval/query_gen's generator) applied in chunks through the
+// DynamicSolver interface. Per chunk it reports
+//
+//   * staleness — l1 drift of the frozen epoch-0 answer from the truth
+//     on the current snapshot (what a non-updating server serves),
+//   * tracker_err — l1 error of the incrementally repaired estimate
+//     (stays within the advertised bound),
+//   * repair cost (pushes, seconds) vs a from-scratch FwdPush solve.
+//
+// Emits BENCH_dynamic.json with the full staleness-vs-repair-cost
+// curves.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "api/context.h"
+#include "api/dynamic_solver.h"
+#include "api/registry.h"
 #include "bench_common.h"
-#include "core/dynamic_ppr.h"
-#include "core/forward_push.h"
 #include "eval/experiment.h"
+#include "eval/metrics.h"
 #include "eval/query_gen.h"
-#include "util/rng.h"
 #include "util/string_utils.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -20,57 +33,112 @@
 int main() {
   using namespace ppr;
   bench::PrintHeader(
-      "Extension: incremental PPR under edge insertions",
-      "Mean cost per arriving edge: incremental repair vs from-scratch\n"
-      "FIFO-FwdPush at the same rmax. Stream: 200 random insertions.");
+      "Extension: incremental PPR under an insert/delete stream",
+      "dynfwdpush (via SolverRegistry) repaired in chunks vs the frozen\n"
+      "epoch-0 answer and a from-scratch FwdPush at the same rmax.\n"
+      "Stream: 200 updates, 25% deletions, skew 0.5.");
 
-  constexpr int kInsertions = 200;
-  TablePrinter table({"Dataset", "repair(s)", "scratch(s)", "speedup",
-                      "repair pushes", "l1 bound"});
+  constexpr size_t kUpdates = 200;
+  constexpr size_t kChunks = 8;
+  bench::BenchJsonWriter json("dynamic");
+  TablePrinter table({"Dataset", "staleness", "tracker err", "bound",
+                      "repair(s)/chunk", "scratch(s)", "pushes/chunk"});
 
   for (auto& named : LoadBenchDatasets(bench::kApproxScale, /*max=*/4)) {
     Graph& graph = named.graph;
     const NodeId source = SampleQuerySources(graph, 1)[0];
-    DynamicGraph dynamic(graph);
-    DynamicSsppr::Options options;
-    options.rmax = 1e-7 / static_cast<double>(graph.num_edges()) * 1e3;
-    DynamicSsppr tracker(&dynamic, source, options);
+    char rmax_spec[64];
+    const double rmax = 1e-4 / static_cast<double>(graph.num_edges());
+    std::snprintf(rmax_spec, sizeof(rmax_spec), "dynfwdpush:rmax=%.3e", rmax);
 
-    Rng rng(99);
-    uint64_t total_pushes = 0;
-    Timer repair_timer;
-    std::vector<std::pair<NodeId, NodeId>> inserted;
-    for (int i = 0; i < kInsertions; ++i) {
-      NodeId u = static_cast<NodeId>(rng.NextBounded(dynamic.num_nodes()));
-      NodeId w = static_cast<NodeId>(rng.NextBounded(dynamic.num_nodes()));
-      if (u == w) continue;
-      total_pushes += tracker.AddEdge(u, w);
-      inserted.emplace_back(u, w);
+    auto created = SolverRegistry::Global().Create(rmax_spec);
+    PPR_CHECK(created.ok()) << created.status().ToString();
+    std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+    PPR_CHECK(solver->Prepare(graph).ok());
+    DynamicSolver* dynamic = solver->AsDynamic();
+    PPR_CHECK(dynamic != nullptr);
+
+    SolverContext context;
+    PprQuery query;
+    query.source = source;
+    PprResult epoch0;
+    PPR_CHECK(solver->Solve(query, context, &epoch0).ok());
+
+    // The from-scratch reference runs at the same rmax (rmax·m = the
+    // lambda of an equivalent fwdpush).
+    char scratch_spec[64];
+    std::snprintf(scratch_spec, sizeof(scratch_spec), "fwdpush:rmax=%.3e",
+                  rmax);
+
+    UpdateWorkloadOptions workload;
+    workload.count = kUpdates;
+    workload.delete_fraction = 0.25;
+    workload.skew = 0.5;
+    UpdateBatch stream = GenerateUpdateStream(graph, workload);
+
+    double staleness = 0.0, tracker_err = 0.0, scratch_seconds = 0.0;
+    double repair_seconds_total = 0.0;
+    uint64_t repair_pushes_total = 0;
+    for (size_t c = 0; c < kChunks; ++c) {
+      UpdateBatch chunk;
+      const size_t begin = c * stream.size() / kChunks;
+      const size_t end = (c + 1) * stream.size() / kChunks;
+      chunk.updates.assign(stream.updates.begin() + begin,
+                           stream.updates.begin() + end);
+      UpdateStats stats;
+      Status applied = dynamic->ApplyUpdates(chunk, &stats);
+      PPR_CHECK(applied.ok()) << applied.ToString();
+      repair_seconds_total += stats.seconds;
+      repair_pushes_total += stats.push_operations;
+
+      PprResult repaired;
+      PPR_CHECK(solver->Solve(query, context, &repaired).ok());
+
+      // Truth on the current snapshot, from scratch via the registry.
+      Graph snapshot = dynamic->Snapshot();
+      auto scratch_created = SolverRegistry::Global().Create(scratch_spec);
+      PPR_CHECK(scratch_created.ok());
+      std::unique_ptr<Solver> scratch =
+          std::move(scratch_created).ValueOrDie();
+      PPR_CHECK(scratch->Prepare(snapshot).ok());
+      SolverContext scratch_context;
+      PprResult truth;
+      Timer scratch_timer;
+      PPR_CHECK(scratch->Solve(query, scratch_context, &truth).ok());
+      scratch_seconds = scratch_timer.ElapsedSeconds();
+
+      staleness = L1Distance(epoch0.scores, truth.scores);
+      tracker_err = L1Distance(repaired.scores, truth.scores);
+      json.Add()
+          .Str("dataset", named.paper_name)
+          .Int("epoch", stats.epoch)
+          .Int("chunk", c + 1)
+          .Num("staleness", staleness)
+          .Num("tracker_err", tracker_err)
+          .Num("bound", repaired.l1_bound)
+          .Int("repair_pushes", stats.push_operations)
+          .Num("repair_seconds", stats.seconds)
+          .Num("scratch_seconds", scratch_seconds);
     }
-    const double repair_seconds =
-        repair_timer.ElapsedSeconds() / inserted.size();
 
-    // From-scratch baseline: one full solve on the final snapshot (a
-    // per-insertion re-solve would cost this every arrival).
-    Graph final_snapshot = dynamic.Snapshot();
-    ForwardPushOptions scratch;
-    scratch.rmax = options.rmax;
-    PprEstimate estimate;
-    Timer scratch_timer;
-    FifoForwardPush(final_snapshot, source, scratch, &estimate);
-    const double scratch_seconds = scratch_timer.ElapsedSeconds();
-
-    char speedup[32];
-    std::snprintf(speedup, sizeof(speedup), "%.0fx",
-                  scratch_seconds / repair_seconds);
-    char bound[32];
-    std::snprintf(bound, sizeof(bound), "%.1e", tracker.ResidueL1());
-    table.AddRow({named.paper_name, HumanSeconds(repair_seconds),
-                  HumanSeconds(scratch_seconds), speedup,
-                  HumanCount(total_pushes / inserted.size()), bound});
+    char stale_buf[32], err_buf[32], bound_buf[32], pushes_buf[32];
+    std::snprintf(stale_buf, sizeof(stale_buf), "%.2e", staleness);
+    std::snprintf(err_buf, sizeof(err_buf), "%.2e", tracker_err);
+    PprResult final_result;
+    PPR_CHECK(solver->Solve(query, context, &final_result).ok());
+    std::snprintf(bound_buf, sizeof(bound_buf), "%.1e",
+                  final_result.l1_bound);
+    std::snprintf(pushes_buf, sizeof(pushes_buf), "%llu",
+                  static_cast<unsigned long long>(repair_pushes_total /
+                                                  kChunks));
+    table.AddRow({named.paper_name, stale_buf, err_buf, bound_buf,
+                  HumanSeconds(repair_seconds_total / kChunks),
+                  HumanSeconds(scratch_seconds), pushes_buf});
   }
   std::printf("%s\n", table.ToString().c_str());
-  std::printf("Expected: repair orders of magnitude cheaper per arrival "
-              "than a from-scratch solve, at the same error bound.\n");
+  json.Write();
+  std::printf("Expected: staleness grows with the stream while the "
+              "repaired estimate stays within its bound, at a per-chunk "
+              "cost far below a from-scratch solve.\n");
   return 0;
 }

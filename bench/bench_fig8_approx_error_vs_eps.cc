@@ -29,6 +29,7 @@ int main() {
   const size_t query_count = BenchQueryCount(2);
   const std::vector<double> epsilons = {0.5, 0.4, 0.3, 0.2, 0.1};
 
+  bench::BenchJsonWriter json("fig8");
   for (auto& named : LoadBenchDatasets(bench::kApproxScale)) {
     Graph& graph = named.graph;
     const NodeId n = graph.num_nodes();
@@ -84,9 +85,18 @@ int main() {
       std::snprintf(eps_buf, sizeof(eps_buf), "%.1f", eps);
       table.AddRow({eps_buf, fmt(speed), fmt(speed_idx), fmt(fora),
                     fmt(fora_idx), fmt(resacc)});
+      json.Add()
+          .Str("dataset", named.paper_name)
+          .Num("eps", eps)
+          .Num("speedppr", speed)
+          .Num("speedppr_index", speed_idx)
+          .Num("fora", fora)
+          .Num("fora_index", fora_idx)
+          .Num("resacc", resacc);
     }
     std::printf("%s", table.ToString().c_str());
   }
+  json.Write();
   std::printf("\nExpected shape: SpeedPPR best at small eps; indexed "
               "variants noisier than index-free ones.\n");
   return 0;

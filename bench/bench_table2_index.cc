@@ -30,6 +30,7 @@ int main() {
   TablePrinter table({"Dataset", "BePI size", "FORA size", "SpeedPPR size",
                       "BePI build(s)", "FORA build(s)", "SpeedPPR build(s)"});
 
+  bench::BenchJsonWriter json("table2");
   for (auto& named : LoadBenchDatasets(bench::kApproxScale)) {
     Graph& graph = named.graph;
     const NodeId n = graph.num_nodes();
@@ -62,8 +63,19 @@ int main() {
                 HumanCount(fora_index.total_walks()).c_str(),
                 HumanCount(speed_index.total_walks()).c_str(),
                 HumanCount(graph.num_edges()).c_str(), bepi->num_hubs());
+    json.Add()
+        .Str("dataset", named.paper_name)
+        .Int("bepi_bytes", bepi->IndexBytes())
+        .Int("fora_bytes", fora_index.SizeBytes())
+        .Int("speedppr_bytes", speed_index.SizeBytes())
+        .Num("bepi_build_seconds", bepi->preprocess_seconds())
+        .Num("fora_build_seconds", fora_seconds)
+        .Num("speedppr_build_seconds", speed_seconds)
+        .Int("fora_walks", fora_index.total_walks())
+        .Int("speedppr_walks", speed_index.total_walks());
   }
   std::printf("\n%s\n", table.ToString().c_str());
+  json.Write();
   std::printf("Expected shape: SpeedPPR index ~10x smaller / faster than "
               "FORA; BePI heaviest on dense graphs (Orkut).\n");
   return 0;

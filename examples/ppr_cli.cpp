@@ -10,6 +10,13 @@
 //     --topk=10          number of results printed
 //     --undirected       symmetrize the input edge list
 //
+// Evolving-graph mode (--updates, needs a dynamic solver such as
+// --algo=dynfwdpush) answers the query, applies an edge-update stream
+// through DynamicSolver::ApplyUpdates, and answers again — printing the
+// epoch, the repair cost and the maintained error bound:
+//     --updates=FILE     "+ src dst" / "- src dst" per line, # comments
+//     --updates=synthetic:count=200,deletes=0.2,skew=0.5,seed=13
+//
 // Serving mode (--serve) runs a PprServer on the loaded graph and fires
 // randomly-sourced queries at it, reporting throughput, latency
 // percentiles and backpressure rejections — a one-command load probe:
@@ -37,8 +44,10 @@
 #include <vector>
 
 #include "api/context.h"
+#include "api/dynamic_solver.h"
 #include "api/registry.h"
 #include "eval/experiment.h"
+#include "eval/query_gen.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
 #include "serve/ppr_server.h"
@@ -141,6 +150,29 @@ int RunServeMode(const std::string& algo, const Graph& graph, double qps,
   return 0;
 }
 
+/// --updates: resolves the spec to an UpdateBatch — a "synthetic:..."
+/// spec (key=val grammar shared with --algo) generates a stream against
+/// the loaded graph; anything else is read as an update file.
+Result<UpdateBatch> ResolveUpdates(const std::string& spec,
+                                   const Graph& graph) {
+  auto parsed = ParseSolverSpec(spec);
+  if (parsed.ok() && parsed.value().name == "synthetic") {
+    UpdateWorkloadOptions workload;
+    uint64_t count = workload.count;
+    uint64_t seed = workload.seed;
+    OptionReader reader(parsed.value());
+    reader.Uint64("count", &count)
+        .Double("deletes", &workload.delete_fraction)
+        .Double("skew", &workload.skew)
+        .Uint64("seed", &seed);
+    PPR_RETURN_IF_ERROR(reader.Finish());
+    workload.count = static_cast<size_t>(count);
+    workload.seed = seed;
+    return GenerateUpdateStream(graph, workload);
+  }
+  return ReadUpdateStreamText(spec);
+}
+
 int Usage(const FlagParser& parser) {
   std::fprintf(stderr,
                "usage: ppr_cli <edge-list | dataset-name> <source> [flags]\n"
@@ -160,6 +192,7 @@ int main(int argc, char** argv) {
   uint64_t target = static_cast<uint64_t>(kNoTarget);
   uint64_t topk = 10;
   bool undirected = false;
+  std::string updates;
   bool serve = false;
   double qps = 0.0;
   double duration = 5.0;
@@ -175,6 +208,9 @@ int main(int argc, char** argv) {
   parser.AddUint64("target", &target, "single-pair target node");
   parser.AddUint64("topk", &topk, "number of results printed");
   parser.AddBool("undirected", &undirected, "symmetrize the edge list");
+  parser.AddString("updates", &updates,
+                   "edge-update stream: file or synthetic:count=...,"
+                   "deletes=...,skew=...,seed=... (dynamic solvers)");
   parser.AddBool("serve", &serve, "run a PprServer load probe instead");
   parser.AddDouble("qps", &qps, "serve: submission rate (0 = flood)");
   parser.AddDouble("duration", &duration, "serve: seconds of load");
@@ -271,14 +307,57 @@ int main(int argc, char** argv) {
   }
 
   std::printf("query time: %.4fs\n", seconds);
-  if (query.target != kNoTarget) {
-    std::printf("ppr(%u, %u) = %.8f\n", source, query.target,
-                result.scores[query.target]);
-    return 0;
+  auto print_result = [&](const PprResult& r) {
+    if (query.target != kNoTarget) {
+      std::printf("ppr(%u, %u) = %.8f\n", source, query.target,
+                  r.scores[query.target]);
+      return;
+    }
+    std::printf("top-%zu nodes by PPR:\n", r.top_nodes.size());
+    for (NodeId v : r.top_nodes) {
+      std::printf("  %8u  %.8f\n", v, r.scores[v]);
+    }
+  };
+  print_result(result);
+  if (updates.empty()) return 0;
+
+  DynamicSolver* dynamic = solver->AsDynamic();
+  if (dynamic == nullptr) {
+    std::fprintf(stderr,
+                 "--updates needs a dynamic solver (e.g. "
+                 "--algo=dynfwdpush); '%s' does not support updates\n",
+                 algo.c_str());
+    return 1;
   }
-  std::printf("top-%zu nodes by PPR:\n", result.top_nodes.size());
-  for (NodeId v : result.top_nodes) {
-    std::printf("  %8u  %.8f\n", v, result.scores[v]);
+  auto batch = ResolveUpdates(updates, graph);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "bad --updates: %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
   }
+  UpdateStats stats;
+  Status applied = dynamic->ApplyUpdates(batch.value(), &stats);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "apply failed: %s\n", applied.ToString().c_str());
+    return 1;
+  }
+  std::printf("applied %zu updates: epoch=%llu repair_pushes=%llu "
+              "repair time: %.4fs\n",
+              batch.value().size(),
+              static_cast<unsigned long long>(stats.epoch),
+              static_cast<unsigned long long>(stats.push_operations),
+              stats.seconds);
+  Timer requery_timer;
+  Status resolved = solver->Solve(query, context, &result);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "re-solve failed: %s\n",
+                 resolved.ToString().c_str());
+    return 1;
+  }
+  std::printf("re-query time: %.4fs (epoch %llu, l1 bound %.2e)\n",
+              requery_timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(result.epoch),
+              result.l1_bound);
+  print_result(result);
   return 0;
 }

@@ -86,6 +86,22 @@ class SolverContext {
   /// push phase of SpeedPPR) and export scores instead.
   void ReleaseEstimate();
 
+  /// Drops the workspace-reuse state: the next Acquire* performs a full
+  /// O(n) assign instead of a sparse reset. ContextPool invalidates warm
+  /// contexts with this when the served graph changes epoch
+  /// (PprServer::ApplyUpdates) — conservative by design: nothing a
+  /// context caches is epoch-dependent today, but the invalidation
+  /// keeps that a local fact instead of a distributed assumption.
+  void InvalidateWorkspace() {
+    estimate_clean_ = false;
+    scores_clean_ = false;
+  }
+
+  /// ContextPool bookkeeping: the pool epoch this context last saw,
+  /// stored here so checkout stays O(1). Not meaningful outside a pool.
+  uint64_t pool_epoch() const { return pool_epoch_; }
+  void set_pool_epoch(uint64_t epoch) { pool_epoch_ = epoch; }
+
   // ---- instrumentation ----------------------------------------------
 
   /// Number of full O(n) workspace initializations performed. Stays
@@ -113,6 +129,7 @@ class SolverContext {
 
   uint64_t full_assigns_ = 0;
   uint64_t sparse_resets_ = 0;
+  uint64_t pool_epoch_ = 0;
 };
 
 }  // namespace ppr

@@ -43,11 +43,19 @@ void ContextPool::Lease::Release() {
   }
 }
 
+void ContextPool::RefreshForEpoch(SolverContext* context) {
+  if (context->pool_epoch() != epoch_) {
+    context->InvalidateWorkspace();
+    context->set_pool_epoch(epoch_);
+  }
+}
+
 ContextPool::Lease ContextPool::Acquire() {
   std::unique_lock<std::mutex> lock(mu_);
   free_cv_.wait(lock, [this] { return !free_.empty(); });
   SolverContext* context = free_.back();
   free_.pop_back();
+  RefreshForEpoch(context);
   return Lease(this, context);
 }
 
@@ -56,7 +64,18 @@ std::optional<ContextPool::Lease> ContextPool::TryAcquire() {
   if (free_.empty()) return std::nullopt;
   SolverContext* context = free_.back();
   free_.pop_back();
+  RefreshForEpoch(context);
   return Lease(this, context);
+}
+
+void ContextPool::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_++;
+}
+
+uint64_t ContextPool::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
 }
 
 void ContextPool::Return(SolverContext* context) {

@@ -64,6 +64,16 @@ class ContextPool {
   /// exhausted.
   std::optional<Lease> TryAcquire();
 
+  /// Marks every context stale: the next Acquire of each performs a
+  /// full workspace invalidation (SolverContext::InvalidateWorkspace)
+  /// before handing it out. Called once per applied update batch by
+  /// PprServer::ApplyUpdates; costs each context one full O(n) assign
+  /// on its next query, after which sparse resets resume.
+  void AdvanceEpoch();
+
+  /// Number of AdvanceEpoch() calls so far.
+  uint64_t epoch() const;
+
   size_t capacity() const { return contexts_.size(); }
   size_t available() const;
 
@@ -76,11 +86,15 @@ class ContextPool {
 
  private:
   void Return(SolverContext* context);
+  /// Invalidates `context` if it has not seen the current epoch.
+  /// Caller holds mu_.
+  void RefreshForEpoch(SolverContext* context);
 
   std::vector<std::unique_ptr<SolverContext>> contexts_;
   mutable std::mutex mu_;
   std::condition_variable free_cv_;
   std::vector<SolverContext*> free_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace ppr

@@ -74,6 +74,12 @@ struct PprResult {
   /// Solver::AdvertisedL1Bound); +inf when no bound is claimed.
   double l1_bound = 0.0;
 
+  /// Graph epoch this result answered at. Dynamic solvers (capability
+  /// supports_updates) stamp the epoch their evolving graph was at when
+  /// the query ran — the consistency token of updates-under-load
+  /// serving (see docs/serving.md). Static solvers leave it 0.
+  uint64_t epoch = 0;
+
   /// Name of the solver that produced this result.
   std::string solver;
 

@@ -89,6 +89,7 @@ Status Solver::Solve(const PprQuery& query, SolverContext& context,
   result->residues.clear();
   result->top_nodes.clear();
   result->stats = SolveStats{};
+  result->epoch = 0;  // dynamic solvers stamp their epoch in DoSolve
   if (perm_.empty()) {
     PPR_RETURN_IF_ERROR(DoSolve(query, context, result));
   } else {

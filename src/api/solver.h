@@ -12,6 +12,8 @@
 
 namespace ppr {
 
+class DynamicSolver;
+
 /// Prepare-time CSR layouts selectable with the order= solver option
 /// (§5 of the paper: storage order is part of PowerPush's win). The
 /// solver permutes a private copy of the graph and transparently maps
@@ -61,6 +63,10 @@ struct SolverCapabilities {
   bool supports_trace = false;
   /// Prepare() builds a per-graph index (walk index, hub oracle, LU).
   bool has_index = false;
+  /// The solver maintains its estimate under edge updates: it is a
+  /// DynamicSolver (api/dynamic_solver.h) whose ApplyUpdates() repairs
+  /// state incrementally instead of requiring a whole-graph re-Prepare.
+  bool supports_updates = false;
 };
 
 /// The polymorphic SSPPR solver interface: every algorithm in src/core/
@@ -108,6 +114,11 @@ class Solver {
   /// relabeled copy when an order= layout is configured.
   const Graph* graph() const { return graph_; }
 
+  /// The dynamic interface when capabilities().supports_updates, else
+  /// nullptr — how drivers (PprServer, ppr_cli --updates) reach
+  /// ApplyUpdates without downcasting by name.
+  virtual DynamicSolver* AsDynamic() { return nullptr; }
+
   // ---- cross-cutting options (set by the registry factories) ----------
 
   /// Worker threads for the solver's parallel stages; 0 defers to
@@ -132,6 +143,11 @@ class Solver {
   /// re-deriving it so the asymmetric policy — walk phases auto-scale,
   /// dense kernels stay serial at 0 — lives in one place.
   unsigned ResolvedWorkers() const;
+
+  /// Original id → layout id under an order= layout; empty for kNone.
+  /// Dynamic solvers map incoming update endpoints through it so their
+  /// evolving graph stays in layout space (results map back via Solve).
+  const std::vector<NodeId>& layout_permutation() const { return perm_; }
 
   const Graph* graph_ = nullptr;
 

@@ -13,12 +13,16 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "api/dynamic_solver.h"
 #include "api/registry.h"
 #include "api/solver.h"
+#include "core/dynamic_ppr.h"
+#include "graph/permute.h"
 #include "approx/bippr.h"
 #include "approx/fora.h"
 #include "approx/hubppr.h"
@@ -368,6 +372,154 @@ class BepiApiSolver : public Solver {
   const ParamDefaults params_;
   const uint64_t max_iterations_;
   std::unique_ptr<BepiSolver> bepi_;
+};
+
+/// Incremental Forward Push on an evolving graph ("dynfwdpush"): the
+/// registry face of core/dynamic_ppr.h. Prepare copies the graph into an
+/// owned DynamicGraph; ApplyUpdates repairs a pool of per-source
+/// trackers algebraically instead of re-solving, and Solve exports the
+/// maintained estimate for its source — so repeated queries on a slowly
+/// mutating graph cost O(updates · d_u), not O(m) per query.
+///
+/// Under an order= layout the evolving graph lives in layout space (the
+/// repair pushes walk the relabeled CSR-ordered adjacency): update
+/// endpoints are mapped in, results map back through the base Solve.
+class DynFwdPushSolver : public DynamicSolver {
+ public:
+  DynFwdPushSolver(ParamDefaults params, double rmax)
+      : params_(params), rmax_(rmax) {}
+
+  std::string_view name() const override { return "dynfwdpush"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kHighPrecision;
+    caps.exposes_residues = true;
+    caps.supports_updates = true;
+    return caps;
+  }
+
+  Status Prepare(const Graph& graph) override {
+    PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
+    // graph_ rather than the argument: under order= the evolving copy
+    // is built from the relabeled CSR, so repairs enjoy the layout.
+    dynamic_ = std::make_unique<DynamicGraph>(*graph_);
+    prepare_edges_ = graph_->num_edges();
+    DynamicSsppr::Options options;
+    options.alpha = params_.alpha;
+    options.rmax = ResolvedRmax();
+    pool_ = std::make_unique<DynamicSspprPool>(dynamic_.get(), options);
+    return Status::OK();
+  }
+
+  double AdvertisedL1Bound(const PprQuery& /*query*/) const override {
+    // Termination of every repair: |r(v)| <= deff(v)·rmax for all v, so
+    // Σ|r| <= (m + k)·rmax at the *current* edge and dead-end counts —
+    // the evolving-graph form of Equation (7). DynamicGraph maintains
+    // both counts in O(1).
+    const double effective_edges = static_cast<double>(
+        dynamic_->num_edges() + dynamic_->num_dead_ends());
+    return effective_edges * ResolvedRmax();
+  }
+
+  Status ApplyUpdates(const UpdateBatch& batch,
+                      UpdateStats* stats) override {
+    if (pool_ == nullptr) {
+      return Status::FailedPrecondition(
+          "ApplyUpdates() before a successful Prepare()");
+    }
+    Timer timer;
+    uint64_t pushes = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<NodeId>& perm = layout_permutation();
+    if (perm.empty()) {
+      PPR_RETURN_IF_ERROR(pool_->Apply(batch, &pushes));
+    } else {
+      // Updates arrive in original ids; the evolving graph lives in
+      // layout space. Out-of-range endpoints must fail validation, not
+      // index perm, so map only in-range ids and let Apply reject.
+      UpdateBatch mapped;
+      mapped.updates.reserve(batch.updates.size());
+      const NodeId n = static_cast<NodeId>(perm.size());
+      for (const EdgeUpdate& up : batch.updates) {
+        if (up.u >= n || up.v >= n) {
+          return Status::InvalidArgument("update: node out of range (n=" +
+                                         std::to_string(n) + ")");
+        }
+        mapped.updates.push_back({up.kind, perm[up.u], perm[up.v]});
+      }
+      PPR_RETURN_IF_ERROR(pool_->Apply(mapped, &pushes));
+    }
+    if (stats != nullptr) {
+      stats->push_operations = pushes;
+      stats->seconds = timer.ElapsedSeconds();
+      stats->epoch = dynamic_->epoch();
+    }
+    return Status::OK();
+  }
+
+  uint64_t epoch() const override {
+    return dynamic_ != nullptr ? dynamic_->epoch() : 0;
+  }
+
+  Graph Snapshot() const override {
+    PPR_CHECK(dynamic_ != nullptr) << "Snapshot() before Prepare()";
+    Graph layout = dynamic_->Snapshot();
+    const std::vector<NodeId>& perm = layout_permutation();
+    if (perm.empty()) return layout;
+    // Back to original ids: layout node perm[v] is original node v.
+    std::vector<NodeId> inverse(perm.size());
+    for (NodeId v = 0; v < static_cast<NodeId>(perm.size()); ++v) {
+      inverse[perm[v]] = v;
+    }
+    return PermuteGraph(layout, inverse);
+  }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& /*context*/,
+                 PprResult* result) override {
+    if (query.alpha > 0 && query.alpha != params_.alpha) {
+      return Status::InvalidArgument(
+          "dynfwdpush trackers are bound to alpha=" +
+          std::to_string(params_.alpha) + "; recreate with the alpha option");
+    }
+    if (query.lambda > 0) {
+      return Status::InvalidArgument(
+          "dynfwdpush maintains its estimate at a fixed rmax; set the rmax "
+          "(or lambda) option instead of a per-query lambda");
+    }
+    // The estimate lives in the solver (that is the point: it persists
+    // across queries and updates), not in the context — so concurrent
+    // Solves serialize on the pool here. Solve is read-only for an
+    // existing tracker; first use pays one from-scratch push.
+    std::lock_guard<std::mutex> lock(mu_);
+    DynamicSsppr& tracker = pool_->TrackerFor(query.source);
+    const PprEstimate& estimate = tracker.estimate();
+    result->scores.assign(estimate.reserve.begin(), estimate.reserve.end());
+    if (query.want_residues) {
+      result->residues.assign(estimate.residue.begin(),
+                              estimate.residue.end());
+    }
+    result->epoch = dynamic_->epoch();
+    result->stats.final_rsum = tracker.ResidueL1();
+    return Status::OK();
+  }
+
+ private:
+  double ResolvedRmax() const {
+    if (rmax_ > 0) return rmax_;
+    // lambda → rmax at the Prepare-time edge count; the advertised
+    // bound above tracks the current counts as the graph evolves.
+    return params_.lambda /
+           static_cast<double>(std::max<EdgeId>(prepare_edges_, 1));
+  }
+
+  const ParamDefaults params_;
+  const double rmax_;  // 0 → derive lambda/m at Prepare
+  EdgeId prepare_edges_ = 1;
+  std::unique_ptr<DynamicGraph> dynamic_;
+  std::unique_ptr<DynamicSspprPool> pool_;
+  std::mutex mu_;
 };
 
 // --------------------------------------------------------------------
@@ -762,6 +914,20 @@ Result<std::unique_ptr<Solver>> MakeForwardPush(const SolverSpec& spec,
                                   priority, params, rmax)));
 }
 
+Result<std::unique_ptr<Solver>> MakeDynFwdPush(const SolverSpec& spec) {
+  ParamDefaults params;
+  double rmax = 0.0;
+  CommonOptions common;
+  OptionReader reader(spec);
+  common.Read(reader);
+  reader.Double("alpha", &params.alpha)
+      .Double("lambda", &params.lambda)
+      .Double("rmax", &rmax);
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return FinishSolver(common, std::unique_ptr<Solver>(new DynFwdPushSolver(
+                                  params, rmax)));
+}
+
 Result<std::unique_ptr<Solver>> MakePowerPush(const SolverSpec& spec) {
   ParamDefaults params;
   double lambda = 0.0;  // unset → paper default min(1e-8, 1/m)
@@ -923,6 +1089,10 @@ void RegisterBuiltinSolvers(SolverRegistry* registry) {
       {"prioritypush", "max-benefit-first Forward Push (push ablation)",
        "alpha, lambda, rmax, threads, order",
        [](const SolverSpec& s) { return MakeForwardPush(s, true); }});
+  registry->Register(
+      {"dynfwdpush",
+       "incremental Forward Push on an evolving graph (ApplyUpdates)",
+       "alpha, lambda, rmax, threads, order", MakeDynFwdPush});
   registry->Register(
       {"powerpush", "Power Iteration with Forward Push (Algorithm 3)",
        "alpha, lambda, epochs, scan_threshold, threads, order",

@@ -34,8 +34,9 @@ uint64_t DynamicSsppr::PushLoop() {
     const double r = estimate_.residue[v];
     if (r == 0.0) continue;
     // Pushes work symmetrically for negative residue (insertions shrink
-    // old neighbors' transition probability, so corrections can be
-    // negative): reserve decreases and negative mass propagates.
+    // old neighbors' transition probability, deletions take the removed
+    // target's share away, so corrections can be negative): reserve
+    // decreases and negative mass propagates.
     estimate_.reserve[v] += alpha * r;
     estimate_.residue[v] = 0.0;
     const double push = (1.0 - alpha) * r;
@@ -57,11 +58,11 @@ uint64_t DynamicSsppr::PushLoop() {
 
 uint64_t DynamicSsppr::Refresh() { return PushLoop(); }
 
-uint64_t DynamicSsppr::AddEdge(NodeId u, NodeId w) {
+void DynamicSsppr::ObserveBeforeInsert(NodeId u, NodeId w) {
   PPR_CHECK(u < graph_->num_nodes() && w < graph_->num_nodes());
   // Validate before touching residues: DynamicGraph::AddEdge rejects
-  // self-loops, and the correction below must not run for an edge that
-  // will never be inserted.
+  // self-loops, and the correction must not run for an edge that will
+  // never be inserted.
   PPR_CHECK(u != w) << "self-loops are not supported";
   const double alpha = options_.alpha;
   const double scale = (1.0 - alpha) / alpha * estimate_.reserve[u];
@@ -76,12 +77,55 @@ uint64_t DynamicSsppr::AddEdge(NodeId u, NodeId w) {
   } else {
     const double shrink =
         1.0 / (d_old + 1.0) - 1.0 / static_cast<double>(d_old);
+    // Iterating occurrences handles parallel edges: each occurrence of a
+    // neighbor carried 1/d of the row and now carries 1/(d+1).
     for (NodeId x : graph_->OutNeighbors(u)) {
       estimate_.residue[x] += scale * shrink;
     }
     estimate_.residue[w] += scale / (d_old + 1.0);
   }
+}
+
+void DynamicSsppr::ObserveBeforeDelete(NodeId u, NodeId w) {
+  PPR_CHECK(u < graph_->num_nodes() && w < graph_->num_nodes());
+  const double alpha = options_.alpha;
+  const double scale = (1.0 - alpha) / alpha * estimate_.reserve[u];
+  const NodeId d_old = graph_->OutDegree(u);
+  PPR_CHECK(d_old > 0) << "deleting from a dead end";
+
+  if (d_old == 1) {
+    // u becomes a dead end: its row e_w turns into the dead-end
+    // convention's e_source — the exact mirror of the insertion case.
+    estimate_.residue[source_] += scale;
+    estimate_.residue[w] -= scale;
+  } else {
+    // Every surviving occurrence grows from 1/d to 1/(d−1); the removed
+    // occurrence of w loses its 1/d outright. Skipping exactly one
+    // occurrence keeps parallel edges correct.
+    const double grow =
+        1.0 / (d_old - 1.0) - 1.0 / static_cast<double>(d_old);
+    bool removed = false;
+    for (NodeId x : graph_->OutNeighbors(u)) {
+      if (!removed && x == w) {
+        estimate_.residue[w] -= scale / d_old;
+        removed = true;
+      } else {
+        estimate_.residue[x] += scale * grow;
+      }
+    }
+    PPR_CHECK(removed) << "edge (" << u << ", " << w << ") not present";
+  }
+}
+
+uint64_t DynamicSsppr::AddEdge(NodeId u, NodeId w) {
+  ObserveBeforeInsert(u, w);
   graph_->AddEdge(u, w);
+  return PushLoop();
+}
+
+uint64_t DynamicSsppr::RemoveEdge(NodeId u, NodeId w) {
+  ObserveBeforeDelete(u, w);
+  graph_->RemoveEdge(u, w);
   return PushLoop();
 }
 
@@ -89,6 +133,46 @@ double DynamicSsppr::ResidueL1() const {
   double sum = 0.0;
   for (double r : estimate_.residue) sum += std::fabs(r);
   return sum;
+}
+
+// ------------------------------------------------------------------ pool
+
+DynamicSspprPool::DynamicSspprPool(DynamicGraph* graph,
+                                   const DynamicSsppr::Options& options)
+    : graph_(graph), options_(options) {
+  PPR_CHECK(graph != nullptr);
+}
+
+DynamicSsppr& DynamicSspprPool::TrackerFor(NodeId source) {
+  auto it = trackers_.find(source);
+  if (it == trackers_.end()) {
+    it = trackers_
+             .emplace(source,
+                      std::make_unique<DynamicSsppr>(graph_, source, options_))
+             .first;
+  }
+  return *it->second;
+}
+
+Status DynamicSspprPool::Apply(const UpdateBatch& batch, uint64_t* pushes) {
+  PPR_RETURN_IF_ERROR(graph_->Validate(batch));
+  for (const EdgeUpdate& up : batch.updates) {
+    if (up.kind == UpdateKind::kInsert) {
+      for (auto& [source, tracker] : trackers_) {
+        tracker->ObserveBeforeInsert(up.u, up.v);
+      }
+      graph_->AddEdge(up.u, up.v);
+    } else {
+      for (auto& [source, tracker] : trackers_) {
+        tracker->ObserveBeforeDelete(up.u, up.v);
+      }
+      graph_->RemoveEdge(up.u, up.v);
+    }
+  }
+  uint64_t total = 0;
+  for (auto& [source, tracker] : trackers_) total += tracker->Refresh();
+  if (pushes != nullptr) *pushes += total;
+  return Status::OK();
 }
 
 }  // namespace ppr

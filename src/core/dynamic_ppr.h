@@ -1,8 +1,13 @@
 #ifndef PPR_CORE_DYNAMIC_PPR_H_
 #define PPR_CORE_DYNAMIC_PPR_H_
 
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
 #include "core/workspace.h"
 #include "graph/dynamic_graph.h"
+#include "util/status.h"
 
 namespace ppr {
 
@@ -12,15 +17,20 @@ namespace ppr {
 ///
 ///     r = e_s − (1/α)·π̂·(I − (1−α)P)
 ///
-/// is restored *algebraically* after every edge insertion: only row u of
-/// P changes when (u, w) arrives, so the exact correction is local,
+/// is restored *algebraically* after every edge mutation: only row u of
+/// P changes when (u, w) arrives or leaves, so the exact correction is
+/// local,
 ///
 ///     Δr(x) = (1−α)/α · π̂(u) · (P'[u][x] − P[u][x]),
 ///
-/// touching u's old neighbors (their transition probability shrinks from
-/// 1/d to 1/(d+1) — residues may go *negative*, which the tracker and
-/// its error bound handle via |r|) and the new neighbor w. Cost: O(d_u)
-/// per insertion plus local pushes, versus O(m log 1/λ) from scratch.
+/// touching u's neighbors and w. Insertions shrink the old neighbors'
+/// transition probability (1/d → 1/(d+1)); deletions grow the remaining
+/// ones (1/d → 1/(d−1)) and take w's 1/d away entirely — in both
+/// directions residues may go *negative*, which the tracker and its
+/// error bound handle via |r|. Deleting a node's last edge turns its row
+/// into the dead-end row e_source, the exact mirror of a dead end
+/// gaining its first edge. Cost: O(d_u) per mutation plus local pushes,
+/// versus O(m log 1/λ) from scratch.
 ///
 /// Error guarantee at any point: ‖π̂ − π‖₁ ≤ Σ_v |r(v)| ≤ (m+k)·r_max
 /// after Refresh() (k = dead ends), mirroring Equation (7).
@@ -32,18 +42,39 @@ class DynamicSsppr {
     double rmax = 1e-7;
   };
 
-  /// The tracker keeps a reference to `graph`; insert edges through
-  /// AddEdge below (mutating `graph` behind the tracker's back breaks
-  /// the invariant).
+  /// The tracker keeps a reference to `graph`; mutate it through
+  /// AddEdge/RemoveEdge below, or through a DynamicSspprPool when
+  /// several trackers share the graph (mutating `graph` behind the
+  /// tracker's back breaks the invariant).
   DynamicSsppr(DynamicGraph* graph, NodeId source, const Options& options);
 
   /// Applies the insertion to the graph and repairs the estimate.
   /// Returns the number of push operations performed.
   uint64_t AddEdge(NodeId u, NodeId w);
 
-  /// Pushes until no node is active (call after a batch of insertions if
-  /// intermediate accuracy does not matter; AddEdge already refreshes).
+  /// Removes one occurrence of (u, w) — which must exist — and repairs.
+  /// Returns the number of push operations performed.
+  uint64_t RemoveEdge(NodeId u, NodeId w);
+
+  /// Pushes until no node is active. AddEdge/RemoveEdge already refresh;
+  /// pool orchestration defers this to the end of a batch.
   uint64_t Refresh();
+
+  // ---- pool orchestration (graph mutated by the caller) --------------
+  //
+  // The algebraic correction reads row u of P *before* the mutation, so
+  // a pool sharing one graph across trackers calls Observe* on every
+  // tracker, then mutates the graph once, and Refresh()es after the
+  // batch. The invariant is maintained exactly between observations —
+  // refresh timing only affects the error bound, not correctness.
+
+  /// Correction for an upcoming insertion of (u, w); no push, no graph
+  /// mutation.
+  void ObserveBeforeInsert(NodeId u, NodeId w);
+
+  /// Correction for an upcoming deletion of one occurrence of (u, w);
+  /// the edge must currently exist.
+  void ObserveBeforeDelete(NodeId u, NodeId w);
 
   /// Current estimate; reserve ≈ π_s within the bound above.
   const PprEstimate& estimate() const { return estimate_; }
@@ -52,6 +83,7 @@ class DynamicSsppr {
   double ResidueL1() const;
 
   NodeId source() const { return source_; }
+  const Options& options() const { return options_; }
 
  private:
   NodeId EffectiveDegreeOf(NodeId v) const {
@@ -65,6 +97,37 @@ class DynamicSsppr {
   NodeId source_;
   Options options_;
   PprEstimate estimate_;
+};
+
+/// A set of per-source trackers sharing one DynamicGraph and one update
+/// stream — the multi-query shape of the evolving-graph subsystem (the
+/// "dynfwdpush" solver wraps one of these). Each source pays its own
+/// O(n) tracker once; an applied batch mutates the graph once and
+/// repairs every tracker, so k concurrent sources cost k local
+/// corrections per update, not k copies of the graph.
+class DynamicSspprPool {
+ public:
+  /// The pool keeps a reference to `graph`; after construction, mutate
+  /// it only through Apply().
+  DynamicSspprPool(DynamicGraph* graph, const DynamicSsppr::Options& options);
+
+  /// The tracker for `source`, created (from-scratch push at the current
+  /// epoch) on first use. Stable address for the pool's lifetime.
+  DynamicSsppr& TrackerFor(NodeId source);
+
+  /// Validates and applies the batch: per-update algebraic corrections
+  /// on every tracker interleaved with the graph mutations, then one
+  /// Refresh per tracker. On validation error nothing is applied. The
+  /// total repair pushes are added to *pushes when non-null.
+  Status Apply(const UpdateBatch& batch, uint64_t* pushes = nullptr);
+
+  size_t tracker_count() const { return trackers_.size(); }
+  const DynamicGraph& graph() const { return *graph_; }
+
+ private:
+  DynamicGraph* graph_;
+  DynamicSsppr::Options options_;
+  std::unordered_map<NodeId, std::unique_ptr<DynamicSsppr>> trackers_;
 };
 
 }  // namespace ppr

@@ -1,5 +1,7 @@
 #include "eval/query_gen.h"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -21,6 +23,56 @@ std::vector<NodeId> SampleQuerySources(const Graph& graph, size_t count,
     if (chosen.insert(v).second) sources.push_back(v);
   }
   return sources;
+}
+
+namespace {
+
+/// Uniform for skew 0; id ~ n·U^(1+skew) otherwise, concentrating mass
+/// on low ids (a smooth stand-in for preferential attachment).
+NodeId SampleSkewedNode(NodeId n, double skew, Rng& rng) {
+  if (skew <= 0.0) return static_cast<NodeId>(rng.NextBounded(n));
+  const double u = rng.NextDouble();
+  NodeId v = static_cast<NodeId>(static_cast<double>(n) *
+                                 std::pow(u, 1.0 + skew));
+  return v < n ? v : n - 1;
+}
+
+}  // namespace
+
+UpdateBatch GenerateUpdateStream(const Graph& base,
+                                 const UpdateWorkloadOptions& options) {
+  const NodeId n = base.num_nodes();
+  PPR_CHECK(n >= 2) << "update streams need at least two nodes";
+  const double delete_fraction =
+      std::clamp(options.delete_fraction, 0.0, 1.0);
+  Rng rng(options.seed);
+
+  // The live multiset of edges, so deletions always hit an existing one
+  // — including edges this stream inserted earlier.
+  std::vector<Edge> live;
+  live.reserve(base.num_edges() + options.count);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : base.OutNeighbors(v)) live.push_back({v, w});
+  }
+
+  UpdateBatch batch;
+  batch.updates.reserve(options.count);
+  while (batch.size() < options.count) {
+    if (!live.empty() && rng.NextBernoulli(delete_fraction)) {
+      const size_t i = static_cast<size_t>(rng.NextBounded(live.size()));
+      const Edge edge = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      batch.Delete(edge.src, edge.dst);
+    } else {
+      const NodeId u = SampleSkewedNode(n, options.skew, rng);
+      const NodeId w = SampleSkewedNode(n, options.skew, rng);
+      if (u == w) continue;  // resample instead of biasing toward u±1
+      live.push_back({u, w});
+      batch.Insert(u, w);
+    }
+  }
+  return batch;
 }
 
 }  // namespace ppr

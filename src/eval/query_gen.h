@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 
 namespace ppr {
@@ -12,6 +13,31 @@ namespace ppr {
 /// random"). Deterministic in (n, count, seed).
 std::vector<NodeId> SampleQuerySources(const Graph& graph, size_t count,
                                        uint64_t seed = 7);
+
+/// Shape of a synthetic edge-update stream for the evolving-graph
+/// benches and tests (bench_fig6 staleness curves,
+/// bench_extension_dynamic, ppr_cli --updates=synthetic:...).
+struct UpdateWorkloadOptions {
+  /// Number of updates in the stream.
+  size_t count = 100;
+  /// Fraction of updates that are deletions (of then-live edges); the
+  /// rest are insertions. Clamped to [0, 1].
+  double delete_fraction = 0.2;
+  /// Endpoint skew for insertions: 0 = uniform; larger values bias both
+  /// endpoints toward low node ids as id^-ish power law (datasets and
+  /// order=degree layouts put hubs at low ids, so skew concentrates the
+  /// update stream on hot rows).
+  double skew = 0.0;
+  uint64_t seed = 13;
+};
+
+/// Generates a valid update stream against `base`: every deletion
+/// targets an edge that exists at its point in the stream (edges the
+/// stream itself inserted are fair game), insertions avoid self-loops,
+/// and the result passes DynamicGraph::Validate on a graph equal to
+/// `base`. Deterministic in (base, options).
+UpdateBatch GenerateUpdateStream(const Graph& base,
+                                 const UpdateWorkloadOptions& options);
 
 }  // namespace ppr
 

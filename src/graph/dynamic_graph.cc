@@ -1,39 +1,148 @@
 #include "graph/dynamic_graph.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/rng.h"
 
 namespace ppr {
 
+namespace {
+
+/// 64-bit packing of one mutation, fed through SplitMix64 so the running
+/// fingerprint diffuses every bit of (kind, u, v).
+uint64_t MutationWord(UpdateKind kind, NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(kind) << 63) |
+         (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(NodeId n)
+    : adjacency_(n),
+      num_edges_(0),
+      num_dead_ends_(n),
+      fingerprint_(SplitMix64(static_cast<uint64_t>(n)).Next()) {}
+
 DynamicGraph::DynamicGraph(const Graph& graph)
-    : adjacency_(graph.num_nodes()), num_edges_(graph.num_edges()) {
+    : adjacency_(graph.num_nodes()),
+      num_edges_(graph.num_edges()),
+      fingerprint_(SplitMix64(graph.Fingerprint()).Next()) {
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     auto neighbors = graph.OutNeighbors(v);
+    // assign() from random-access iterators performs one exact-capacity
+    // allocation per row; AddEdge growth beyond it is amortized
+    // doubling, never per-edge reallocation from zero.
     adjacency_[v].assign(neighbors.begin(), neighbors.end());
+    if (neighbors.empty()) num_dead_ends_++;
   }
+}
+
+NodeId DynamicGraph::EdgeMultiplicity(NodeId u, NodeId v) const {
+  PPR_DCHECK(u < num_nodes());
+  NodeId count = 0;
+  for (NodeId x : adjacency_[u]) {
+    if (x == v) count++;
+  }
+  return count;
+}
+
+void DynamicGraph::MixMutation(UpdateKind kind, NodeId u, NodeId v) {
+  epoch_++;
+  fingerprint_ =
+      SplitMix64(fingerprint_ ^ MutationWord(kind, u, v)).Next();
 }
 
 void DynamicGraph::AddEdge(NodeId u, NodeId v) {
   PPR_CHECK(u < num_nodes() && v < num_nodes());
   PPR_CHECK(u != v) << "self-loops are not supported";
+  if (adjacency_[u].empty()) num_dead_ends_--;
   adjacency_[u].push_back(v);
   num_edges_++;
+  MixMutation(UpdateKind::kInsert, u, v);
+}
+
+void DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
+  PPR_CHECK(u < num_nodes() && v < num_nodes());
+  auto& row = adjacency_[u];
+  auto it = std::find(row.begin(), row.end(), v);
+  PPR_CHECK(it != row.end()) << "edge (" << u << ", " << v << ") not present";
+  row.erase(it);  // keep the remaining order: push iteration is stable
+  num_edges_--;
+  if (row.empty()) num_dead_ends_++;
+  MixMutation(UpdateKind::kDelete, u, v);
+}
+
+Status DynamicGraph::Validate(const UpdateBatch& batch) const {
+  // Running multiplicities for the edges the batch touches — seeded
+  // from the graph with one O(d_u) scan on first touch, then O(1) — so
+  // a deletion is checked against the graph *as it will be* when the
+  // update is reached (a batch may consume edges it inserted earlier).
+  std::unordered_map<uint64_t, int64_t> remaining;
+  for (size_t i = 0; i < batch.updates.size(); ++i) {
+    const EdgeUpdate& up = batch.updates[i];
+    if (up.u >= num_nodes() || up.v >= num_nodes()) {
+      return Status::InvalidArgument(
+          "update " + std::to_string(i) + ": node out of range (n=" +
+          std::to_string(num_nodes()) + ")");
+    }
+    if (up.u == up.v) {
+      return Status::InvalidArgument("update " + std::to_string(i) +
+                                     ": self-loops are not supported");
+    }
+    const uint64_t key =
+        (static_cast<uint64_t>(up.u) << 32) | static_cast<uint64_t>(up.v);
+    auto it = remaining.find(key);
+    if (it == remaining.end()) {
+      it = remaining
+               .emplace(key,
+                        static_cast<int64_t>(EdgeMultiplicity(up.u, up.v)))
+               .first;
+    }
+    if (up.kind == UpdateKind::kInsert) {
+      it->second++;
+    } else {
+      if (it->second <= 0) {
+        return Status::InvalidArgument(
+            "update " + std::to_string(i) + ": edge (" +
+            std::to_string(up.u) + ", " + std::to_string(up.v) +
+            ") does not exist at that point of the batch");
+      }
+      it->second--;
+    }
+  }
+  return Status::OK();
+}
+
+Status DynamicGraph::Apply(const UpdateBatch& batch) {
+  PPR_RETURN_IF_ERROR(Validate(batch));
+  for (const EdgeUpdate& up : batch.updates) {
+    if (up.kind == UpdateKind::kInsert) {
+      AddEdge(up.u, up.v);
+    } else {
+      RemoveEdge(up.u, up.v);
+    }
+  }
+  return Status::OK();
 }
 
 Graph DynamicGraph::Snapshot() const {
   // Build the CSR directly: ids must stay aligned (including trailing
   // isolated nodes, which GraphBuilder's relabeling would drop) and
-  // multiplicities must be preserved.
+  // multiplicities must be preserved. Rows are appended into the final
+  // arrays and sorted in place — no per-row temporaries.
   const NodeId n = num_nodes();
-  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    offsets[v + 1] = offsets[v] + adjacency_[v].size();
-  }
+  std::vector<EdgeId> offsets;
+  offsets.reserve(static_cast<size_t>(n) + 1);
+  offsets.push_back(0);
   std::vector<NodeId> targets;
   targets.reserve(num_edges_);
   for (NodeId v = 0; v < n; ++v) {
-    std::vector<NodeId> sorted(adjacency_[v].begin(), adjacency_[v].end());
-    std::sort(sorted.begin(), sorted.end());
-    targets.insert(targets.end(), sorted.begin(), sorted.end());
+    const size_t row_begin = targets.size();
+    targets.insert(targets.end(), adjacency_[v].begin(), adjacency_[v].end());
+    std::sort(targets.begin() + row_begin, targets.end());
+    offsets.push_back(targets.size());
   }
   return Graph(std::move(offsets), std::move(targets));
 }

@@ -1,28 +1,87 @@
 #ifndef PPR_GRAPH_DYNAMIC_GRAPH_H_
 #define PPR_GRAPH_DYNAMIC_GRAPH_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace ppr {
 
-/// Mutable directed graph: adjacency-vector storage supporting edge
-/// insertion, the substrate for the evolving-graph PPR tracker
-/// (core/dynamic_ppr.h). The immutable CSR Graph stays the right choice
-/// for static workloads (PowerPush's scan phase depends on its layout);
-/// Snapshot() bridges to it.
+/// One edge mutation of an evolving graph.
+enum class UpdateKind : uint8_t {
+  kInsert,  ///< append directed edge (u, v); parallel edges permitted
+  kDelete,  ///< remove one occurrence of directed edge (u, v)
+};
+
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  NodeId u = 0;
+  NodeId v = 0;
+
+  bool operator==(const EdgeUpdate&) const = default;
+};
+
+/// An ordered sequence of edge insertions and deletions — the unit in
+/// which updates travel through the system (DynamicSolver::ApplyUpdates,
+/// PprServer::ApplyUpdates, the eval/query_gen workload generator, and
+/// ppr_cli --updates). Updates apply strictly in order, so a batch may
+/// delete an edge it inserted earlier.
+struct UpdateBatch {
+  std::vector<EdgeUpdate> updates;
+
+  UpdateBatch& Insert(NodeId u, NodeId v) {
+    updates.push_back({UpdateKind::kInsert, u, v});
+    return *this;
+  }
+  UpdateBatch& Delete(NodeId u, NodeId v) {
+    updates.push_back({UpdateKind::kDelete, u, v});
+    return *this;
+  }
+
+  size_t size() const { return updates.size(); }
+  bool empty() const { return updates.empty(); }
+  void clear() { updates.clear(); }
+};
+
+/// Versioned mutable directed graph: adjacency-vector storage supporting
+/// edge insertion *and deletion*, the substrate for the evolving-graph
+/// PPR subsystem (core/dynamic_ppr.h, the "dynfwdpush" solver). The
+/// immutable CSR Graph stays the right choice for static workloads
+/// (PowerPush's scan phase depends on its layout); Snapshot() bridges to
+/// it for cross-checking.
+///
+/// Versioning: every applied mutation advances the epoch by one, so an
+/// UpdateBatch of k updates moves the graph from epoch e to e + k.
+/// Epochs are monotonically increasing and never reused; fingerprint()
+/// is a 64-bit hash of the construction state plus the full mutation
+/// history, so two DynamicGraphs agree on (epoch, fingerprint) iff they
+/// were built identically and replayed the same update sequence — the
+/// key epoch-consistent serving and caches hang results on.
 class DynamicGraph {
  public:
-  /// Starts with n isolated nodes.
-  explicit DynamicGraph(NodeId n) : adjacency_(n), num_edges_(0) {}
+  /// Starts with n isolated nodes at epoch 0.
+  explicit DynamicGraph(NodeId n);
 
-  /// Copies an existing static graph.
+  /// Copies an existing static graph (epoch 0; fingerprint seeded from
+  /// Graph::Fingerprint so different base graphs never collide).
   explicit DynamicGraph(const Graph& graph);
 
   NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
   EdgeId num_edges() const { return num_edges_; }
+
+  /// Number of nodes with out-degree zero, maintained incrementally —
+  /// O(1), unlike Graph::CountDeadEnds. Feeds the (m + k)·rmax error
+  /// bound of the dynamic tracker.
+  NodeId num_dead_ends() const { return num_dead_ends_; }
+
+  /// Number of mutations applied since construction.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Hash of (construction state, mutation history); see class comment.
+  uint64_t fingerprint() const { return fingerprint_; }
 
   NodeId OutDegree(NodeId v) const {
     PPR_DCHECK(v < num_nodes());
@@ -34,17 +93,40 @@ class DynamicGraph {
     return adjacency_[v];
   }
 
-  /// Appends the directed edge (u, v). Parallel edges are permitted (the
-  /// caller decides); self-loops are rejected.
+  /// Multiplicity of the directed edge (u, v). O(d_u).
+  NodeId EdgeMultiplicity(NodeId u, NodeId v) const;
+
+  /// Appends the directed edge (u, v) and advances the epoch. Parallel
+  /// edges are permitted (the caller decides); self-loops are rejected.
   void AddEdge(NodeId u, NodeId v);
+
+  /// Removes one occurrence of (u, v) and advances the epoch. The edge
+  /// must exist (PPR_CHECK); use Apply() for validated batches.
+  void RemoveEdge(NodeId u, NodeId v);
+
+  /// Validates the whole batch against the current state (bounds,
+  /// self-loops, deletions of edges that will not exist when reached —
+  /// honoring in-batch ordering), then applies it. On error nothing is
+  /// applied and the epoch does not move; on success the epoch advances
+  /// by batch.size().
+  Status Apply(const UpdateBatch& batch);
+
+  /// Apply()'s validation without the mutation — shared with callers
+  /// that must interleave per-update bookkeeping (DynamicSspprPool).
+  Status Validate(const UpdateBatch& batch) const;
 
   /// Materializes an immutable CSR copy (used to cross-check the
   /// incremental tracker against from-scratch solves).
   Graph Snapshot() const;
 
  private:
+  void MixMutation(UpdateKind kind, NodeId u, NodeId v);
+
   std::vector<std::vector<NodeId>> adjacency_;
   EdgeId num_edges_;
+  NodeId num_dead_ends_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace ppr

@@ -61,6 +61,61 @@ Result<Graph> LoadGraphFromEdgeList(const std::string& path,
   return GraphBuilder::FromEdges(std::move(edges.value()), options);
 }
 
+Result<UpdateBatch> ReadUpdateStreamText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  UpdateBatch batch;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    auto fields = SplitAndTrim(line, " \t\r,");
+    if (fields.size() < 3) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": expected '+|- src dst'");
+    }
+    UpdateKind kind;
+    if (fields[0] == "+" || fields[0] == "a") {
+      kind = UpdateKind::kInsert;
+    } else if (fields[0] == "-" || fields[0] == "d") {
+      kind = UpdateKind::kDelete;
+    } else {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": update kind must be '+'/'-' (or 'a'/'d')");
+    }
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!ParseUint64(fields[1], &src) || !ParseUint64(fields[2], &dst)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": malformed node id");
+    }
+    if (src > std::numeric_limits<NodeId>::max() ||
+        dst > std::numeric_limits<NodeId>::max()) {
+      return Status::OutOfRange(path + ":" + std::to_string(line_no) +
+                                ": node id exceeds 32 bits");
+    }
+    batch.updates.push_back(
+        {kind, static_cast<NodeId>(src), static_cast<NodeId>(dst)});
+  }
+  return batch;
+}
+
+Status WriteUpdateStreamText(const std::string& path,
+                             const UpdateBatch& batch) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# edge-update stream, " << batch.size() << " updates\n";
+  for (const EdgeUpdate& up : batch.updates) {
+    out << (up.kind == UpdateKind::kInsert ? '+' : '-') << "\t" << up.u
+        << "\t" << up.v << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
 Status WriteGraphBinary(const std::string& path, const Graph& graph) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "util/status.h"
@@ -27,6 +28,21 @@ Result<Graph> LoadGraphFromEdgeList(const std::string& path,
 /// Round-trips exactly; used to cache cleaned graphs between bench runs.
 Status WriteGraphBinary(const std::string& path, const Graph& graph);
 Result<Graph> ReadGraphBinary(const std::string& path);
+
+/// Reads an edge-update stream for the evolving-graph subsystem
+/// (ppr_cli --updates=<file>). One update per line,
+///
+///   + src dst     insertion
+///   - src dst     deletion
+///
+/// with '#'/'%' comments and blank lines allowed; "a"/"d" are accepted
+/// as aliases for "+"/"-". Validation against a concrete graph happens
+/// at apply time (DynamicGraph::Validate), not here.
+Result<UpdateBatch> ReadUpdateStreamText(const std::string& path);
+
+/// Writes an update stream in the same format.
+Status WriteUpdateStreamText(const std::string& path,
+                             const UpdateBatch& batch);
 
 }  // namespace ppr
 

@@ -92,7 +92,8 @@ Status PprServer::AddSolver(std::string name, std::unique_ptr<Solver> solver) {
       return Status::InvalidArgument("solver '" + name + "' already added");
     }
   }
-  solvers_.push_back({std::move(name), std::move(solver)});
+  solvers_.push_back({std::move(name), std::move(solver),
+                      std::make_unique<std::shared_mutex>()});
   return Status::OK();
 }
 
@@ -132,10 +133,10 @@ bool PprServer::running() const {
   return started_ && !stopped_;
 }
 
-Solver* PprServer::FindSolver(std::string_view name) const {
-  if (name.empty()) return solvers_.empty() ? nullptr : solvers_[0].solver.get();
+const PprServer::Hosted* PprServer::FindHosted(std::string_view name) const {
+  if (name.empty()) return solvers_.empty() ? nullptr : &solvers_[0];
   for (const Hosted& hosted : solvers_) {
-    if (hosted.name == name) return hosted.solver.get();
+    if (hosted.name == name) return &hosted;
   }
   return nullptr;
 }
@@ -149,11 +150,13 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
     if (!started_ || stopped_) {
       return Status::FailedPrecondition("server is not running");
     }
-    request.solver = FindSolver(solver);
-    if (request.solver == nullptr) {
+    const Hosted* hosted = FindHosted(solver);
+    if (hosted == nullptr) {
       return Status::NotFound("no solver '" + std::string(solver) +
                               "' on this server");
     }
+    request.solver = hosted->solver.get();
+    request.barrier = hosted->barrier.get();
     request.seed =
         seed != 0 ? seed
                   : SplitStream(options_.seed, next_submission_).NextUint64();
@@ -215,12 +218,61 @@ Status PprServer::SolveBatch(const std::vector<PprQuery>& queries,
   return first_error;
 }
 
+Result<uint64_t> PprServer::ApplyUpdates(const UpdateBatch& batch,
+                                         std::string_view solver,
+                                         UpdateStats* stats) {
+  Solver* target = nullptr;
+  std::shared_mutex* barrier = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Hosted* hosted = FindHosted(solver);
+    if (hosted == nullptr) {
+      return Status::NotFound("no solver '" + std::string(solver) +
+                              "' on this server");
+    }
+    target = hosted->solver.get();
+    barrier = hosted->barrier.get();
+  }
+  DynamicSolver* dynamic = target->AsDynamic();
+  if (dynamic == nullptr) {
+    return Status::FailedPrecondition(
+        "solver '" + std::string(target->name()) +
+        "' does not support updates; host a dynamic solver (e.g. "
+        "dynfwdpush)");
+  }
+  uint64_t epoch = 0;
+  {
+    // Exclusive hold: waits out the queries running on this solver
+    // (they hold the barrier shared), applies, and releases — queries
+    // popped meanwhile block on the barrier, not on the whole server.
+    std::unique_lock<std::shared_mutex> epoch_guard(*barrier);
+    PPR_RETURN_IF_ERROR(dynamic->ApplyUpdates(batch, stats));
+    epoch = dynamic->epoch();
+    // Warm contexts are conservatively invalidated once per batch (the
+    // next query on each pays one full workspace assign) — inside the
+    // exclusive hold, so no query can check out a stale context at the
+    // new epoch.
+    contexts_.AdvanceEpoch();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_++;
+  return epoch;
+}
+
 void PprServer::WorkerLoop() {
   while (auto request = queue_.Pop()) {
     ContextPool::Lease context = contexts_.Acquire();
     context->Reseed(request->seed);
     PprResult result;
-    Status status = request->solver->Solve(request->query, *context, &result);
+    Status status;
+    {
+      // The epoch barrier: queries run under a shared hold, so an
+      // ApplyUpdates on this solver waits for them and they never see a
+      // half-applied batch — each result is consistent with exactly the
+      // epoch it stamps.
+      std::shared_lock<std::shared_mutex> epoch_guard(*request->barrier);
+      status = request->solver->Solve(request->query, *context, &result);
+    }
     context.Release();
 
     PprFuture::State& state = *request->state;
@@ -252,6 +304,7 @@ PprServerStats PprServer::stats() const {
   stats.rejected = rejected_;
   stats.completed = completed_;
   stats.failed = failed_;
+  stats.updates = updates_;
   stats.queue_depth = queue_.size();
   return stats;
 }

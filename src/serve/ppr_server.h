@@ -6,12 +6,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "api/context_pool.h"
+#include "api/dynamic_solver.h"
 #include "api/query.h"
 #include "api/solver.h"
 #include "serve/bounded_queue.h"
@@ -59,6 +61,9 @@ namespace internal {
 struct ServeRequest {
   PprQuery query;
   Solver* solver = nullptr;
+  /// The hosted solver's epoch barrier, held shared for the duration of
+  /// the Solve so ApplyUpdates (exclusive) cannot interleave.
+  std::shared_mutex* barrier = nullptr;
   uint64_t seed = 0;
   std::shared_ptr<PprFuture::State> state;
 };
@@ -89,6 +94,7 @@ struct PprServerStats {
   uint64_t rejected = 0;   ///< refused with Unavailable (queue full)
   uint64_t completed = 0;  ///< finished with an OK status
   uint64_t failed = 0;     ///< finished with a non-OK status
+  uint64_t updates = 0;    ///< update batches applied via ApplyUpdates
   size_t queue_depth = 0;  ///< requests currently waiting
 };
 
@@ -167,6 +173,24 @@ class PprServer {
                     std::vector<PprResult>* results,
                     std::string_view solver = {}, uint64_t seed = 0);
 
+  /// Applies `batch` to the hosted dynamic solver routed by `solver`
+  /// (empty → default) behind an epoch barrier: the call waits for the
+  /// queries currently executing on that solver to finish on the epoch
+  /// they started at, applies the batch exclusively, and only then lets
+  /// later queries run — so every served result is consistent with
+  /// exactly one epoch (PprResult::epoch says which) and no query ever
+  /// observes a half-applied batch. Warm pool contexts are invalidated
+  /// on the epoch change. Queries on *other* hosted solvers are not
+  /// blocked. Returns the solver's new epoch; NotFound for an unknown
+  /// spec, FailedPrecondition for a solver without supports_updates,
+  /// InvalidArgument (nothing applied) for an invalid batch. May be
+  /// called before Start() and between Start() and Stop(); must not be
+  /// called concurrently with itself on one solver from multiple
+  /// threads unless the caller serializes (the barrier also does).
+  Result<uint64_t> ApplyUpdates(const UpdateBatch& batch,
+                                std::string_view solver = {},
+                                UpdateStats* stats = nullptr);
+
   PprServerStats stats() const;
   std::vector<std::string> solver_names() const;
   const PprServerOptions& options() const { return options_; }
@@ -179,9 +203,13 @@ class PprServer {
   struct Hosted {
     std::string name;
     std::unique_ptr<Solver> solver;
+    /// Queries hold it shared around Solve; ApplyUpdates holds it
+    /// exclusive. Heap-allocated so Hosted stays movable and the
+    /// mutex address survives vector growth.
+    std::unique_ptr<std::shared_mutex> barrier;
   };
 
-  Solver* FindSolver(std::string_view name) const;
+  const Hosted* FindHosted(std::string_view name) const;
   void WorkerLoop();
   Result<PprFuture> Enqueue(const PprQuery& query, std::string_view solver,
                             uint64_t seed, bool blocking);
@@ -200,6 +228,7 @@ class PprServer {
   uint64_t rejected_ = 0;
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
+  uint64_t updates_ = 0;
 };
 
 }  // namespace ppr

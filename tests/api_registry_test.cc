@@ -118,7 +118,7 @@ TEST(SolverRegistryTest, EveryAlgorithmIsRegistered) {
   for (const char* name :
        {"fwdpush", "prioritypush", "powerpush", "powitr", "pagerank", "bepi",
         "mc", "fora", "fora-index", "speedppr", "speedppr-index", "resacc",
-        "bippr", "hubppr"}) {
+        "bippr", "hubppr", "dynfwdpush"}) {
     EXPECT_TRUE(SolverRegistry::Global().Contains(name)) << name;
   }
 }

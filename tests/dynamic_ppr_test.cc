@@ -1,10 +1,12 @@
 #include "core/dynamic_ppr.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "core/forward_push.h"
+#include "eval/query_gen.h"
 #include "test_util.h"
 
 namespace ppr {
@@ -12,15 +14,22 @@ namespace {
 
 /// ℓ1 distance between the tracker's reserve and a from-scratch dense
 /// solve on the current snapshot.
-double ErrorVsScratch(const DynamicSsppr& tracker, const DynamicGraph& dg) {
+double ErrorVsScratch(const DynamicSsppr& tracker, const DynamicGraph& dg,
+                      double alpha = 0.2) {
   Graph snapshot = dg.Snapshot();
   std::vector<double> exact =
-      testing::ExactPprDense(snapshot, tracker.source(), 0.2);
+      testing::ExactPprDense(snapshot, tracker.source(), alpha);
   double l1 = 0.0;
   for (NodeId v = 0; v < snapshot.num_nodes(); ++v) {
     l1 += std::fabs(tracker.estimate().reserve[v] - exact[v]);
   }
   return l1;
+}
+
+/// The tracker's own certificate: Σ|r| bounds the true error, and push
+/// termination bounds Σ|r| by (m + #dead-ends)·rmax.
+double CertifiedBound(const DynamicGraph& dg, double rmax) {
+  return static_cast<double>(dg.num_edges() + dg.num_dead_ends()) * rmax;
 }
 
 TEST(DynamicGraphTest, SnapshotRoundTripsStaticGraph) {
@@ -154,6 +163,209 @@ TEST(DynamicSspprTest, IncrementalBeatsScratchOnWork) {
       FifoForwardPush(dg.Snapshot(), 0, scratch_options, &scratch);
   EXPECT_LT(incremental * 10, scratch_stats.push_operations)
       << "repair should be at least 10x cheaper than re-solving";
+}
+
+TEST(DynamicGraphTest, RemoveEdgeUpdatesDegreeCountAndDeadEnds) {
+  DynamicGraph dg(4);
+  dg.AddEdge(0, 1);
+  dg.AddEdge(0, 2);
+  dg.AddEdge(1, 2);
+  EXPECT_EQ(dg.num_dead_ends(), 2u);  // 2 and 3
+  dg.RemoveEdge(0, 1);
+  EXPECT_EQ(dg.OutDegree(0), 1u);
+  EXPECT_EQ(dg.num_edges(), 2u);
+  dg.RemoveEdge(1, 2);
+  EXPECT_EQ(dg.num_dead_ends(), 3u);  // 1 became a dead end
+  dg.AddEdge(1, 3);
+  EXPECT_EQ(dg.num_dead_ends(), 2u);
+}
+
+TEST(DynamicGraphTest, EpochAndFingerprintTrackMutationHistory) {
+  Graph g = PaperExampleGraph();
+  DynamicGraph a(g);
+  DynamicGraph b(g);
+  EXPECT_EQ(a.epoch(), 0u);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  a.AddEdge(0, 3);
+  EXPECT_EQ(a.epoch(), 1u);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+  // Same history → same (epoch, fingerprint).
+  b.AddEdge(0, 3);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Different kinds of mutation on the same endpoints diverge.
+  a.RemoveEdge(0, 3);
+  DynamicGraph c(g);
+  c.AddEdge(0, 3);
+  c.AddEdge(0, 3);
+  EXPECT_EQ(a.epoch(), c.epoch());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(DynamicGraphTest, ApplyValidatesAtomically) {
+  Graph g = PathGraph(4);  // 0->1->2->3
+  DynamicGraph dg(g);
+  const uint64_t epoch_before = dg.epoch();
+  const uint64_t fp_before = dg.fingerprint();
+
+  // Invalid in the middle: the second update deletes a missing edge.
+  UpdateBatch bad;
+  bad.Insert(0, 2).Delete(3, 0).Insert(1, 3);
+  Status status = dg.Apply(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dg.epoch(), epoch_before);
+  EXPECT_EQ(dg.fingerprint(), fp_before);
+  EXPECT_EQ(dg.num_edges(), g.num_edges());
+
+  // Out-of-range and self-loop updates are refused up front.
+  UpdateBatch oob;
+  oob.Insert(0, 99);
+  EXPECT_EQ(dg.Apply(oob).code(), StatusCode::kInvalidArgument);
+  UpdateBatch loop;
+  loop.Insert(2, 2);
+  EXPECT_EQ(dg.Apply(loop).code(), StatusCode::kInvalidArgument);
+
+  // A batch may delete an edge it inserted earlier...
+  UpdateBatch ok;
+  ok.Insert(3, 0).Delete(3, 0).Delete(0, 1);
+  ASSERT_TRUE(dg.Apply(ok).ok());
+  EXPECT_EQ(dg.epoch(), epoch_before + 3);
+  EXPECT_EQ(dg.EdgeMultiplicity(3, 0), 0u);
+  EXPECT_EQ(dg.EdgeMultiplicity(0, 1), 0u);
+
+  // ...but cannot delete the same occurrence twice.
+  UpdateBatch twice;
+  twice.Delete(1, 2).Delete(1, 2);
+  EXPECT_EQ(dg.Apply(twice).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicSspprTest, SingleDeletionRepairsExactly) {
+  Graph g = PaperExampleGraph();
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-9;
+  DynamicSsppr tracker(&dg, 0, options);
+  // Remove an edge the example graph has; the correction grows the
+  // surviving neighbors' share and takes the target's away.
+  const NodeId u = 0;
+  ASSERT_GT(dg.OutDegree(u), 1u);
+  const NodeId w = dg.OutNeighbors(u)[0];
+  tracker.RemoveEdge(u, w);
+  EXPECT_LT(ErrorVsScratch(tracker, dg),
+            2.0 * CertifiedBound(dg, options.rmax) + 1e-12);
+}
+
+TEST(DynamicSspprTest, DeletionCreatingADeadEnd) {
+  // Path 0->1->2 with source 0: deleting (1, 2) turns node 1 into a
+  // dead end, flipping its row from e_2 to e_source — the mirror of a
+  // dead end gaining its first edge.
+  Graph g = PathGraph(3);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-10;
+  DynamicSsppr tracker(&dg, 0, options);
+  tracker.RemoveEdge(1, 2);
+  EXPECT_EQ(dg.num_dead_ends(), 2u);
+  EXPECT_LT(ErrorVsScratch(tracker, dg),
+            2.0 * CertifiedBound(dg, options.rmax) + 1e-9);
+  // And back: the dead end regains an edge.
+  tracker.AddEdge(1, 2);
+  EXPECT_LT(ErrorVsScratch(tracker, dg),
+            2.0 * CertifiedBound(dg, options.rmax) + 1e-9);
+}
+
+TEST(DynamicSspprTest, NegativeResidueStaysBoundedAndAccurate) {
+  // A loose rmax keeps the insertion correction parked in the residue
+  // vector (|Δr| < deff·rmax, so no push fires), where the old
+  // neighbor's entry must go negative — its transition probability
+  // shrank; the |r|-based bound still holds.
+  Graph g = CycleGraph(8);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 0.4;
+  DynamicSsppr tracker(&dg, 0, options);
+  tracker.AddEdge(1, 4);  // node 1 holds reserve; its old row shrinks
+  const auto& residue = tracker.estimate().residue;
+  EXPECT_LT(*std::min_element(residue.begin(), residue.end()), 0.0)
+      << "insertion into a reserve-carrying row must leave a negative "
+         "residue at this rmax";
+  EXPECT_LT(ErrorVsScratch(tracker, dg), tracker.ResidueL1() + 1e-12);
+  EXPECT_LE(tracker.ResidueL1(), CertifiedBound(dg, options.rmax) + 1e-12);
+}
+
+TEST(DynamicSspprTest, RandomInsertDeleteBatchesAcrossAlphasAndSeeds) {
+  // The tentpole cross-check: mixed insert/delete streams, several
+  // alphas and seeds, tracker vs dense exact on Snapshot() after every
+  // chunk — within Σ|r|, which itself stays within (m+k)·rmax.
+  for (double alpha : {0.1, 0.2, 0.5}) {
+    for (uint64_t seed : {3u, 11u}) {
+      Rng rng(seed);
+      Graph g = ErdosRenyi(50, 3.0, rng);
+      DynamicGraph dg(g);
+      DynamicSsppr::Options options;
+      options.alpha = alpha;
+      options.rmax = 1e-9;
+      DynamicSspprPool pool(&dg, options);
+      DynamicSsppr& tracker = pool.TrackerFor(0);
+
+      UpdateWorkloadOptions workload;
+      workload.count = 80;
+      workload.delete_fraction = 0.4;
+      workload.seed = seed * 1000 + 1;
+      UpdateBatch stream = GenerateUpdateStream(g, workload);
+      constexpr size_t kChunks = 4;
+      for (size_t c = 0; c < kChunks; ++c) {
+        UpdateBatch chunk;
+        chunk.updates.assign(
+            stream.updates.begin() + c * stream.size() / kChunks,
+            stream.updates.begin() + (c + 1) * stream.size() / kChunks);
+        ASSERT_TRUE(pool.Apply(chunk).ok())
+            << "alpha=" << alpha << " seed=" << seed << " chunk=" << c;
+        ASSERT_LT(ErrorVsScratch(tracker, dg, alpha),
+                  tracker.ResidueL1() + 1e-11)
+            << "alpha=" << alpha << " seed=" << seed << " chunk=" << c;
+        ASSERT_LE(tracker.ResidueL1(),
+                  CertifiedBound(dg, options.rmax) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(DynamicSspprPoolTest, TrackersShareOneUpdateStream) {
+  Rng rng(5);
+  Graph g = ErdosRenyi(40, 3.0, rng);
+  DynamicGraph dg(g);
+  DynamicSsppr::Options options;
+  options.rmax = 1e-9;
+  DynamicSspprPool pool(&dg, options);
+  DynamicSsppr& a = pool.TrackerFor(0);
+  DynamicSsppr& b = pool.TrackerFor(7);
+  EXPECT_EQ(pool.tracker_count(), 2u);
+  EXPECT_EQ(&pool.TrackerFor(0), &a) << "trackers must be stable";
+
+  UpdateWorkloadOptions workload;
+  workload.count = 30;
+  workload.delete_fraction = 0.3;
+  workload.seed = 21;
+  uint64_t pushes = 0;
+  ASSERT_TRUE(pool.Apply(GenerateUpdateStream(g, workload), &pushes).ok());
+  EXPECT_GT(pushes, 0u);
+  // One graph mutation pass repaired *both* per-source estimates.
+  EXPECT_LT(ErrorVsScratch(a, dg), 2.0 * CertifiedBound(dg, options.rmax));
+  EXPECT_LT(ErrorVsScratch(b, dg), 2.0 * CertifiedBound(dg, options.rmax));
+
+  // A tracker created *after* updates starts from the current graph.
+  DynamicSsppr& late = pool.TrackerFor(3);
+  EXPECT_LT(ErrorVsScratch(late, dg), 2.0 * CertifiedBound(dg, options.rmax));
+
+  // An invalid batch leaves the pool and graph untouched.
+  const uint64_t epoch_before = dg.epoch();
+  UpdateBatch bad;
+  bad.Delete(0, 0);
+  EXPECT_EQ(pool.Apply(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dg.epoch(), epoch_before);
 }
 
 TEST(DynamicSspprTest, ResidueL1ReportsBound) {

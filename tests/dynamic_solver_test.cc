@@ -1,0 +1,251 @@
+// Conformance suite for the DynamicSolver concept and its first
+// implementation, "dynfwdpush": registry creation, the ApplyUpdates
+// contract (atomic validation, epoch advance, original-id mapping under
+// order= layouts), and the acceptance bound — after any applied update
+// sequence the estimate matches a from-scratch solve on Snapshot()
+// within the advertised Σ|r| ℓ1 bound.
+
+#include "api/dynamic_solver.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/context.h"
+#include "api/registry.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+using ::ppr::testing::ExactPprDense;
+
+constexpr uint64_t kSeed = 20260731;
+
+/// Creates a prepared dynfwdpush and returns its dynamic interface.
+struct Prepared {
+  std::unique_ptr<Solver> solver;
+  DynamicSolver* dynamic = nullptr;
+};
+
+Prepared MakeDynamic(const std::string& spec, const Graph& graph) {
+  Prepared p;
+  auto created = SolverRegistry::Global().Create(spec);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  p.solver = std::move(created).ValueOrDie();
+  EXPECT_TRUE(p.solver->Prepare(graph).ok());
+  p.dynamic = p.solver->AsDynamic();
+  EXPECT_NE(p.dynamic, nullptr);
+  return p;
+}
+
+TEST(DynamicSolverTest, RegistryExposesTheDynamicCapability) {
+  ASSERT_TRUE(SolverRegistry::Global().Contains("dynfwdpush"));
+  auto created = SolverRegistry::Global().Create("dynfwdpush");
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(created.value()->capabilities().supports_updates);
+  EXPECT_NE(created.value()->AsDynamic(), nullptr);
+
+  // Static solvers stay static.
+  auto powerpush = SolverRegistry::Global().Create("powerpush");
+  ASSERT_TRUE(powerpush.ok());
+  EXPECT_FALSE(powerpush.value()->capabilities().supports_updates);
+  EXPECT_EQ(powerpush.value()->AsDynamic(), nullptr);
+}
+
+TEST(DynamicSolverTest, ApplyBeforePrepareFailsCleanly) {
+  auto created = SolverRegistry::Global().Create("dynfwdpush");
+  ASSERT_TRUE(created.ok());
+  UpdateBatch batch;
+  batch.Insert(0, 1);
+  Status status =
+      created.value()->AsDynamic()->ApplyUpdates(batch, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DynamicSolverTest, EstimateTracksSnapshotWithinAdvertisedBound) {
+  // The acceptance criterion, across specs that vary rmax and layout:
+  // after every applied chunk of a mixed insert/delete stream, Solve's
+  // scores match a dense exact solve on Snapshot() within l1_bound.
+  Rng rng(4);
+  Graph graph = ErdosRenyi(60, 3.0, rng);
+  for (const char* spec :
+       {"dynfwdpush:rmax=1e-9", "dynfwdpush:lambda=1e-7",
+        "dynfwdpush:rmax=1e-9,order=degree",
+        "dynfwdpush:rmax=1e-9,order=bfs", "dynfwdpush:rmax=1e-9,threads=4"}) {
+    Prepared p = MakeDynamic(spec, graph);
+
+    UpdateWorkloadOptions workload;
+    workload.count = 60;
+    workload.delete_fraction = 0.35;
+    workload.seed = 9;
+    UpdateBatch stream = GenerateUpdateStream(graph, workload);
+
+    SolverContext context(kSeed);
+    PprQuery query;
+    query.source = 1;
+    constexpr size_t kChunks = 3;
+    for (size_t c = 0; c < kChunks; ++c) {
+      UpdateBatch chunk;
+      chunk.updates.assign(
+          stream.updates.begin() + c * stream.size() / kChunks,
+          stream.updates.begin() + (c + 1) * stream.size() / kChunks);
+      UpdateStats stats;
+      ASSERT_TRUE(p.dynamic->ApplyUpdates(chunk, &stats).ok()) << spec;
+      EXPECT_EQ(stats.epoch, p.dynamic->epoch()) << spec;
+
+      PprResult result;
+      ASSERT_TRUE(p.solver->Solve(query, context, &result).ok()) << spec;
+      EXPECT_EQ(result.epoch, p.dynamic->epoch()) << spec;
+
+      Graph snapshot = p.dynamic->Snapshot();
+      ASSERT_EQ(snapshot.num_nodes(), graph.num_nodes()) << spec;
+      const std::vector<double> exact =
+          ExactPprDense(snapshot, query.source, 0.2);
+      ASSERT_LT(L1Distance(result.scores, exact), result.l1_bound + 1e-11)
+          << spec << " chunk " << c;
+    }
+    EXPECT_EQ(p.dynamic->epoch(), stream.size()) << spec;
+  }
+}
+
+TEST(DynamicSolverTest, SnapshotSpeaksOriginalIdsUnderOrderLayouts) {
+  // Before any update, the snapshot of an order=-configured solver must
+  // equal the original graph — the layout is an internal detail.
+  Rng rng(8);
+  Graph graph = BarabasiAlbert(80, 3, rng);
+  Prepared p = MakeDynamic("dynfwdpush:order=degree", graph);
+  Graph snapshot = p.dynamic->Snapshot();
+  ASSERT_EQ(snapshot.num_nodes(), graph.num_nodes());
+  ASSERT_EQ(snapshot.num_edges(), graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    std::vector<NodeId> expected(graph.OutNeighbors(v).begin(),
+                                 graph.OutNeighbors(v).end());
+    std::vector<NodeId> got(snapshot.OutNeighbors(v).begin(),
+                            snapshot.OutNeighbors(v).end());
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "v=" << v;
+  }
+
+  // Updates speak original ids too: inserting (u, w) must show up as
+  // (u, w) in the snapshot, whatever the internal labeling.
+  UpdateBatch batch;
+  batch.Insert(79, 0);
+  ASSERT_TRUE(p.dynamic->ApplyUpdates(batch, nullptr).ok());
+  Graph after = p.dynamic->Snapshot();
+  EXPECT_TRUE(after.HasEdge(79, 0));
+}
+
+TEST(DynamicSolverTest, InvalidBatchesLeaveStateUntouched) {
+  Graph graph = PathGraph(5);
+  Prepared p = MakeDynamic("dynfwdpush:rmax=1e-8", graph);
+  SolverContext context(kSeed);
+  PprQuery query;
+  query.source = 0;
+  PprResult before;
+  ASSERT_TRUE(p.solver->Solve(query, context, &before).ok());
+
+  for (const auto& make_bad : {
+           +[](UpdateBatch* b) { b->Insert(0, 99); },     // out of range
+           +[](UpdateBatch* b) { b->Insert(2, 2); },      // self-loop
+           +[](UpdateBatch* b) { b->Delete(4, 0); },      // absent edge
+           +[](UpdateBatch* b) { b->Insert(0, 2).Delete(0, 2).Delete(0, 2); },
+       }) {
+    UpdateBatch bad;
+    make_bad(&bad);
+    Status status = p.dynamic->ApplyUpdates(bad, nullptr);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(p.dynamic->epoch(), 0u);
+    PprResult after;
+    ASSERT_TRUE(p.solver->Solve(query, context, &after).ok());
+    EXPECT_EQ(after.scores, before.scores);
+    EXPECT_EQ(after.epoch, 0u);
+  }
+}
+
+TEST(DynamicSolverTest, PerQueryParameterOverridesAreRejected) {
+  // The maintained estimate is bound to its construction-time alpha and
+  // rmax; silently answering at other parameters would be wrong.
+  Graph graph = PathGraph(4);
+  Prepared p = MakeDynamic("dynfwdpush", graph);
+  SolverContext context(kSeed);
+  PprResult result;
+
+  PprQuery alpha_query;
+  alpha_query.source = 0;
+  alpha_query.alpha = 0.5;
+  EXPECT_EQ(p.solver->Solve(alpha_query, context, &result).code(),
+            StatusCode::kInvalidArgument);
+
+  PprQuery lambda_query;
+  lambda_query.source = 0;
+  lambda_query.lambda = 1e-4;
+  EXPECT_EQ(p.solver->Solve(lambda_query, context, &result).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicSolverTest, ResultsCarryTheEpochAndStaticSolversStampZero) {
+  Graph graph = PathGraph(4);
+  Prepared p = MakeDynamic("dynfwdpush", graph);
+  SolverContext context(kSeed);
+  PprQuery query;
+  query.source = 0;
+  PprResult result;
+  ASSERT_TRUE(p.solver->Solve(query, context, &result).ok());
+  EXPECT_EQ(result.epoch, 0u);
+
+  UpdateBatch batch;
+  batch.Insert(3, 0).Insert(3, 1);
+  ASSERT_TRUE(p.dynamic->ApplyUpdates(batch, nullptr).ok());
+  ASSERT_TRUE(p.solver->Solve(query, context, &result).ok());
+  EXPECT_EQ(result.epoch, 2u);
+
+  // A static solver reuses the same PprResult without inheriting the
+  // stale epoch.
+  auto powerpush = SolverRegistry::Global().Create("powerpush");
+  ASSERT_TRUE(powerpush.ok());
+  ASSERT_TRUE(powerpush.value()->Prepare(graph).ok());
+  ASSERT_TRUE(powerpush.value()->Solve(query, context, &result).ok());
+  EXPECT_EQ(result.epoch, 0u);
+}
+
+TEST(DynamicSolverTest, WantResiduesExportsTheSignedCertificate) {
+  Rng rng(12);
+  Graph graph = ErdosRenyi(40, 3.0, rng);
+  Prepared p = MakeDynamic("dynfwdpush:rmax=1e-7", graph);
+
+  UpdateWorkloadOptions workload;
+  workload.count = 20;
+  workload.delete_fraction = 0.5;
+  workload.seed = 31;
+  ASSERT_TRUE(
+      p.dynamic->ApplyUpdates(GenerateUpdateStream(graph, workload), nullptr)
+          .ok());
+
+  SolverContext context(kSeed);
+  PprQuery query;
+  query.source = 2;
+  query.want_residues = true;
+  PprResult result;
+  ASSERT_TRUE(p.solver->Solve(query, context, &result).ok());
+  ASSERT_TRUE(result.has_residues());
+  // Signed mass conservation survives updates: reserve + residue = 1.
+  double total = 0.0;
+  for (double x : result.scores) total += x;
+  for (double r : result.residues) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // And Σ|r| stays within the advertised bound.
+  double l1 = 0.0;
+  for (double r : result.residues) l1 += std::fabs(r);
+  EXPECT_LE(l1, result.l1_bound + 1e-12);
+}
+
+}  // namespace
+}  // namespace ppr

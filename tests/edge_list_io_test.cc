@@ -135,5 +135,47 @@ TEST_F(EdgeListIoTest, BinaryRejectsTruncation) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
+TEST_F(EdgeListIoTest, UpdateStreamRoundTrips) {
+  UpdateBatch batch;
+  batch.Insert(0, 5).Delete(3, 1).Insert(7, 2);
+  std::string path = TempPath("updates.txt");
+  ASSERT_TRUE(WriteUpdateStreamText(path, batch).ok());
+  auto loaded = ReadUpdateStreamText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().updates, batch.updates);
+}
+
+TEST_F(EdgeListIoTest, UpdateStreamAcceptsAliasesAndComments) {
+  std::string path = TempPath("updates_alias.txt");
+  WriteFile(path,
+            "# update stream\n"
+            "a 1 2\n"
+            "\n"
+            "d 1 2\n"
+            "+ 3 4\n");
+  auto loaded = ReadUpdateStreamText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().updates[0],
+            (EdgeUpdate{UpdateKind::kInsert, 1, 2}));
+  EXPECT_EQ(loaded.value().updates[1],
+            (EdgeUpdate{UpdateKind::kDelete, 1, 2}));
+}
+
+TEST_F(EdgeListIoTest, UpdateStreamRejectsMalformedLines) {
+  EXPECT_FALSE(ReadUpdateStreamText(TempPath("nope.txt")).ok());
+
+  std::string path = TempPath("updates_bad.txt");
+  WriteFile(path, "+ 1\n");
+  EXPECT_EQ(ReadUpdateStreamText(path).status().code(),
+            StatusCode::kCorruption);
+  WriteFile(path, "* 1 2\n");
+  EXPECT_EQ(ReadUpdateStreamText(path).status().code(),
+            StatusCode::kCorruption);
+  WriteFile(path, "+ 1 banana\n");
+  EXPECT_EQ(ReadUpdateStreamText(path).status().code(),
+            StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace ppr

@@ -32,6 +32,86 @@ TEST(QueryGenTest, ClampsToNodeCount) {
   EXPECT_EQ(sources.size(), 5u);
 }
 
+TEST(UpdateStreamTest, GeneratesValidStreams) {
+  // Every generated stream must pass DynamicGraph::Validate against its
+  // base — the property that makes deletions safe to apply in order.
+  Rng rng(2);
+  Graph g = ErdosRenyi(50, 2.0, rng);
+  for (double delete_fraction : {0.0, 0.3, 1.0}) {
+    UpdateWorkloadOptions options;
+    options.count = 120;
+    options.delete_fraction = delete_fraction;
+    options.seed = 5;
+    UpdateBatch batch = GenerateUpdateStream(g, options);
+    EXPECT_EQ(batch.size(), options.count);
+    DynamicGraph dg(g);
+    EXPECT_TRUE(dg.Apply(batch).ok()) << "deletes=" << delete_fraction;
+  }
+}
+
+TEST(UpdateStreamTest, DeterministicGivenOptions) {
+  Graph g = CycleGraph(40);
+  UpdateWorkloadOptions options;
+  options.count = 50;
+  options.delete_fraction = 0.4;
+  options.seed = 9;
+  UpdateBatch first = GenerateUpdateStream(g, options);
+  EXPECT_EQ(first.updates, GenerateUpdateStream(g, options).updates);
+  options.seed = 10;
+  EXPECT_NE(GenerateUpdateStream(g, options).updates, first.updates);
+}
+
+TEST(UpdateStreamTest, DeleteFractionShapesTheMix) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(60, 3.0, rng);
+  UpdateWorkloadOptions options;
+  options.count = 200;
+  options.seed = 7;
+
+  options.delete_fraction = 0.0;
+  for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+    EXPECT_EQ(up.kind, UpdateKind::kInsert);
+  }
+
+  // All deletions while live edges remain (count stays below m; once
+  // the live set drains the generator falls back to insertions, which
+  // GeneratesValidStreams covers at count > m).
+  options.delete_fraction = 1.0;
+  options.count = g.num_edges() / 2;
+  for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+    EXPECT_EQ(up.kind, UpdateKind::kDelete);
+  }
+  options.count = 200;
+
+  options.delete_fraction = 0.5;
+  size_t deletes = 0;
+  for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+    if (up.kind == UpdateKind::kDelete) deletes++;
+  }
+  EXPECT_GT(deletes, 60u);
+  EXPECT_LT(deletes, 140u);
+}
+
+TEST(UpdateStreamTest, SkewConcentratesEndpointsOnLowIds) {
+  Graph g = CycleGraph(1000);
+  UpdateWorkloadOptions options;
+  options.count = 400;
+  options.delete_fraction = 0.0;
+  options.seed = 11;
+
+  auto mean_endpoint = [&](double skew) {
+    options.skew = skew;
+    double sum = 0.0;
+    size_t n = 0;
+    for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+      sum += up.u + up.v;
+      n += 2;
+    }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_LT(mean_endpoint(2.0), 0.6 * mean_endpoint(0.0));
+}
+
 TEST(ExperimentHelpersTest, MeanAndMedian) {
   EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);

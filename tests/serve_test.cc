@@ -12,7 +12,10 @@
 #include "serve/ppr_server.h"
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,7 +26,10 @@
 
 #include "api/context.h"
 #include "api/registry.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
 #include "graph/generators.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace ppr {
@@ -444,6 +450,178 @@ TEST(PprServerTest, SolveBatchPropagatesPerQueryFailures) {
   // The valid entries were still answered.
   EXPECT_EQ(results[0].scores.size(), graph.num_nodes());
   EXPECT_EQ(results[2].scores.size(), graph.num_nodes());
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Updates under load (the evolving-graph serving contract)
+// ---------------------------------------------------------------------
+
+TEST(PprServerDynamicTest, ApplyUpdatesRoutesAndValidates) {
+  Rng rng(41);
+  Graph graph = ErdosRenyi(30, 3.0, rng);
+  PprServer server({.workers = 2});
+  ASSERT_TRUE(server.AddSolver("powerpush", graph).ok());
+  ASSERT_TRUE(server.AddSolver("dynfwdpush:rmax=1e-8", graph).ok());
+
+  UpdateBatch batch;
+  batch.Insert(0, 7);
+
+  // Unknown spec.
+  auto missing = server.ApplyUpdates(batch, "mc");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // The default solver here is static.
+  auto on_static = server.ApplyUpdates(batch);
+  ASSERT_FALSE(on_static.ok());
+  EXPECT_EQ(on_static.status().code(), StatusCode::kFailedPrecondition);
+
+  // Invalid batches are refused with nothing applied.
+  UpdateBatch bad;
+  bad.Delete(0, 0);
+  auto invalid = server.ApplyUpdates(bad, "dynfwdpush:rmax=1e-8");
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().updates, 0u);
+
+  // Updates are accepted before Start() (priming a graph) and while
+  // running; the returned epoch counts mutations.
+  auto before_start = server.ApplyUpdates(batch, "dynfwdpush:rmax=1e-8");
+  ASSERT_TRUE(before_start.ok());
+  EXPECT_EQ(before_start.value(), 1u);
+  ASSERT_TRUE(server.Start().ok());
+  UpdateStats stats;
+  auto running =
+      server.ApplyUpdates(batch, "dynfwdpush:rmax=1e-8", &stats);
+  ASSERT_TRUE(running.ok());
+  EXPECT_EQ(running.value(), 2u);
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(server.stats().updates, 2u);
+  server.Stop();
+}
+
+TEST(PprServerDynamicTest, EpochConsistentUnderConcurrentUpdatesAndQueries) {
+  // The acceptance claim: with clients querying while batches apply,
+  // every served result (a) stamps an epoch that is exactly one of the
+  // batch boundaries — never a half-applied state — and (b) matches the
+  // dense exact solution *of that epoch's snapshot* within its
+  // advertised bound. The bound (~1e-7) is far below the score drift a
+  // single update causes here, so a torn or mis-stamped result cannot
+  // slip through.
+  constexpr NodeId kSource = 1;
+  constexpr size_t kBatches = 6;
+  Rng rng(17);
+  Graph graph = ErdosRenyi(40, 3.0, rng);
+
+  UpdateWorkloadOptions workload;
+  workload.count = 30;
+  workload.delete_fraction = 0.3;
+  workload.seed = 23;
+  UpdateBatch stream = GenerateUpdateStream(graph, workload);
+  std::vector<UpdateBatch> batches(kBatches);
+  for (size_t b = 0; b < kBatches; ++b) {
+    batches[b].updates.assign(
+        stream.updates.begin() + b * stream.size() / kBatches,
+        stream.updates.begin() + (b + 1) * stream.size() / kBatches);
+  }
+
+  // Replay the stream serially: exact solution per boundary epoch.
+  std::map<uint64_t, std::vector<double>> exact;
+  {
+    DynamicGraph replay(graph);
+    exact[0] = ppr::testing::ExactPprDense(replay.Snapshot(), kSource, 0.2);
+    for (const UpdateBatch& batch : batches) {
+      ASSERT_TRUE(replay.Apply(batch).ok());
+      exact[replay.epoch()] =
+          ppr::testing::ExactPprDense(replay.Snapshot(), kSource, 0.2);
+    }
+  }
+
+  PprServer server({.workers = 3, .contexts = 2});
+  ASSERT_TRUE(server.AddSolver("dynfwdpush:rmax=1e-9", graph).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<PprFuture>> futures(2);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < futures.size(); ++c) {
+    clients.emplace_back([&, c] {
+      PprQuery query;
+      query.source = kSource;
+      while (!done.load(std::memory_order_relaxed)) {
+        auto submitted = server.Submit(query);
+        if (submitted.ok()) {
+          futures[c].push_back(std::move(submitted).ValueOrDie());
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  uint64_t final_epoch = 0;
+  for (const UpdateBatch& batch : batches) {
+    auto applied = server.ApplyUpdates(batch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    final_epoch = applied.value();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true);
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+  EXPECT_EQ(final_epoch, stream.size());
+
+  size_t checked = 0;
+  for (const auto& client_futures : futures) {
+    for (const PprFuture& future : client_futures) {
+      PprResult result;
+      Status status = future.Get(&result);
+      if (!status.ok()) continue;  // shutdown race rejections only
+      auto it = exact.find(result.epoch);
+      ASSERT_NE(it, exact.end())
+          << "result stamped epoch " << result.epoch
+          << ", which is not a batch boundary — a torn update leaked";
+      ASSERT_LT(L1Distance(result.scores, it->second),
+                result.l1_bound + 1e-11)
+          << "epoch " << result.epoch;
+      checked++;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(PprServerDynamicTest, UpdatesInvalidateWarmPoolContexts) {
+  // After an applied batch the warm contexts must not trust their
+  // recorded support: the pool invalidates each once, costing exactly
+  // one full assign per context on its next checkout, after which
+  // sparse resets resume.
+  Rng rng(43);
+  Graph graph = ErdosRenyi(30, 3.0, rng);
+  PprServer server({.workers = 1, .contexts = 1});
+  ASSERT_TRUE(server.AddSolver("fwdpush", graph).ok());
+  ASSERT_TRUE(server.AddSolver("dynfwdpush:rmax=1e-8", graph).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<PprQuery> warmup(4);
+  std::vector<PprResult> results;
+  ASSERT_TRUE(server.SolveBatch(warmup, &results).ok());
+  const uint64_t warm_assigns = server.context_pool().TotalFullAssigns();
+
+  // Steady state: more queries, no new full assigns.
+  ASSERT_TRUE(server.SolveBatch(warmup, &results).ok());
+  EXPECT_EQ(server.context_pool().TotalFullAssigns(), warm_assigns);
+
+  UpdateBatch batch;
+  batch.Insert(0, 9);
+  ASSERT_TRUE(server.ApplyUpdates(batch, "dynfwdpush:rmax=1e-8").ok());
+
+  ASSERT_TRUE(server.SolveBatch(warmup, &results).ok());
+  const uint64_t after_update = server.context_pool().TotalFullAssigns();
+  EXPECT_GT(after_update, warm_assigns) << "epoch change must invalidate";
+
+  // Invalidation is once per epoch, not per query.
+  ASSERT_TRUE(server.SolveBatch(warmup, &results).ok());
+  EXPECT_EQ(server.context_pool().TotalFullAssigns(), after_update);
   server.Stop();
 }
 
