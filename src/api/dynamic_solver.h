@@ -12,6 +12,11 @@ namespace ppr {
 struct UpdateStats {
   /// Repair push operations across every maintained estimate.
   uint64_t push_operations = 0;
+  /// Walk-index repairs (dynamic approximate tier only): walks whose
+  /// suffix was invalidated by a mutated adjacency row and resampled,
+  /// plus fresh walks appended when a node's sizing target grew. 0 for
+  /// index-free dynamic solvers.
+  uint64_t walks_resampled = 0;
   /// Wall time inside ApplyUpdates.
   double seconds = 0.0;
   /// Graph epoch after the batch.

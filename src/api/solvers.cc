@@ -28,6 +28,7 @@
 #include "approx/hubppr.h"
 #include "approx/monte_carlo.h"
 #include "approx/resacc.h"
+#include "approx/residue_walks.h"
 #include "approx/speedppr.h"
 #include "approx/walk_index.h"
 #include "bepi/bepi.h"
@@ -374,6 +375,73 @@ class BepiApiSolver : public Solver {
   std::unique_ptr<BepiSolver> bepi_;
 };
 
+/// Shared plumbing of the registered dynamic solvers (dynfwdpush and
+/// the walk-index tier): the owned evolving graph in layout space, the
+/// per-source residue-repair pool (core/dynamic_ppr), original-id
+/// update mapping under order= layouts, and the original-id Snapshot().
+/// Concrete solvers decide the rmax the pool maintains and what Solve
+/// does with the maintained (reserve, residue) pairs.
+class DynamicPoolSolver : public DynamicSolver {
+ public:
+  uint64_t epoch() const override {
+    return dynamic_ != nullptr ? dynamic_->epoch() : 0;
+  }
+
+  Graph Snapshot() const override {
+    PPR_CHECK(dynamic_ != nullptr) << "Snapshot() before Prepare()";
+    Graph layout = dynamic_->Snapshot();
+    const std::vector<NodeId>& perm = layout_permutation();
+    if (perm.empty()) return layout;
+    // Back to original ids: layout node perm[v] is original node v.
+    std::vector<NodeId> inverse(perm.size());
+    for (NodeId v = 0; v < static_cast<NodeId>(perm.size()); ++v) {
+      inverse[perm[v]] = v;
+    }
+    return PermuteGraph(layout, inverse);
+  }
+
+ protected:
+  /// Builds the evolving copy and the tracker pool; call from Prepare()
+  /// after Solver::Prepare() bound graph_ (so an order= layout is
+  /// already applied — repairs then enjoy the relabeled CSR too).
+  void PrepareDynamicState(double alpha, double rmax) {
+    dynamic_ = std::make_unique<DynamicGraph>(*graph_);
+    DynamicSsppr::Options options;
+    options.alpha = alpha;
+    options.rmax = rmax;
+    pool_ = std::make_unique<DynamicSspprPool>(dynamic_.get(), options);
+  }
+
+  /// Maps the batch into layout space when needed and applies it to the
+  /// pool; `applied` fires after each landed mutation (see
+  /// DynamicSspprPool::Apply). Caller must hold mu_.
+  Status ApplyToPool(const UpdateBatch& batch, uint64_t* pushes,
+                     const std::function<void(const EdgeUpdate&)>& applied) {
+    const std::vector<NodeId>& perm = layout_permutation();
+    if (perm.empty()) return pool_->Apply(batch, pushes, applied);
+    // Updates arrive in original ids; the evolving graph lives in
+    // layout space. Out-of-range endpoints must fail validation, not
+    // index perm, so map only in-range ids and let Apply reject.
+    UpdateBatch mapped;
+    mapped.updates.reserve(batch.updates.size());
+    const NodeId n = static_cast<NodeId>(perm.size());
+    for (const EdgeUpdate& up : batch.updates) {
+      if (up.u >= n || up.v >= n) {
+        return Status::InvalidArgument("update: node out of range (n=" +
+                                       std::to_string(n) + ")");
+      }
+      mapped.updates.push_back({up.kind, perm[up.u], perm[up.v]});
+    }
+    return pool_->Apply(mapped, pushes, applied);
+  }
+
+  std::unique_ptr<DynamicGraph> dynamic_;
+  std::unique_ptr<DynamicSspprPool> pool_;
+  /// Serializes Solve (the maintained estimates live in the solver, not
+  /// the context) and ApplyUpdates against each other.
+  std::mutex mu_;
+};
+
 /// Incremental Forward Push on an evolving graph ("dynfwdpush"): the
 /// registry face of core/dynamic_ppr.h. Prepare copies the graph into an
 /// owned DynamicGraph; ApplyUpdates repairs a pool of per-source
@@ -384,7 +452,7 @@ class BepiApiSolver : public Solver {
 /// Under an order= layout the evolving graph lives in layout space (the
 /// repair pushes walk the relabeled CSR-ordered adjacency): update
 /// endpoints are mapped in, results map back through the base Solve.
-class DynFwdPushSolver : public DynamicSolver {
+class DynFwdPushSolver : public DynamicPoolSolver {
  public:
   DynFwdPushSolver(ParamDefaults params, double rmax)
       : params_(params), rmax_(rmax) {}
@@ -401,14 +469,8 @@ class DynFwdPushSolver : public DynamicSolver {
 
   Status Prepare(const Graph& graph) override {
     PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
-    // graph_ rather than the argument: under order= the evolving copy
-    // is built from the relabeled CSR, so repairs enjoy the layout.
-    dynamic_ = std::make_unique<DynamicGraph>(*graph_);
     prepare_edges_ = graph_->num_edges();
-    DynamicSsppr::Options options;
-    options.alpha = params_.alpha;
-    options.rmax = ResolvedRmax();
-    pool_ = std::make_unique<DynamicSspprPool>(dynamic_.get(), options);
+    PrepareDynamicState(params_.alpha, ResolvedRmax());
     return Status::OK();
   }
 
@@ -431,48 +493,14 @@ class DynFwdPushSolver : public DynamicSolver {
     Timer timer;
     uint64_t pushes = 0;
     std::lock_guard<std::mutex> lock(mu_);
-    const std::vector<NodeId>& perm = layout_permutation();
-    if (perm.empty()) {
-      PPR_RETURN_IF_ERROR(pool_->Apply(batch, &pushes));
-    } else {
-      // Updates arrive in original ids; the evolving graph lives in
-      // layout space. Out-of-range endpoints must fail validation, not
-      // index perm, so map only in-range ids and let Apply reject.
-      UpdateBatch mapped;
-      mapped.updates.reserve(batch.updates.size());
-      const NodeId n = static_cast<NodeId>(perm.size());
-      for (const EdgeUpdate& up : batch.updates) {
-        if (up.u >= n || up.v >= n) {
-          return Status::InvalidArgument("update: node out of range (n=" +
-                                         std::to_string(n) + ")");
-        }
-        mapped.updates.push_back({up.kind, perm[up.u], perm[up.v]});
-      }
-      PPR_RETURN_IF_ERROR(pool_->Apply(mapped, &pushes));
-    }
+    PPR_RETURN_IF_ERROR(ApplyToPool(batch, &pushes, {}));
     if (stats != nullptr) {
       stats->push_operations = pushes;
+      stats->walks_resampled = 0;
       stats->seconds = timer.ElapsedSeconds();
       stats->epoch = dynamic_->epoch();
     }
     return Status::OK();
-  }
-
-  uint64_t epoch() const override {
-    return dynamic_ != nullptr ? dynamic_->epoch() : 0;
-  }
-
-  Graph Snapshot() const override {
-    PPR_CHECK(dynamic_ != nullptr) << "Snapshot() before Prepare()";
-    Graph layout = dynamic_->Snapshot();
-    const std::vector<NodeId>& perm = layout_permutation();
-    if (perm.empty()) return layout;
-    // Back to original ids: layout node perm[v] is original node v.
-    std::vector<NodeId> inverse(perm.size());
-    for (NodeId v = 0; v < static_cast<NodeId>(perm.size()); ++v) {
-      inverse[perm[v]] = v;
-    }
-    return PermuteGraph(layout, inverse);
   }
 
  protected:
@@ -517,9 +545,6 @@ class DynFwdPushSolver : public DynamicSolver {
   const ParamDefaults params_;
   const double rmax_;  // 0 → derive lambda/m at Prepare
   EdgeId prepare_edges_ = 1;
-  std::unique_ptr<DynamicGraph> dynamic_;
-  std::unique_ptr<DynamicSspprPool> pool_;
-  std::mutex mu_;
 };
 
 // --------------------------------------------------------------------
@@ -629,8 +654,13 @@ class TwoPhaseSolver : public Solver {
                                             index_seed_,
                                             graph_->Fingerprint());
       auto loaded = WalkIndex::LoadFrom(cache_path);
+      // The embedded fingerprint is the staleness check the filename
+      // cannot provide: a cache saved before the graph changed (and
+      // renamed, copied, or colliding into the expected path) fails
+      // here and Prepare rebuilds instead of serving stale walks.
       if (loaded.ok() && loaded.value().num_nodes() == n &&
-          loaded.value().alpha() == params_.alpha) {
+          loaded.value().alpha() == params_.alpha &&
+          loaded.value().graph_fingerprint() == graph_->Fingerprint()) {
         index_ = std::make_unique<WalkIndex>(std::move(loaded).ValueOrDie());
         return Status::OK();
       }
@@ -711,6 +741,194 @@ class TwoPhaseSolver : public Solver {
   const uint64_t index_seed_;
   const std::string cache_dir_;
   std::unique_ptr<WalkIndex> index_;
+};
+
+/// The dynamic approximate tier ("dynfora" / "dynspeedppr"): FORA and
+/// SpeedPPR kept query-ready on an evolving graph, pairing the two
+/// incremental structures the static two-phase solvers lack:
+///
+///  * phase 1 (push) is not re-run per update — a DynamicSspprPool
+///    maintains each queried source's (reserve, residue) pair at the
+///    algorithm's own rmax (FORA: 1/sqrt(m·W); SpeedPPR: 1/W, which is
+///    exactly the refinement target r(s,v) ≤ d_v/W of Lemma 4.5), using
+///    the O(d_u) algebraic corrections of core/dynamic_ppr;
+///  * phase 2's WalkIndex is not rebuilt per update — a DynamicWalkIndex
+///    resamples only the walks a mutation actually invalidated
+///    (UpdateStats::walks_resampled counts them) and tracks the sizing
+///    rule at the new degrees, staying distribution-identical to a
+///    fresh build on the updated graph.
+///
+/// Solve composes the two exactly like the static compositions: seed
+/// scores from the maintained reserves, then run the shared
+/// ResidueWalkPhase over the maintained residues against the repaired
+/// index, topping up shortfalls with fresh walks on a cached CSR
+/// snapshot of the current epoch. Deletion corrections can leave
+/// negative residues; the walk phase handles them with signed
+/// contributions (|r| walks of weight r/W_v), keeping the estimate
+/// unbiased.
+///
+/// The W behind the walk counts (and FORA's rmax) is fixed at Prepare
+/// from the configured ε — per-query ε/α/μ overrides are rejected, the
+/// same way dynfwdpush rejects per-query lambdas. For the kForaPlus
+/// sizing the per-degree ratio sqrt(W/m) is likewise frozen at the
+/// Prepare-time m (see DynamicWalkIndex).
+class DynTwoPhaseSolver : public DynamicPoolSolver {
+ public:
+  using Kind = TwoPhaseSolver::Kind;
+
+  DynTwoPhaseSolver(Kind kind, ParamDefaults params, double index_eps,
+                    uint64_t index_seed)
+      : kind_(kind),
+        params_(params),
+        index_eps_(index_eps),
+        index_seed_(index_seed) {}
+
+  std::string_view name() const override {
+    return kind_ == Kind::kFora ? "dynfora" : "dynspeedppr";
+  }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.family = SolverFamily::kApproximate;
+    caps.randomized = true;
+    caps.reuses_workspace = true;
+    caps.has_index = true;
+    caps.supports_updates = true;
+    return caps;
+  }
+
+  Status Prepare(const Graph& graph) override {
+    PPR_RETURN_IF_ERROR(Solver::Prepare(graph));
+    const NodeId n = graph_->num_nodes();
+    walk_count_w_ =
+        ChernoffWalkCount(n, params_.epsilon, params_.Mu({}, n));
+    const double rmax =
+        kind_ == Kind::kSpeedPpr
+            ? 1.0 / static_cast<double>(walk_count_w_)
+            : ForaRmax(*graph_, walk_count_w_);
+    PrepareDynamicState(params_.alpha, rmax);
+
+    WalkIndex::Sizing sizing;
+    uint64_t index_w = 0;
+    if (kind_ == Kind::kSpeedPpr) {
+      // ε-independent d_v sizing (§6.2) — nothing to freeze.
+      sizing = WalkIndex::Sizing::kSpeedPpr;
+    } else {
+      // FORA+ sizing at the index ε (≤ the serving ε tops up less).
+      sizing = WalkIndex::Sizing::kForaPlus;
+      const double eps = index_eps_ > 0 ? index_eps_ : params_.epsilon;
+      index_w = ChernoffWalkCount(n, eps, params_.Mu({}, n));
+    }
+    index_ = std::make_unique<DynamicWalkIndex>(*graph_, params_.alpha,
+                                                sizing, index_w, index_seed_);
+    snapshot_.reset();
+    snapshot_epoch_ = 0;
+    return Status::OK();
+  }
+
+  double AdvertisedL1Bound(const PprQuery& query) const override {
+    return params_.Epsilon(query);
+  }
+
+  Status ApplyUpdates(const UpdateBatch& batch,
+                      UpdateStats* stats) override {
+    if (pool_ == nullptr) {
+      return Status::FailedPrecondition(
+          "ApplyUpdates() before a successful Prepare()");
+    }
+    Timer timer;
+    uint64_t pushes = 0;
+    uint64_t walks = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    // The hook runs right after each mutation lands, so the index always
+    // repairs against the adjacency the walks must now follow; residue
+    // repair and walk refresh share one validation and one graph pass.
+    PPR_RETURN_IF_ERROR(
+        ApplyToPool(batch, &pushes, [&](const EdgeUpdate& up) {
+          walks += index_->RefreshMutatedNode(*dynamic_, up.u);
+        }));
+    snapshot_.reset();  // next Solve re-materializes the current epoch
+    if (stats != nullptr) {
+      stats->push_operations = pushes;
+      stats->walks_resampled = walks;
+      stats->seconds = timer.ElapsedSeconds();
+      stats->epoch = dynamic_->epoch();
+    }
+    return Status::OK();
+  }
+
+  const DynamicWalkIndex* index() const { return index_.get(); }
+
+ protected:
+  Status DoSolve(const PprQuery& query, SolverContext& context,
+                 PprResult* result) override {
+    if (query.alpha > 0 && query.alpha != params_.alpha) {
+      return Status::InvalidArgument(
+          std::string(name()) + " trackers and walk index are bound to "
+          "alpha=" + std::to_string(params_.alpha) +
+          "; recreate with the alpha option");
+    }
+    if ((query.epsilon > 0 && query.epsilon != params_.epsilon) ||
+        (query.mu > 0 && query.mu != params_.mu)) {
+      return Status::InvalidArgument(
+          std::string(name()) + " maintains its estimate at the W derived "
+          "from its configured eps/mu; recreate with the eps/mu options");
+    }
+    if (query.lambda > 0) {
+      return Status::InvalidArgument(
+          std::string(name()) +
+          " is an approximate solver; lambda does not apply");
+    }
+    const DynamicSsppr* tracker;
+    const Graph* snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tracker = &pool_->TrackerFor(query.source);
+      RefreshSnapshotLocked();
+      snapshot = snapshot_.get();
+    }
+    // Phase 2 runs outside mu_: between update batches the maintained
+    // estimates, the walk index and the epoch snapshot are all
+    // read-only (ApplyUpdates is excluded by the DynamicSolver
+    // contract — under load, by the server's epoch barrier), so
+    // concurrent queries pay the lock only for tracker lookup/creation
+    // and the per-epoch snapshot refresh, not for the walk phase that
+    // dominates the query.
+    const NodeId n = graph_->num_nodes();
+    Timer timer;
+    std::vector<double>* scores = context.AcquireScores(n);
+    SeedScoresFromReserve(tracker->estimate().reserve, scores);
+    SolveStats stats;
+    ResidueWalkPhase(*snapshot, tracker->estimate().residue, walk_count_w_,
+                     params_.alpha, context.rng(), index_.get(), scores,
+                     &stats, threads());
+    stats.final_rsum = tracker->ResidueL1();
+    stats.seconds = timer.ElapsedSeconds();
+    result->stats = stats;
+    context.ExportScores(result);
+    result->epoch = dynamic_->epoch();
+    return Status::OK();
+  }
+
+ private:
+  /// The walk phase's fresh-walk top-ups need a CSR of the current
+  /// graph; materialized once per epoch, not per query. Caller holds
+  /// mu_.
+  void RefreshSnapshotLocked() {
+    if (snapshot_ == nullptr || snapshot_epoch_ != dynamic_->epoch()) {
+      snapshot_ = std::make_unique<Graph>(dynamic_->Snapshot());
+      snapshot_epoch_ = dynamic_->epoch();
+    }
+  }
+
+  const Kind kind_;
+  const ParamDefaults params_;
+  const double index_eps_;
+  const uint64_t index_seed_;
+  uint64_t walk_count_w_ = 0;
+  std::unique_ptr<DynamicWalkIndex> index_;
+  std::unique_ptr<Graph> snapshot_;  // layout space, epoch snapshot_epoch_
+  uint64_t snapshot_epoch_ = 0;
 };
 
 /// ResAcc (Lin et al., ICDE'20): index-free FORA accelerator.
@@ -1031,6 +1249,26 @@ Result<std::unique_ptr<Solver>> MakeTwoPhase(const SolverSpec& spec,
                                   std::move(cache_dir))));
 }
 
+Result<std::unique_ptr<Solver>> MakeDynTwoPhase(const SolverSpec& spec,
+                                                TwoPhaseSolver::Kind kind) {
+  ParamDefaults params;
+  double index_eps = 0.0;
+  uint64_t seed = SolverContext::kDefaultSeed;
+  CommonOptions common;
+  OptionReader reader(spec);
+  common.Read(reader);
+  reader.Double("alpha", &params.alpha)
+      .Double("eps", &params.epsilon)
+      .Double("mu", &params.mu)
+      .Uint64("seed", &seed);
+  if (kind == TwoPhaseSolver::Kind::kFora) {
+    reader.Double("index_eps", &index_eps);
+  }
+  PPR_RETURN_IF_ERROR(reader.Finish());
+  return FinishSolver(common, std::unique_ptr<Solver>(new DynTwoPhaseSolver(
+                                  kind, params, index_eps, seed)));
+}
+
 Result<std::unique_ptr<Solver>> MakeResAcc(const SolverSpec& spec) {
   ParamDefaults params;
   CommonOptions common;
@@ -1130,6 +1368,22 @@ void RegisterBuiltinSolvers(SolverRegistry* registry) {
        "alpha, eps, mu, seed, cache_dir, threads, order",
        [](const SolverSpec& s) {
          return MakeTwoPhase(s, TwoPhaseSolver::Kind::kSpeedPpr, true);
+       }});
+  registry->Register(
+      {"dynfora",
+       "FORA+ on an evolving graph: maintained pushes + incremental walk "
+       "refresh (ApplyUpdates)",
+       "alpha, eps, mu, index_eps, seed, threads, order",
+       [](const SolverSpec& s) {
+         return MakeDynTwoPhase(s, TwoPhaseSolver::Kind::kFora);
+       }});
+  registry->Register(
+      {"dynspeedppr",
+       "SpeedPPR-Index on an evolving graph: maintained pushes + "
+       "incremental d_v walk refresh (ApplyUpdates)",
+       "alpha, eps, mu, seed, threads, order",
+       [](const SolverSpec& s) {
+         return MakeDynTwoPhase(s, TwoPhaseSolver::Kind::kSpeedPpr);
        }});
   registry->Register({"resacc", "ResAcc residue accumulation (index-free)",
                       "alpha, eps, mu, threads, order", MakeResAcc});

@@ -16,7 +16,7 @@ double ForaRmax(const Graph& graph, uint64_t walk_count_w) {
 SolveStats ForaInto(const Graph& graph, NodeId source,
                     const ApproxOptions& options, Rng& rng,
                     PprEstimate* estimate, std::vector<double>* out,
-                    const WalkIndex* index, FifoQueue* queue) {
+                    WalkIndexView index, FifoQueue* queue) {
   PPR_CHECK(source < graph.num_nodes());
   const NodeId n = graph.num_nodes();
   PPR_CHECK(out->size() == n);
@@ -50,7 +50,7 @@ SolveStats ForaInto(const Graph& graph, NodeId source,
 
 SolveStats Fora(const Graph& graph, NodeId source,
                 const ApproxOptions& options, Rng& rng,
-                std::vector<double>* out, const WalkIndex* index) {
+                std::vector<double>* out, WalkIndexView index) {
   PPR_CHECK(source < graph.num_nodes());
   const NodeId n = graph.num_nodes();
   out->assign(n, 0.0);

@@ -29,7 +29,7 @@ namespace ppr {
 /// discusses.
 SolveStats Fora(const Graph& graph, NodeId source, const ApproxOptions& options,
                 Rng& rng, std::vector<double>* out,
-                const WalkIndex* index = nullptr);
+                WalkIndexView index = nullptr);
 
 /// Workspace variant — the single composition both Fora() and the api/
 /// "fora" adapter run. `estimate` must hold the canonical start state
@@ -37,7 +37,7 @@ SolveStats Fora(const Graph& graph, NodeId source, const ApproxOptions& options,
 SolveStats ForaInto(const Graph& graph, NodeId source,
                     const ApproxOptions& options, Rng& rng,
                     PprEstimate* estimate, std::vector<double>* out,
-                    const WalkIndex* index = nullptr,
+                    WalkIndexView index = nullptr,
                     FifoQueue* queue = nullptr);
 
 /// The r_max FORA uses for a given W: 1/sqrt(m·W).

@@ -12,7 +12,9 @@ namespace ppr {
 namespace {
 
 inline uint64_t WalksForResidue(double residue, double walk_count_w) {
-  return static_cast<uint64_t>(std::ceil(residue * walk_count_w));
+  // |r|: the dynamic tier leaves signed residues; the walk count follows
+  // the magnitude, the contribution keeps the sign.
+  return static_cast<uint64_t>(std::ceil(std::fabs(residue) * walk_count_w));
 }
 
 /// Runs the walks of nodes [lo, hi), adding each contribution via
@@ -21,17 +23,17 @@ inline uint64_t WalksForResidue(double residue, double walk_count_w) {
 template <typename Emit>
 void WalkNodeRange(const Graph& graph, const std::vector<double>& residue,
                    uint64_t lo, uint64_t hi, uint64_t walk_count_w,
-                   double alpha, uint64_t seed, const WalkIndex* index,
+                   double alpha, uint64_t seed, WalkIndexView index,
                    const Emit& emit, uint64_t* walks, uint64_t* steps) {
   const double dw = static_cast<double>(walk_count_w);
   for (uint64_t v = lo; v < hi; ++v) {
     const double r = residue[v];
-    if (r <= 0.0) continue;
+    if (r == 0.0) continue;
     const uint64_t wv = WalksForResidue(r, dw);
     const double contribution = r / static_cast<double>(wv);
     uint64_t served = 0;
-    if (index != nullptr) {
-      auto endpoints = index->Endpoints(static_cast<NodeId>(v));
+    if (!index.empty()) {
+      auto endpoints = index.Endpoints(static_cast<NodeId>(v));
       served = std::min<uint64_t>(wv, endpoints.size());
       for (uint64_t i = 0; i < served; ++i) {
         emit(v, endpoints[i], contribution);
@@ -64,7 +66,7 @@ struct WalkBuffer {
 
 void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
                       uint64_t walk_count_w, double alpha, Rng& rng,
-                      const WalkIndex* index, std::vector<double>* out,
+                      WalkIndexView index, std::vector<double>* out,
                       SolveStats* stats, unsigned threads) {
   const NodeId n = graph.num_nodes();
   PPR_CHECK(residue.size() == n);
@@ -84,7 +86,7 @@ void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
   uint64_t total_walks = 0;
   if (threads > 1) {
     for (NodeId v = 0; v < n; ++v) {
-      if (residue[v] > 0.0) total_walks += WalksForResidue(residue[v], dw);
+      if (residue[v] != 0.0) total_walks += WalksForResidue(residue[v], dw);
     }
   }
 
@@ -106,7 +108,7 @@ void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
   const std::vector<uint64_t> bounds = BalancedChunkBounds(
       n, threads,
       [&](uint64_t v) {
-        return residue[v] > 0.0 ? WalksForResidue(residue[v], dw) : 0;
+        return residue[v] != 0.0 ? WalksForResidue(residue[v], dw) : 0;
       },
       total_walks);
 

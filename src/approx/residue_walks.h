@@ -10,13 +10,17 @@
 
 namespace ppr {
 
-/// The Monte-Carlo phase shared by FORA, SpeedPPR and ResAcc
-/// (Equation (14)): for every node v with leftover residue r(s,v) > 0,
-/// W_v = ceil(r(s,v)·W) α-walks from v each add r(s,v)/W_v to the
-/// estimate of their stop node. When `index` is non-null, the first
-/// min(W_v, K_v) walks consume pre-generated endpoints; any shortfall is
-/// topped up with fresh walks (§6.1's ε-dependence caveat for FORA+;
-/// never needed by SpeedPPR's d_v-sized index).
+/// The Monte-Carlo phase shared by FORA, SpeedPPR, ResAcc and the
+/// dynamic approximate tier (Equation (14)): for every node v with
+/// leftover residue r(s,v) ≠ 0, W_v = ceil(|r(s,v)|·W) α-walks from v
+/// each add r(s,v)/W_v to the estimate of their stop node. The static
+/// push phases only ever leave r ≥ 0, where this is the textbook rule;
+/// the dynamic tier's deletion corrections can leave r < 0, and the
+/// same unbiased estimate applies with signed contributions. When
+/// `index` is non-empty, the first min(W_v, K_v) walks consume
+/// pre-generated endpoints; any shortfall is topped up with fresh walks
+/// (§6.1's ε-dependence caveat for FORA+; never needed by SpeedPPR's
+/// d_v-sized index).
 ///
 /// Parallelism and determinism: one draw from `rng` seeds the phase, and
 /// every node's walks run on an independent stream derived from
@@ -33,7 +37,7 @@ namespace ppr {
 /// Increments stats->random_walks and stats->walk_steps.
 void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
                       uint64_t walk_count_w, double alpha, Rng& rng,
-                      const WalkIndex* index, std::vector<double>* out,
+                      WalkIndexView index, std::vector<double>* out,
                       SolveStats* stats, unsigned threads = 0);
 
 /// Support-only copy of the push reserves into the (all-zero) score

@@ -13,7 +13,7 @@ namespace ppr {
 SolveStats SpeedPprInto(const Graph& graph, NodeId source,
                         const ApproxOptions& options, Rng& rng,
                         PprEstimate* estimate, std::vector<double>* out,
-                        const WalkIndex* index, FifoQueue* queue,
+                        WalkIndexView index, FifoQueue* queue,
                         ThreadDenseBuffers* thread_scratch) {
   PPR_CHECK(source < graph.num_nodes());
   PPR_CHECK(out->size() == graph.num_nodes());
@@ -75,7 +75,7 @@ SolveStats SpeedPprInto(const Graph& graph, NodeId source,
 
 SolveStats SpeedPpr(const Graph& graph, NodeId source,
                     const ApproxOptions& options, Rng& rng,
-                    std::vector<double>* out, const WalkIndex* index) {
+                    std::vector<double>* out, WalkIndexView index) {
   PPR_CHECK(source < graph.num_nodes());
   const NodeId n = graph.num_nodes();
   out->assign(n, 0.0);

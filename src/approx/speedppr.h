@@ -34,7 +34,7 @@ namespace ppr {
 SolveStats SpeedPpr(const Graph& graph, NodeId source,
                     const ApproxOptions& options, Rng& rng,
                     std::vector<double>* out,
-                    const WalkIndex* index = nullptr);
+                    WalkIndexView index = nullptr);
 
 /// True when SpeedPpr runs as plain MonteCarlo (W ≤ m, §6.1). The
 /// adapter gates its scratch lending on this predicate so it cannot
@@ -58,7 +58,7 @@ inline bool SpeedPprUsesMonteCarloFallback(const Graph& graph,
 SolveStats SpeedPprInto(const Graph& graph, NodeId source,
                         const ApproxOptions& options, Rng& rng,
                         PprEstimate* estimate, std::vector<double>* out,
-                        const WalkIndex* index = nullptr,
+                        WalkIndexView index = nullptr,
                         FifoQueue* queue = nullptr,
                         ThreadDenseBuffers* thread_scratch = nullptr);
 

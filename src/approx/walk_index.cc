@@ -1,8 +1,10 @@
 #include "approx/walk_index.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "approx/random_walk.h"
 #include "util/parallel.h"
@@ -12,7 +14,16 @@ namespace ppr {
 
 namespace {
 
-constexpr uint64_t kIndexMagic = 0x5050523157494458ULL;  // "PPR1WIDX"
+constexpr uint64_t kIndexMagic = 0x5050523257494458ULL;  // "PPR2WIDX"
+
+/// Salt separating a node's refresh stream from its build stream: both
+/// derive from (seed, v), and the refresh draws must not replay the
+/// build draws.
+constexpr uint64_t kRefreshSalt = 0x9e6b7d1f2c3a55ULL;
+
+/// Floor for the inverted-index compaction thresholds, so tiny lists
+/// never thrash through repeated compactions.
+constexpr size_t kMinCompactLimit = 8;
 
 /// Offsets for the chosen sizing rule; shared by both build paths.
 std::vector<uint64_t> SizingOffsets(const Graph& graph,
@@ -38,6 +49,59 @@ std::vector<uint64_t> SizingOffsets(const Graph& graph,
   return offsets;
 }
 
+/// One α-walk from `origin` recording the departure sequence into
+/// *path (cleared first). RNG consumption matches RandomWalk() draw for
+/// draw — one geometric for the length, one bounded draw per non-dead-
+/// end move — so a freshly built DynamicWalkIndex reproduces
+/// WalkIndex::BuildParallel's endpoints bit for bit.
+template <typename GraphT>
+NodeId RecordWalk(const GraphT& graph, NodeId origin, double alpha, Rng& rng,
+                  std::vector<NodeId>* path) {
+  path->clear();
+  NodeId current = origin;
+  const uint64_t moves = rng.NextGeometric(alpha);
+  for (uint64_t i = 0; i < moves; ++i) {
+    path->push_back(current);
+    auto neighbors = graph.OutNeighbors(current);
+    if (neighbors.empty()) {
+      current = origin;  // dead end: conceptual edge back to the origin
+    } else {
+      current =
+          neighbors[rng.NextBounded(static_cast<uint64_t>(neighbors.size()))];
+    }
+  }
+  return current;
+}
+
+/// Regenerates a walk's suffix from `from`, which the walk already
+/// decided to depart (its α-flip said "continue" before the mutation;
+/// the flip is adjacency-independent, so it is kept). One forced move
+/// out of `from`, then a memoryless geometric number of further moves —
+/// exactly the conditional law of a fresh walk's suffix given that it
+/// reaches `from` and continues. Departures append to *path, whose last
+/// entry must already be `from`.
+template <typename GraphT>
+NodeId ResumeWalk(const GraphT& graph, NodeId origin, NodeId from,
+                  double alpha, Rng& rng, std::vector<NodeId>* path) {
+  auto first = graph.OutNeighbors(from);
+  NodeId current =
+      first.empty()
+          ? origin
+          : first[rng.NextBounded(static_cast<uint64_t>(first.size()))];
+  const uint64_t moves = rng.NextGeometric(alpha);
+  for (uint64_t i = 0; i < moves; ++i) {
+    path->push_back(current);
+    auto neighbors = graph.OutNeighbors(current);
+    if (neighbors.empty()) {
+      current = origin;
+    } else {
+      current =
+          neighbors[rng.NextBounded(static_cast<uint64_t>(neighbors.size()))];
+    }
+  }
+  return current;
+}
+
 }  // namespace
 
 WalkIndex WalkIndex::Build(const Graph& graph, double alpha, Sizing sizing,
@@ -46,6 +110,7 @@ WalkIndex WalkIndex::Build(const Graph& graph, double alpha, Sizing sizing,
   const NodeId n = graph.num_nodes();
   WalkIndex index;
   index.alpha_ = alpha;
+  index.graph_fingerprint_ = graph.Fingerprint();
   Timer timer;
 
   index.offsets_ = SizingOffsets(graph, sizing, walk_count_w);
@@ -66,6 +131,7 @@ WalkIndex WalkIndex::BuildParallel(const Graph& graph, double alpha,
   const NodeId n = graph.num_nodes();
   WalkIndex index;
   index.alpha_ = alpha;
+  index.graph_fingerprint_ = graph.Fingerprint();
   Timer timer;
 
   index.offsets_ = SizingOffsets(graph, sizing, walk_count_w);
@@ -110,6 +176,7 @@ Status WalkIndex::SaveTo(const std::string& path) const {
   write_u64(kIndexMagic);
   write_u64(num_nodes());
   write_u64(endpoints_.size());
+  write_u64(graph_fingerprint_);
   out.write(reinterpret_cast<const char*>(&alpha_), sizeof(alpha_));
   out.write(reinterpret_cast<const char*>(offsets_.data()),
             static_cast<std::streamsize>(offsets_.size() * sizeof(uint64_t)));
@@ -133,10 +200,11 @@ Result<WalkIndex> WalkIndex::LoadFrom(const std::string& path) {
   if (!read_u64(&magic) || magic != kIndexMagic) {
     return Status::Corruption(path + ": bad magic");
   }
-  if (!read_u64(&n) || !read_u64(&total)) {
+  WalkIndex index;
+  if (!read_u64(&n) || !read_u64(&total) ||
+      !read_u64(&index.graph_fingerprint_)) {
     return Status::Corruption(path + ": truncated header");
   }
-  WalkIndex index;
   in.read(reinterpret_cast<char*>(&index.alpha_), sizeof(index.alpha_));
   index.offsets_.resize(n + 1);
   index.endpoints_.resize(total);
@@ -151,6 +219,164 @@ Result<WalkIndex> WalkIndex::LoadFrom(const std::string& path) {
     return Status::Corruption(path + ": inconsistent offsets");
   }
   return index;
+}
+
+// -------------------------------------------------------- DynamicWalkIndex
+
+DynamicWalkIndex::DynamicWalkIndex(const Graph& graph, double alpha,
+                                   WalkIndex::Sizing sizing,
+                                   uint64_t walk_count_w, uint64_t seed)
+    : alpha_(alpha), sizing_(sizing) {
+  PPR_CHECK(alpha > 0.0 && alpha < 1.0);
+  const NodeId n = graph.num_nodes();
+  if (sizing == WalkIndex::Sizing::kForaPlus) {
+    fora_ratio_ = std::sqrt(static_cast<double>(walk_count_w) /
+                            static_cast<double>(graph.num_edges()));
+  }
+  Timer timer;
+  nodes_.resize(n);
+  through_.resize(n);
+  streams_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    streams_.push_back(SplitStream(seed ^ kRefreshSalt, v));
+  }
+
+  // Walk generation is embarrassingly parallel (each node owns its walks
+  // and its (seed, v) stream — the BuildParallel scheme, so the initial
+  // endpoints match a static BuildParallel bit for bit); the inverted
+  // index is registered in a serial pass after.
+  ParallelFor(0, n, [&](uint64_t lo, uint64_t hi, unsigned) {
+    for (uint64_t v = lo; v < hi; ++v) {
+      Rng rng = SplitStream(seed, v);
+      const uint64_t k = TargetWalks(graph.OutDegree(static_cast<NodeId>(v)));
+      NodeWalks& walks = nodes_[v];
+      walks.endpoints.resize(k);
+      walks.paths.resize(k);
+      for (uint64_t i = 0; i < k; ++i) {
+        walks.endpoints[i] = RecordWalk(graph, static_cast<NodeId>(v), alpha,
+                                        rng, &walks.paths[i]);
+      }
+    }
+  });
+  // No stale entries can exist during the initial registration, so the
+  // compaction thresholds stay out of the way until after it.
+  through_limits_.assign(n, std::numeric_limits<uint32_t>::max());
+  for (NodeId v = 0; v < n; ++v) {
+    total_walks_ += nodes_[v].endpoints.size();
+    for (uint32_t i = 0; i < nodes_[v].paths.size(); ++i) {
+      RegisterPath(v, i, 0);
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    through_limits_[v] = static_cast<uint32_t>(
+        std::max<size_t>(kMinCompactLimit, 2 * through_[v].size()));
+  }
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+uint64_t DynamicWalkIndex::TargetWalks(NodeId degree) const {
+  if (sizing_ == WalkIndex::Sizing::kSpeedPpr) {
+    return degree == 0 ? 1 : degree;
+  }
+  return static_cast<uint64_t>(std::ceil(degree * fora_ratio_)) + 1;
+}
+
+void DynamicWalkIndex::RegisterPath(NodeId origin, uint32_t walk,
+                                    size_t from) {
+  const std::vector<NodeId>& path = nodes_[origin].paths[walk];
+  for (size_t j = from; j < path.size(); ++j) {
+    const NodeId x = path[j];
+    // An earlier occurrence already carries this walk's entry (paths are
+    // short — expected (1−α)/α departures — so the scan is cheap).
+    bool seen = false;
+    for (size_t i = 0; i < j && !seen; ++i) seen = path[i] == x;
+    if (!seen) {
+      through_[x].push_back({origin, walk});
+      if (through_[x].size() > through_limits_[x]) CompactThrough(x);
+    }
+  }
+}
+
+void DynamicWalkIndex::CompactThrough(NodeId x) {
+  std::vector<Slot>& list = through_[x];
+  std::sort(list.begin(), list.end(), [](const Slot& a, const Slot& b) {
+    return a.origin != b.origin ? a.origin < b.origin : a.walk < b.walk;
+  });
+  list.erase(std::unique(list.begin(), list.end(),
+                         [](const Slot& a, const Slot& b) {
+                           return a.origin == b.origin && a.walk == b.walk;
+                         }),
+             list.end());
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const Slot& s) {
+                              const NodeWalks& walks = nodes_[s.origin];
+                              if (s.walk >= walks.paths.size()) return true;
+                              const std::vector<NodeId>& path =
+                                  walks.paths[s.walk];
+                              return std::find(path.begin(), path.end(), x) ==
+                                     path.end();
+                            }),
+             list.end());
+  // Doubling re-arm: compaction work stays amortized O(1) per append,
+  // and the list never exceeds ~2x its live size.
+  through_limits_[x] = static_cast<uint32_t>(
+      std::max<size_t>(kMinCompactLimit, 2 * list.size()));
+}
+
+uint64_t DynamicWalkIndex::RefreshMutatedNode(const DynamicGraph& graph,
+                                              NodeId u) {
+  PPR_CHECK(u < nodes_.size());
+  Rng& rng = streams_[u];
+  uint64_t resampled = 0;
+
+  // 1. Resample every walk that departed u, from its first departure.
+  // The entry list is taken by value: valid walks re-register themselves
+  // below (their path still contains u), stale or duplicate entries are
+  // dropped here — this is where the lazily invalidated inverted index
+  // gets compacted.
+  std::vector<Slot> entries = std::move(through_[u]);
+  through_[u].clear();
+  std::sort(entries.begin(), entries.end(), [](const Slot& a, const Slot& b) {
+    return a.origin != b.origin ? a.origin < b.origin : a.walk < b.walk;
+  });
+  for (size_t e = 0; e < entries.size(); ++e) {
+    const Slot slot = entries[e];
+    if (e > 0 && entries[e - 1].origin == slot.origin &&
+        entries[e - 1].walk == slot.walk) {
+      continue;  // duplicate
+    }
+    NodeWalks& walks = nodes_[slot.origin];
+    if (slot.walk >= walks.paths.size()) continue;  // walk was dropped
+    std::vector<NodeId>& path = walks.paths[slot.walk];
+    const auto it = std::find(path.begin(), path.end(), u);
+    if (it == path.end()) continue;  // stale: resampled away earlier
+    const size_t p = static_cast<size_t>(it - path.begin());
+    path.resize(p + 1);
+    walks.endpoints[slot.walk] =
+        ResumeWalk(graph, slot.origin, u, alpha_, rng, &path);
+    RegisterPath(slot.origin, slot.walk, p);  // re-registers u itself too
+    resampled++;
+  }
+
+  // 2. Track the sizing rule at u's new degree. Dropped walks leave
+  // stale inverted entries behind (purged lazily above); appended walks
+  // are full fresh samples on the current graph.
+  const uint64_t target = TargetWalks(graph.OutDegree(u));
+  NodeWalks& own = nodes_[u];
+  while (own.endpoints.size() > target) {
+    own.endpoints.pop_back();
+    own.paths.pop_back();
+    total_walks_--;
+  }
+  while (own.endpoints.size() < target) {
+    own.paths.emplace_back();
+    own.endpoints.push_back(
+        RecordWalk(graph, u, alpha_, rng, &own.paths.back()));
+    RegisterPath(u, static_cast<uint32_t>(own.paths.size() - 1), 0);
+    total_walks_++;
+    resampled++;
+  }
+  return resampled;
 }
 
 }  // namespace ppr

@@ -1,10 +1,12 @@
 #ifndef PPR_APPROX_WALK_INDEX_H_
 #define PPR_APPROX_WALK_INDEX_H_
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -60,6 +62,13 @@ class WalkIndex {
   double build_seconds() const { return build_seconds_; }
   double alpha() const { return alpha_; }
 
+  /// Graph::Fingerprint() of the exact CSR the walks were generated on,
+  /// recorded at Build time and serialized with the index. Cache loads
+  /// verify it against the live graph, so a cache file saved before an
+  /// update can never silently serve the post-update graph — even when
+  /// the file sits at a colliding or tampered-with path.
+  uint64_t graph_fingerprint() const { return graph_fingerprint_; }
+
   /// Serialization, so index size can also be verified on disk.
   Status SaveTo(const std::string& path) const;
   static Result<WalkIndex> LoadFrom(const std::string& path);
@@ -67,7 +76,9 @@ class WalkIndex {
   /// Canonical cache filename used by the registry's cache_dir= option:
   /// encodes every build input (sizing, alpha, W, seed) plus the
   /// Graph::Fingerprint() of the exact CSR the index was generated on,
-  /// so a stale or foreign cache never matches by name.
+  /// so a stale or foreign cache never matches by name. The fingerprint
+  /// is additionally embedded in the file itself (graph_fingerprint()),
+  /// which is what the load-time staleness check trusts.
   static std::string CacheFileName(Sizing sizing, double alpha,
                                    uint64_t walk_count_w, uint64_t seed,
                                    uint64_t graph_fingerprint);
@@ -79,6 +90,130 @@ class WalkIndex {
   std::vector<NodeId> endpoints_;
   double alpha_ = 0.2;
   double build_seconds_ = 0.0;
+  uint64_t graph_fingerprint_ = 0;
+};
+
+/// A walk index that stays valid while the graph evolves — the index
+/// structure behind the dynamic approximate tier ("dynfora" /
+/// "dynspeedppr"). Where WalkIndex must be rebuilt from scratch after
+/// any edge mutation, a DynamicWalkIndex repairs itself: it remembers,
+/// for every stored walk, the nodes whose out-adjacency the walk
+/// consumed (a per-node walk→slot inverted index), and after a mutation
+/// of u's adjacency it
+///
+///  1. resamples every walk that departed u — from the *mutation point*:
+///     the prefix up to the walk's first departure from u only consumed
+///     unchanged adjacency rows (and memoryless α-flips), so it is kept,
+///     and the suffix is regenerated from u against the new adjacency;
+///  2. resizes u's own walk count K_u to the sizing rule's target at
+///     the new degree (appending fresh walks or dropping the last ones).
+///
+/// Both steps draw from a per-node RNG stream (node u's stream serves
+/// the mutations of u), so the refresh is deterministic given the
+/// update sequence and independent of other nodes' histories. Because
+/// every kept prefix is distributed as on the new graph and every
+/// regenerated suffix is sampled from it, the index after any update
+/// sequence is distribution-identical to a fresh build on the final
+/// graph — the property the dynamic conformance suite exercises.
+///
+/// For Sizing::kForaPlus the per-degree walk ratio sqrt(W/m) is frozen
+/// at construction (m drifts as edges mutate; re-deriving it would
+/// resize every node on every update for no accuracy gain — shortfalls
+/// are topped up with fresh walks at query time, as always).
+///
+/// Cost per mutation: O(walks through u · expected walk length) plus
+/// the K_u resize — proportional to the mutation's actual blast
+/// radius, not to the index size.
+class DynamicWalkIndex {
+ public:
+  DynamicWalkIndex(const Graph& graph, double alpha, WalkIndex::Sizing sizing,
+                   uint64_t walk_count_w, uint64_t seed);
+
+  /// Endpoints of the currently valid walks from v (size K_v at the
+  /// current degree). Invalidated by RefreshMutatedNode.
+  std::span<const NodeId> Endpoints(NodeId v) const {
+    PPR_DCHECK(v < nodes_.size());
+    return nodes_[v].endpoints;
+  }
+
+  NodeId num_nodes() const { return static_cast<NodeId>(nodes_.size()); }
+  uint64_t total_walks() const { return total_walks_; }
+  double alpha() const { return alpha_; }
+  WalkIndex::Sizing sizing() const { return sizing_; }
+  double build_seconds() const { return build_seconds_; }
+
+  /// Repairs the index after one mutation of u's out-adjacency; `graph`
+  /// must already reflect the mutation (call once per applied update,
+  /// in order). Returns the number of walks resampled (invalidated
+  /// suffixes plus fresh walks appended by the K_u resize).
+  uint64_t RefreshMutatedNode(const DynamicGraph& graph, NodeId u);
+
+ private:
+  /// One stored walk: the stop node plus the sequence of nodes the walk
+  /// departed from (origin first; empty when the walk stopped at its
+  /// origin without moving). Endpoints live in their own contiguous
+  /// array so Endpoints() hands out the span the walk phase consumes.
+  struct NodeWalks {
+    std::vector<NodeId> endpoints;
+    std::vector<std::vector<NodeId>> paths;
+  };
+
+  /// Inverted-index entry: walk `walk` of origin `origin` departed the
+  /// indexed node. Entries go stale when a walk is resampled or dropped;
+  /// RefreshMutatedNode validates lazily (the walk must still exist and
+  /// its current path must still contain the node) and deduplicates.
+  struct Slot {
+    NodeId origin;
+    uint32_t walk;
+  };
+
+  uint64_t TargetWalks(NodeId degree) const;
+  /// Registers walk (origin, walk) in through_ for every node of its
+  /// path from position `from` on that does not appear earlier in the
+  /// path (earlier occurrences already carry an entry).
+  void RegisterPath(NodeId origin, uint32_t walk, size_t from);
+  /// Drops duplicate and stale entries from through_[x] and re-arms its
+  /// growth limit. Called amortized from RegisterPath so the lazily
+  /// invalidated lists of rarely-mutated nodes stay within a constant
+  /// factor of their live size instead of growing with update volume.
+  void CompactThrough(NodeId x);
+
+  double alpha_;
+  WalkIndex::Sizing sizing_;
+  double fora_ratio_ = 0.0;  // sqrt(W/m) frozen at construction
+  std::vector<NodeWalks> nodes_;
+  std::vector<std::vector<Slot>> through_;
+  /// Per-node compaction thresholds: through_[x] is compacted when it
+  /// outgrows this, then re-armed at twice the compacted size.
+  std::vector<uint32_t> through_limits_;
+  std::vector<Rng> streams_;  // per-node refresh streams
+  uint64_t total_walks_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+/// Non-owning view over either index flavor, so the shared walk phase
+/// (and the FORA/SpeedPPR compositions) consume pre-generated endpoints
+/// without caring whether they come from a static WalkIndex or an
+/// incrementally maintained DynamicWalkIndex. Implicitly constructible
+/// from either pointer; a null/default view means "no index, simulate
+/// every walk" — exactly the old `const WalkIndex* = nullptr` contract.
+class WalkIndexView {
+ public:
+  WalkIndexView() = default;
+  WalkIndexView(std::nullptr_t) {}                         // NOLINT
+  WalkIndexView(const WalkIndex* index) : flat_(index) {}  // NOLINT
+  WalkIndexView(const DynamicWalkIndex* index)             // NOLINT
+      : dynamic_(index) {}
+
+  bool empty() const { return flat_ == nullptr && dynamic_ == nullptr; }
+
+  std::span<const NodeId> Endpoints(NodeId v) const {
+    return flat_ != nullptr ? flat_->Endpoints(v) : dynamic_->Endpoints(v);
+  }
+
+ private:
+  const WalkIndex* flat_ = nullptr;
+  const DynamicWalkIndex* dynamic_ = nullptr;
 };
 
 }  // namespace ppr

@@ -154,7 +154,9 @@ DynamicSsppr& DynamicSspprPool::TrackerFor(NodeId source) {
   return *it->second;
 }
 
-Status DynamicSspprPool::Apply(const UpdateBatch& batch, uint64_t* pushes) {
+Status DynamicSspprPool::Apply(
+    const UpdateBatch& batch, uint64_t* pushes,
+    const std::function<void(const EdgeUpdate&)>& applied) {
   PPR_RETURN_IF_ERROR(graph_->Validate(batch));
   for (const EdgeUpdate& up : batch.updates) {
     if (up.kind == UpdateKind::kInsert) {
@@ -168,6 +170,7 @@ Status DynamicSspprPool::Apply(const UpdateBatch& batch, uint64_t* pushes) {
       }
       graph_->RemoveEdge(up.u, up.v);
     }
+    if (applied) applied(up);
   }
   uint64_t total = 0;
   for (auto& [source, tracker] : trackers_) total += tracker->Refresh();

@@ -1,6 +1,7 @@
 #ifndef PPR_CORE_DYNAMIC_PPR_H_
 #define PPR_CORE_DYNAMIC_PPR_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -119,7 +120,14 @@ class DynamicSspprPool {
   /// on every tracker interleaved with the graph mutations, then one
   /// Refresh per tracker. On validation error nothing is applied. The
   /// total repair pushes are added to *pushes when non-null.
-  Status Apply(const UpdateBatch& batch, uint64_t* pushes = nullptr);
+  ///
+  /// `applied`, when set, runs immediately after each mutation lands in
+  /// the graph (in batch order, before the end-of-batch refreshes) —
+  /// the hook the dynamic approximate tier uses to keep its walk index
+  /// in lockstep with the shared repair pool without re-validating or
+  /// re-walking the batch.
+  Status Apply(const UpdateBatch& batch, uint64_t* pushes = nullptr,
+               const std::function<void(const EdgeUpdate&)>& applied = {});
 
   size_t tracker_count() const { return trackers_.size(); }
   const DynamicGraph& graph() const { return *graph_; }

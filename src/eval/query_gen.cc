@@ -39,10 +39,24 @@ NodeId SampleSkewedNode(NodeId n, double skew, Rng& rng) {
 
 }  // namespace
 
-UpdateBatch GenerateUpdateStream(const Graph& base,
-                                 const UpdateWorkloadOptions& options) {
+Result<UpdateBatch> GenerateUpdateStream(const Graph& base,
+                                         const UpdateWorkloadOptions& options) {
   const NodeId n = base.num_nodes();
   PPR_CHECK(n >= 2) << "update streams need at least two nodes";
+  if (options.count == 0 ||
+      options.count > UpdateWorkloadOptions::kMaxUpdateCount) {
+    return Status::InvalidArgument(
+        "update workload count must be in [1, " +
+        std::to_string(UpdateWorkloadOptions::kMaxUpdateCount) + "]; got " +
+        std::to_string(options.count));
+  }
+  if (!std::isfinite(options.skew) || options.skew < 0.0 ||
+      options.skew > UpdateWorkloadOptions::kMaxUpdateSkew) {
+    return Status::InvalidArgument(
+        "update workload skew must be finite and in [0, " +
+        std::to_string(UpdateWorkloadOptions::kMaxUpdateSkew) + "]; got " +
+        std::to_string(options.skew));
+  }
   const double delete_fraction =
       std::clamp(options.delete_fraction, 0.0, 1.0);
   Rng rng(options.seed);
@@ -64,6 +78,16 @@ UpdateBatch GenerateUpdateStream(const Graph& base,
       live[i] = live.back();
       live.pop_back();
       batch.Delete(edge.src, edge.dst);
+    } else if (delete_fraction >= 1.0) {
+      // A pure-deletion workload just exhausted the live edges. Padding
+      // with insertions would smuggle updates the caller excluded, and
+      // re-rolling the (always-delete) coin would loop forever — stop
+      // with the stream built so far.
+      PPR_LOG(Warning) << "update stream truncated at " << batch.size()
+                       << " of " << options.count
+                       << " updates: delete_fraction=1 and no deletable "
+                          "edges remain";
+      break;
     } else {
       const NodeId u = SampleSkewedNode(n, options.skew, rng);
       const NodeId w = SampleSkewedNode(n, options.skew, rng);

@@ -5,6 +5,7 @@
 
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace ppr {
 
@@ -18,7 +19,7 @@ std::vector<NodeId> SampleQuerySources(const Graph& graph, size_t count,
 /// benches and tests (bench_fig6 staleness curves,
 /// bench_extension_dynamic, ppr_cli --updates=synthetic:...).
 struct UpdateWorkloadOptions {
-  /// Number of updates in the stream.
+  /// Number of updates in the stream. Must be in [1, kMaxUpdateCount].
   size_t count = 100;
   /// Fraction of updates that are deletions (of then-live edges); the
   /// rest are insertions. Clamped to [0, 1].
@@ -26,18 +27,33 @@ struct UpdateWorkloadOptions {
   /// Endpoint skew for insertions: 0 = uniform; larger values bias both
   /// endpoints toward low node ids as id^-ish power law (datasets and
   /// order=degree layouts put hubs at low ids, so skew concentrates the
-  /// update stream on hot rows).
+  /// update stream on hot rows). Must be finite and in
+  /// [0, kMaxUpdateSkew].
   double skew = 0.0;
   uint64_t seed = 13;
+
+  /// Guard rails enforced with InvalidArgument: a count above this is a
+  /// units mistake, not a workload; a skew above this collapses every
+  /// endpoint draw onto node 0 (n·U^(1+skew) underflows) and NaN/inf
+  /// would silently disable or absorb the bias.
+  static constexpr size_t kMaxUpdateCount = 100'000'000;
+  static constexpr double kMaxUpdateSkew = 64.0;
 };
 
 /// Generates a valid update stream against `base`: every deletion
 /// targets an edge that exists at its point in the stream (edges the
 /// stream itself inserted are fair game), insertions avoid self-loops,
 /// and the result passes DynamicGraph::Validate on a graph equal to
-/// `base`. Deterministic in (base, options).
-UpdateBatch GenerateUpdateStream(const Graph& base,
-                                 const UpdateWorkloadOptions& options);
+/// `base`. Deterministic in (base, options). Out-of-bounds count/skew
+/// return InvalidArgument (see UpdateWorkloadOptions).
+///
+/// Degenerate workloads terminate instead of looping or padding: a
+/// pure-deletion stream (delete_fraction = 1) on a graph that runs out
+/// of deletable edges returns the shorter all-deletes stream it could
+/// build, with a warning — never silent insertions the caller asked to
+/// exclude.
+Result<UpdateBatch> GenerateUpdateStream(const Graph& base,
+                                         const UpdateWorkloadOptions& options);
 
 }  // namespace ppr
 

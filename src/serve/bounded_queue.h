@@ -1,6 +1,8 @@
 #ifndef PPR_SERVE_BOUNDED_QUEUE_H_
 #define PPR_SERVE_BOUNDED_QUEUE_H_
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -18,9 +20,13 @@ namespace ppr {
 ///    when the queue is full (the server turns that into an Unavailable
 ///    status, so clients learn about overload instead of piling up
 ///    unbounded work);
-///  * Push: backpressure by blocking — waits for space; used by the
+///  * PushWithBackoff: backpressure by waiting — used by the
 ///    synchronous batch path, where the caller *is* the client and
-///    waiting is the contract.
+///    waiting is the contract. A producer that finds the queue full
+///    does not hot-spin resubmitting: re-checks are paced by a bounded
+///    exponential backoff (and woken early when a consumer frees a
+///    slot), so a saturated server spends its cycles draining the
+///    queue, not arbitrating admission retries.
 ///
 /// Close() wakes every waiter. Consumers drain whatever was admitted
 /// before the close (Pop returns the remaining items, then nullopt), so
@@ -47,12 +53,26 @@ class BoundedQueue {
     return true;
   }
 
-  /// Blocking admit; false only when the queue is (or becomes) closed.
-  bool Push(T item) {
+  /// Blocking admit with bounded exponential backoff; false only when
+  /// the queue is (or becomes) closed. Each failed admission check
+  /// sleeps at most the current backoff interval — starting at
+  /// kInitialBackoff and doubling up to kMaxBackoff — and a consumer
+  /// freeing a slot wakes the producer early, so latency stays
+  /// notify-driven while wakeup storms stay bounded.
+  ///
+  /// `*saw_full`, when non-null, is set to true iff at least one check
+  /// found the queue full — one flag per submission no matter how many
+  /// backoff rounds it took, which is what lets the server count one
+  /// refused submission exactly once in stats().rejected.
+  bool PushWithBackoff(T item, bool* saw_full = nullptr) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      producer_cv_.wait(
-          lock, [this] { return closed_ || items_.size() < capacity_; });
+      std::chrono::microseconds delay = kInitialBackoff;
+      while (!closed_ && items_.size() >= capacity_) {
+        if (saw_full != nullptr) *saw_full = true;
+        producer_cv_.wait_for(lock, delay);
+        delay = std::min(delay * 2, kMaxBackoff);
+      }
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -97,6 +117,9 @@ class BoundedQueue {
   }
 
   size_t capacity() const { return capacity_; }
+
+  static constexpr std::chrono::microseconds kInitialBackoff{64};
+  static constexpr std::chrono::microseconds kMaxBackoff{8192};
 
  private:
   const size_t capacity_;

@@ -167,8 +167,10 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
   request.state->submitted = std::chrono::steady_clock::now();
   PprFuture future(request.state);
 
-  const bool admitted = blocking ? queue_.Push(std::move(request))
-                                 : queue_.TryPush(std::move(request));
+  bool saw_full = false;
+  const bool admitted =
+      blocking ? queue_.PushWithBackoff(std::move(request), &saw_full)
+               : queue_.TryPush(std::move(request));
   std::lock_guard<std::mutex> lock(mu_);
   if (!admitted) {
     // A Stop() racing this submission closes the queue; that is a
@@ -181,6 +183,11 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
         "request queue full (" + std::to_string(queue_.capacity()) +
         " pending); retry later or raise queue_capacity");
   }
+  // A blocking (SolveBatch) submission that found the queue full counts
+  // as exactly one refusal, however many backoff rounds the eventual
+  // admission took — the refusal was absorbed by the wait instead of
+  // surfacing as Unavailable, but it is the same backpressure event.
+  if (saw_full) rejected_++;
   submitted_++;
   return future;
 }

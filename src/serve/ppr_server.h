@@ -91,7 +91,11 @@ struct PprServerOptions {
 /// Point-in-time counters (monotonic except queue_depth).
 struct PprServerStats {
   uint64_t submitted = 0;  ///< accepted into the queue
-  uint64_t rejected = 0;   ///< refused with Unavailable (queue full)
+  /// Submissions that hit a full queue, exactly once each: Submit()
+  /// refusals surfaced as Unavailable, plus SolveBatch() submissions
+  /// that had to back off before being admitted (counted once per
+  /// submission, never once per backoff round).
+  uint64_t rejected = 0;
   uint64_t completed = 0;  ///< finished with an OK status
   uint64_t failed = 0;     ///< finished with a non-OK status
   uint64_t updates = 0;    ///< update batches applied via ApplyUpdates
@@ -124,7 +128,10 @@ struct PprServerStats {
 /// Backpressure: Submit never blocks — a full queue returns Unavailable
 /// immediately and the query is not admitted. The synchronous
 /// SolveBatch path instead waits for queue space (the caller is the
-/// client; blocking it *is* the backpressure).
+/// client; blocking it *is* the backpressure), pacing its admission
+/// re-checks with a bounded exponential backoff instead of hot-spinning
+/// resubmissions; each such backpressured submission shows up exactly
+/// once in stats().rejected.
 ///
 /// Shutdown: Stop() closes the queue (later Submits fail), lets the
 /// workers drain every accepted request, then joins. Every future

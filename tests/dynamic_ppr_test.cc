@@ -314,7 +314,8 @@ TEST(DynamicSspprTest, RandomInsertDeleteBatchesAcrossAlphasAndSeeds) {
       workload.count = 80;
       workload.delete_fraction = 0.4;
       workload.seed = seed * 1000 + 1;
-      UpdateBatch stream = GenerateUpdateStream(g, workload);
+      UpdateBatch stream =
+          GenerateUpdateStream(g, workload).ValueOrDie();
       constexpr size_t kChunks = 4;
       for (size_t c = 0; c < kChunks; ++c) {
         UpdateBatch chunk;
@@ -350,7 +351,9 @@ TEST(DynamicSspprPoolTest, TrackersShareOneUpdateStream) {
   workload.delete_fraction = 0.3;
   workload.seed = 21;
   uint64_t pushes = 0;
-  ASSERT_TRUE(pool.Apply(GenerateUpdateStream(g, workload), &pushes).ok());
+  ASSERT_TRUE(
+      pool.Apply(GenerateUpdateStream(g, workload).ValueOrDie(), &pushes)
+          .ok());
   EXPECT_GT(pushes, 0u);
   // One graph mutation pass repaired *both* per-source estimates.
   EXPECT_LT(ErrorVsScratch(a, dg), 2.0 * CertifiedBound(dg, options.rmax));

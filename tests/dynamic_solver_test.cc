@@ -1,9 +1,11 @@
-// Conformance suite for the DynamicSolver concept and its first
-// implementation, "dynfwdpush": registry creation, the ApplyUpdates
-// contract (atomic validation, epoch advance, original-id mapping under
-// order= layouts), and the acceptance bound — after any applied update
-// sequence the estimate matches a from-scratch solve on Snapshot()
-// within the advertised Σ|r| ℓ1 bound.
+// Conformance suite for the DynamicSolver concept and its three
+// implementations — the exact tier "dynfwdpush" and the walk-index
+// approximate tier "dynfora"/"dynspeedppr": registry creation, the
+// ApplyUpdates contract (atomic validation, epoch advance, original-id
+// mapping under order= layouts, walks_resampled accounting), and the
+// acceptance bound — after any applied update sequence the estimate
+// matches a from-scratch solve on Snapshot() within the advertised ℓ1
+// bound (Σ|r| for the exact tier, ε for the approximate tier).
 
 #include "api/dynamic_solver.h"
 
@@ -45,47 +47,65 @@ Prepared MakeDynamic(const std::string& spec, const Graph& graph) {
   return p;
 }
 
-TEST(DynamicSolverTest, RegistryExposesTheDynamicCapability) {
-  ASSERT_TRUE(SolverRegistry::Global().Contains("dynfwdpush"));
-  auto created = SolverRegistry::Global().Create("dynfwdpush");
-  ASSERT_TRUE(created.ok());
-  EXPECT_TRUE(created.value()->capabilities().supports_updates);
-  EXPECT_NE(created.value()->AsDynamic(), nullptr);
+/// The three registered dynamic solvers; every contract test sweeps
+/// them.
+const char* const kDynamicNames[] = {"dynfwdpush", "dynfora", "dynspeedppr"};
 
-  // Static solvers stay static.
-  auto powerpush = SolverRegistry::Global().Create("powerpush");
-  ASSERT_TRUE(powerpush.ok());
-  EXPECT_FALSE(powerpush.value()->capabilities().supports_updates);
-  EXPECT_EQ(powerpush.value()->AsDynamic(), nullptr);
+TEST(DynamicSolverTest, RegistryExposesTheDynamicCapability) {
+  for (const char* name : kDynamicNames) {
+    ASSERT_TRUE(SolverRegistry::Global().Contains(name)) << name;
+    auto created = SolverRegistry::Global().Create(name);
+    ASSERT_TRUE(created.ok()) << name;
+    EXPECT_TRUE(created.value()->capabilities().supports_updates) << name;
+    EXPECT_NE(created.value()->AsDynamic(), nullptr) << name;
+  }
+
+  // Static solvers stay static — including the static two-phase
+  // siblings of the new tier.
+  for (const char* name : {"powerpush", "fora-index", "speedppr-index"}) {
+    auto solver = SolverRegistry::Global().Create(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    EXPECT_FALSE(solver.value()->capabilities().supports_updates) << name;
+    EXPECT_EQ(solver.value()->AsDynamic(), nullptr) << name;
+  }
 }
 
 TEST(DynamicSolverTest, ApplyBeforePrepareFailsCleanly) {
-  auto created = SolverRegistry::Global().Create("dynfwdpush");
-  ASSERT_TRUE(created.ok());
-  UpdateBatch batch;
-  batch.Insert(0, 1);
-  Status status =
-      created.value()->AsDynamic()->ApplyUpdates(batch, nullptr);
-  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  for (const char* name : kDynamicNames) {
+    auto created = SolverRegistry::Global().Create(name);
+    ASSERT_TRUE(created.ok()) << name;
+    UpdateBatch batch;
+    batch.Insert(0, 1);
+    Status status =
+        created.value()->AsDynamic()->ApplyUpdates(batch, nullptr);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << name;
+  }
 }
 
 TEST(DynamicSolverTest, EstimateTracksSnapshotWithinAdvertisedBound) {
-  // The acceptance criterion, across specs that vary rmax and layout:
-  // after every applied chunk of a mixed insert/delete stream, Solve's
-  // scores match a dense exact solve on Snapshot() within l1_bound.
+  // The acceptance criterion, across all three dynamic solvers and
+  // specs that vary rmax, ε, layout and threading: after every applied
+  // chunk of a mixed insert/delete stream, Solve's scores match a dense
+  // exact solve on Snapshot() within l1_bound — Σ|r| for dynfwdpush,
+  // the configured ε for the walk-index tier (whose phase-2 noise sits
+  // far below it at these scales).
   Rng rng(4);
   Graph graph = ErdosRenyi(60, 3.0, rng);
   for (const char* spec :
        {"dynfwdpush:rmax=1e-9", "dynfwdpush:lambda=1e-7",
         "dynfwdpush:rmax=1e-9,order=degree",
-        "dynfwdpush:rmax=1e-9,order=bfs", "dynfwdpush:rmax=1e-9,threads=4"}) {
+        "dynfwdpush:rmax=1e-9,order=bfs", "dynfwdpush:rmax=1e-9,threads=4",
+        "dynfora:eps=0.3", "dynfora:eps=0.3,index_eps=0.2",
+        "dynfora:eps=0.3,order=degree", "dynfora:eps=0.3,threads=4",
+        "dynspeedppr:eps=0.3", "dynspeedppr:eps=0.3,order=bfs",
+        "dynspeedppr:eps=0.3,threads=4"}) {
     Prepared p = MakeDynamic(spec, graph);
 
     UpdateWorkloadOptions workload;
     workload.count = 60;
     workload.delete_fraction = 0.35;
     workload.seed = 9;
-    UpdateBatch stream = GenerateUpdateStream(graph, workload);
+    UpdateBatch stream = GenerateUpdateStream(graph, workload).ValueOrDie();
 
     SolverContext context(kSeed);
     PprQuery query;
@@ -120,100 +140,165 @@ TEST(DynamicSolverTest, SnapshotSpeaksOriginalIdsUnderOrderLayouts) {
   // equal the original graph — the layout is an internal detail.
   Rng rng(8);
   Graph graph = BarabasiAlbert(80, 3, rng);
-  Prepared p = MakeDynamic("dynfwdpush:order=degree", graph);
-  Graph snapshot = p.dynamic->Snapshot();
-  ASSERT_EQ(snapshot.num_nodes(), graph.num_nodes());
-  ASSERT_EQ(snapshot.num_edges(), graph.num_edges());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    std::vector<NodeId> expected(graph.OutNeighbors(v).begin(),
-                                 graph.OutNeighbors(v).end());
-    std::vector<NodeId> got(snapshot.OutNeighbors(v).begin(),
-                            snapshot.OutNeighbors(v).end());
-    std::sort(expected.begin(), expected.end());
-    std::sort(got.begin(), got.end());
-    ASSERT_EQ(got, expected) << "v=" << v;
-  }
+  for (const char* spec : {"dynfwdpush:order=degree", "dynfora:order=degree",
+                           "dynspeedppr:order=degree"}) {
+    Prepared p = MakeDynamic(spec, graph);
+    Graph snapshot = p.dynamic->Snapshot();
+    ASSERT_EQ(snapshot.num_nodes(), graph.num_nodes()) << spec;
+    ASSERT_EQ(snapshot.num_edges(), graph.num_edges()) << spec;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      std::vector<NodeId> expected(graph.OutNeighbors(v).begin(),
+                                   graph.OutNeighbors(v).end());
+      std::vector<NodeId> got(snapshot.OutNeighbors(v).begin(),
+                              snapshot.OutNeighbors(v).end());
+      std::sort(expected.begin(), expected.end());
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, expected) << spec << " v=" << v;
+    }
 
-  // Updates speak original ids too: inserting (u, w) must show up as
-  // (u, w) in the snapshot, whatever the internal labeling.
-  UpdateBatch batch;
-  batch.Insert(79, 0);
-  ASSERT_TRUE(p.dynamic->ApplyUpdates(batch, nullptr).ok());
-  Graph after = p.dynamic->Snapshot();
-  EXPECT_TRUE(after.HasEdge(79, 0));
+    // Updates speak original ids too: inserting (u, w) must show up as
+    // (u, w) in the snapshot, whatever the internal labeling.
+    UpdateBatch batch;
+    batch.Insert(79, 0);
+    ASSERT_TRUE(p.dynamic->ApplyUpdates(batch, nullptr).ok()) << spec;
+    Graph after = p.dynamic->Snapshot();
+    EXPECT_TRUE(after.HasEdge(79, 0)) << spec;
+  }
 }
 
 TEST(DynamicSolverTest, InvalidBatchesLeaveStateUntouched) {
   Graph graph = PathGraph(5);
-  Prepared p = MakeDynamic("dynfwdpush:rmax=1e-8", graph);
-  SolverContext context(kSeed);
-  PprQuery query;
-  query.source = 0;
-  PprResult before;
-  ASSERT_TRUE(p.solver->Solve(query, context, &before).ok());
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    SolverContext context(kSeed);
+    PprQuery query;
+    query.source = 0;
+    PprResult before;
+    context.Reseed(kSeed);  // randomized solvers: fix the walk stream
+    ASSERT_TRUE(p.solver->Solve(query, context, &before).ok()) << name;
 
-  for (const auto& make_bad : {
-           +[](UpdateBatch* b) { b->Insert(0, 99); },     // out of range
-           +[](UpdateBatch* b) { b->Insert(2, 2); },      // self-loop
-           +[](UpdateBatch* b) { b->Delete(4, 0); },      // absent edge
-           +[](UpdateBatch* b) { b->Insert(0, 2).Delete(0, 2).Delete(0, 2); },
-       }) {
-    UpdateBatch bad;
-    make_bad(&bad);
-    Status status = p.dynamic->ApplyUpdates(bad, nullptr);
-    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
-    EXPECT_EQ(p.dynamic->epoch(), 0u);
-    PprResult after;
-    ASSERT_TRUE(p.solver->Solve(query, context, &after).ok());
-    EXPECT_EQ(after.scores, before.scores);
-    EXPECT_EQ(after.epoch, 0u);
+    for (const auto& make_bad : {
+             +[](UpdateBatch* b) { b->Insert(0, 99); },     // out of range
+             +[](UpdateBatch* b) { b->Insert(2, 2); },      // self-loop
+             +[](UpdateBatch* b) { b->Delete(4, 0); },      // absent edge
+             +[](UpdateBatch* b) {
+               b->Insert(0, 2).Delete(0, 2).Delete(0, 2);
+             },
+         }) {
+      UpdateBatch bad;
+      make_bad(&bad);
+      Status status = p.dynamic->ApplyUpdates(bad, nullptr);
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << name;
+      EXPECT_EQ(p.dynamic->epoch(), 0u) << name;
+      PprResult after;
+      context.Reseed(kSeed);
+      ASSERT_TRUE(p.solver->Solve(query, context, &after).ok()) << name;
+      EXPECT_EQ(after.scores, before.scores) << name;
+      EXPECT_EQ(after.epoch, 0u) << name;
+    }
   }
 }
 
 TEST(DynamicSolverTest, PerQueryParameterOverridesAreRejected) {
-  // The maintained estimate is bound to its construction-time alpha and
-  // rmax; silently answering at other parameters would be wrong.
+  // The maintained estimates (and, for the walk-index tier, the index
+  // and the W behind the walk counts) are bound to their construction-
+  // time parameters; silently answering at other ones would be wrong.
   Graph graph = PathGraph(4);
-  Prepared p = MakeDynamic("dynfwdpush", graph);
-  SolverContext context(kSeed);
-  PprResult result;
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    SolverContext context(kSeed);
+    PprResult result;
 
-  PprQuery alpha_query;
-  alpha_query.source = 0;
-  alpha_query.alpha = 0.5;
-  EXPECT_EQ(p.solver->Solve(alpha_query, context, &result).code(),
-            StatusCode::kInvalidArgument);
+    PprQuery alpha_query;
+    alpha_query.source = 0;
+    alpha_query.alpha = 0.5;
+    EXPECT_EQ(p.solver->Solve(alpha_query, context, &result).code(),
+              StatusCode::kInvalidArgument)
+        << name;
 
-  PprQuery lambda_query;
-  lambda_query.source = 0;
-  lambda_query.lambda = 1e-4;
-  EXPECT_EQ(p.solver->Solve(lambda_query, context, &result).code(),
-            StatusCode::kInvalidArgument);
+    PprQuery lambda_query;
+    lambda_query.source = 0;
+    lambda_query.lambda = 1e-4;
+    EXPECT_EQ(p.solver->Solve(lambda_query, context, &result).code(),
+              StatusCode::kInvalidArgument)
+        << name;
+  }
+
+  // ε/μ are what the approximate tier's W is derived from.
+  for (const char* name : {"dynfora", "dynspeedppr"}) {
+    Prepared p = MakeDynamic(name, graph);
+    SolverContext context(kSeed);
+    PprResult result;
+
+    PprQuery eps_query;
+    eps_query.source = 0;
+    eps_query.epsilon = 0.1;
+    EXPECT_EQ(p.solver->Solve(eps_query, context, &result).code(),
+              StatusCode::kInvalidArgument)
+        << name;
+
+    PprQuery mu_query;
+    mu_query.source = 0;
+    mu_query.mu = 0.01;
+    EXPECT_EQ(p.solver->Solve(mu_query, context, &result).code(),
+              StatusCode::kInvalidArgument)
+        << name;
+  }
 }
 
 TEST(DynamicSolverTest, ResultsCarryTheEpochAndStaticSolversStampZero) {
   Graph graph = PathGraph(4);
-  Prepared p = MakeDynamic("dynfwdpush", graph);
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    SolverContext context(kSeed);
+    PprQuery query;
+    query.source = 0;
+    PprResult result;
+    ASSERT_TRUE(p.solver->Solve(query, context, &result).ok()) << name;
+    EXPECT_EQ(result.epoch, 0u) << name;
+
+    UpdateBatch batch;
+    batch.Insert(3, 0).Insert(3, 1);
+    ASSERT_TRUE(p.dynamic->ApplyUpdates(batch, nullptr).ok()) << name;
+    ASSERT_TRUE(p.solver->Solve(query, context, &result).ok()) << name;
+    EXPECT_EQ(result.epoch, 2u) << name;
+  }
+
+  // A static solver reuses the same PprResult without inheriting the
+  // stale epoch.
   SolverContext context(kSeed);
   PprQuery query;
   query.source = 0;
   PprResult result;
-  ASSERT_TRUE(p.solver->Solve(query, context, &result).ok());
-  EXPECT_EQ(result.epoch, 0u);
-
-  UpdateBatch batch;
-  batch.Insert(3, 0).Insert(3, 1);
-  ASSERT_TRUE(p.dynamic->ApplyUpdates(batch, nullptr).ok());
-  ASSERT_TRUE(p.solver->Solve(query, context, &result).ok());
-  EXPECT_EQ(result.epoch, 2u);
-
-  // A static solver reuses the same PprResult without inheriting the
-  // stale epoch.
   auto powerpush = SolverRegistry::Global().Create("powerpush");
   ASSERT_TRUE(powerpush.ok());
   ASSERT_TRUE(powerpush.value()->Prepare(graph).ok());
   ASSERT_TRUE(powerpush.value()->Solve(query, context, &result).ok());
   EXPECT_EQ(result.epoch, 0u);
+}
+
+TEST(DynamicSolverTest, UpdateStatsReportWalksResampledForTheIndexedTier) {
+  // BarabasiAlbert hubs sit on many walk paths, so a mixed stream must
+  // invalidate some walks; the exact tier has no index and reports 0.
+  Rng rng(14);
+  Graph graph = BarabasiAlbert(60, 3, rng);
+  UpdateWorkloadOptions workload;
+  workload.count = 20;
+  workload.delete_fraction = 0.3;
+  workload.seed = 77;
+  UpdateBatch stream = GenerateUpdateStream(graph, workload).ValueOrDie();
+
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    UpdateStats stats;
+    ASSERT_TRUE(p.dynamic->ApplyUpdates(stream, &stats).ok()) << name;
+    EXPECT_EQ(stats.epoch, stream.size()) << name;
+    if (std::string(name) == "dynfwdpush") {
+      EXPECT_EQ(stats.walks_resampled, 0u) << name;
+    } else {
+      EXPECT_GT(stats.walks_resampled, 0u) << name;
+    }
+  }
 }
 
 TEST(DynamicSolverTest, WantResiduesExportsTheSignedCertificate) {
@@ -225,9 +310,11 @@ TEST(DynamicSolverTest, WantResiduesExportsTheSignedCertificate) {
   workload.count = 20;
   workload.delete_fraction = 0.5;
   workload.seed = 31;
-  ASSERT_TRUE(
-      p.dynamic->ApplyUpdates(GenerateUpdateStream(graph, workload), nullptr)
-          .ok());
+  ASSERT_TRUE(p.dynamic
+                  ->ApplyUpdates(
+                      GenerateUpdateStream(graph, workload).ValueOrDie(),
+                      nullptr)
+                  .ok());
 
   SolverContext context(kSeed);
   PprQuery query;

@@ -21,6 +21,7 @@
 #include "core/pagerank.h"
 #include "core/power_iteration.h"
 #include "core/power_push.h"
+#include "graph/dynamic_graph.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
 #include "test_util.h"
@@ -486,6 +487,53 @@ TEST(WalkIndexCacheTest, PrepareSavesAndSecondPrepareLoads) {
     out << "not an index";
   }
   EXPECT_EQ(SolveOnce(spec, graph), first);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalkIndexCacheTest, StaleCacheFromAnEarlierEpochIsRejected) {
+  // The stale-cache hazard: an index saved for the pre-update CSR must
+  // never be served for the post-update graph. The filename encodes the
+  // fingerprint, but a copied/renamed/colliding file defeats names — the
+  // embedded fingerprint check at load time is what must hold the line.
+  const Graph graph = testing::SmallGraphZoo()[7].graph;  // ba_120
+  const std::string dir = CacheDir();
+  const std::string spec =
+      "speedppr-index:eps=0.4,seed=5,cache_dir=" + dir;
+
+  // Prepare on the base graph: cache saved under its fingerprint.
+  SolveOnce(spec, graph);
+  const std::string base_cache =
+      dir + "/" + WalkIndex::CacheFileName(WalkIndex::Sizing::kSpeedPpr, 0.2,
+                                           0, 5, graph.Fingerprint());
+  ASSERT_TRUE(std::filesystem::exists(base_cache)) << base_cache;
+
+  // The graph evolves by one applied update batch.
+  DynamicGraph evolving(graph);
+  UpdateBatch batch;
+  batch.Insert(0, 119).Insert(7, 3);
+  ASSERT_TRUE(evolving.Apply(batch).ok());
+  const Graph updated = evolving.Snapshot();
+  ASSERT_NE(updated.Fingerprint(), graph.Fingerprint());
+
+  // Tamper: plant the pre-update cache at the post-update path.
+  const std::string updated_cache =
+      dir + "/" + WalkIndex::CacheFileName(WalkIndex::Sizing::kSpeedPpr, 0.2,
+                                           0, 5, updated.Fingerprint());
+  std::filesystem::copy_file(base_cache, updated_cache);
+
+  // Prepare on the updated graph must reject the stale file (its
+  // embedded fingerprint names the old CSR) and rebuild — bitwise the
+  // same answer as a cache-less solver on the updated graph.
+  const std::vector<double> fresh =
+      SolveOnce("speedppr-index:eps=0.4,seed=5", updated);
+  EXPECT_EQ(SolveOnce(spec, updated), fresh);
+
+  // And the rebuild replaced the tampered file with a valid cache for
+  // the updated graph.
+  auto reloaded = WalkIndex::LoadFrom(updated_cache);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().graph_fingerprint(), updated.Fingerprint());
 
   std::filesystem::remove_all(dir);
 }

@@ -1,6 +1,7 @@
 #include "eval/query_gen.h"
 
 #include <algorithm>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -42,8 +43,14 @@ TEST(UpdateStreamTest, GeneratesValidStreams) {
     options.count = 120;
     options.delete_fraction = delete_fraction;
     options.seed = 5;
-    UpdateBatch batch = GenerateUpdateStream(g, options);
-    EXPECT_EQ(batch.size(), options.count);
+    UpdateBatch batch = GenerateUpdateStream(g, options).ValueOrDie();
+    if (delete_fraction < 1.0) {
+      EXPECT_EQ(batch.size(), options.count);
+    } else {
+      // A pure-delete stream may exhaust the deletable edges and stop
+      // short (see ExhaustedPureDeleteStreamTerminatesShort).
+      EXPECT_LE(batch.size(), options.count);
+    }
     DynamicGraph dg(g);
     EXPECT_TRUE(dg.Apply(batch).ok()) << "deletes=" << delete_fraction;
   }
@@ -55,10 +62,57 @@ TEST(UpdateStreamTest, DeterministicGivenOptions) {
   options.count = 50;
   options.delete_fraction = 0.4;
   options.seed = 9;
-  UpdateBatch first = GenerateUpdateStream(g, options);
-  EXPECT_EQ(first.updates, GenerateUpdateStream(g, options).updates);
+  UpdateBatch first = GenerateUpdateStream(g, options).ValueOrDie();
+  EXPECT_EQ(first.updates,
+            GenerateUpdateStream(g, options).ValueOrDie().updates);
   options.seed = 10;
-  EXPECT_NE(GenerateUpdateStream(g, options).updates, first.updates);
+  EXPECT_NE(GenerateUpdateStream(g, options).ValueOrDie().updates,
+            first.updates);
+}
+
+TEST(UpdateStreamTest, ExhaustedPureDeleteStreamTerminatesShort) {
+  // delete_fraction=1 asking for more deletions than edges can ever
+  // exist: the generator must terminate with the all-deletes stream it
+  // could build — never pad with insertions, never loop.
+  Graph g = CycleGraph(10);  // exactly 10 edges
+  UpdateWorkloadOptions options;
+  options.count = 50;
+  options.delete_fraction = 1.0;
+  options.seed = 3;
+  UpdateBatch batch = GenerateUpdateStream(g, options).ValueOrDie();
+  ASSERT_EQ(batch.size(), g.num_edges());
+  for (const EdgeUpdate& up : batch.updates) {
+    EXPECT_EQ(up.kind, UpdateKind::kDelete);
+  }
+  // The truncated stream is still valid and drains the graph entirely.
+  DynamicGraph dg(g);
+  ASSERT_TRUE(dg.Apply(batch).ok());
+  EXPECT_EQ(dg.num_edges(), 0u);
+}
+
+TEST(UpdateStreamTest, RejectsDegenerateCountAndSkew) {
+  Graph g = CycleGraph(10);
+  UpdateWorkloadOptions options;
+  options.seed = 3;
+
+  options.count = 0;
+  EXPECT_EQ(GenerateUpdateStream(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.count = UpdateWorkloadOptions::kMaxUpdateCount + 1;
+  EXPECT_EQ(GenerateUpdateStream(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.count = 10;
+
+  for (double skew : {-0.5, UpdateWorkloadOptions::kMaxUpdateSkew + 1.0,
+                      std::numeric_limits<double>::quiet_NaN(),
+                      std::numeric_limits<double>::infinity()}) {
+    options.skew = skew;
+    EXPECT_EQ(GenerateUpdateStream(g, options).status().code(),
+              StatusCode::kInvalidArgument)
+        << "skew=" << skew;
+  }
+  options.skew = 0.0;
+  EXPECT_TRUE(GenerateUpdateStream(g, options).ok());
 }
 
 TEST(UpdateStreamTest, DeleteFractionShapesTheMix) {
@@ -69,23 +123,26 @@ TEST(UpdateStreamTest, DeleteFractionShapesTheMix) {
   options.seed = 7;
 
   options.delete_fraction = 0.0;
-  for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+  for (const EdgeUpdate& up :
+       GenerateUpdateStream(g, options).ValueOrDie().updates) {
     EXPECT_EQ(up.kind, UpdateKind::kInsert);
   }
 
   // All deletions while live edges remain (count stays below m; once
-  // the live set drains the generator falls back to insertions, which
-  // GeneratesValidStreams covers at count > m).
+  // the live set drains the generator stops short, which
+  // ExhaustedPureDeleteStreamTerminatesShort covers at count > m).
   options.delete_fraction = 1.0;
   options.count = g.num_edges() / 2;
-  for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+  for (const EdgeUpdate& up :
+       GenerateUpdateStream(g, options).ValueOrDie().updates) {
     EXPECT_EQ(up.kind, UpdateKind::kDelete);
   }
   options.count = 200;
 
   options.delete_fraction = 0.5;
   size_t deletes = 0;
-  for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+  for (const EdgeUpdate& up :
+       GenerateUpdateStream(g, options).ValueOrDie().updates) {
     if (up.kind == UpdateKind::kDelete) deletes++;
   }
   EXPECT_GT(deletes, 60u);
@@ -103,7 +160,8 @@ TEST(UpdateStreamTest, SkewConcentratesEndpointsOnLowIds) {
     options.skew = skew;
     double sum = 0.0;
     size_t n = 0;
-    for (const EdgeUpdate& up : GenerateUpdateStream(g, options).updates) {
+    for (const EdgeUpdate& up :
+         GenerateUpdateStream(g, options).ValueOrDie().updates) {
       sum += up.u + up.v;
       n += 2;
     }

@@ -248,6 +248,54 @@ TEST(PprServerTest, FullQueueRejectsWithUnavailableAndNeverBlocks) {
   EXPECT_EQ(server.stats().completed, 3u);
 }
 
+TEST(PprServerTest, SolveBatchBacksOffUnderBackpressureAndCountsOnce) {
+  // A batch larger than worker + queue capacity must not hot-spin
+  // resubmitting: blocked submissions wait out the bounded exponential
+  // backoff and are admitted once the worker drains, and every
+  // submission that found the queue full counts exactly once in
+  // stats().rejected — never once per backoff round (the hold below
+  // deliberately spans many rounds).
+  const Graph& graph = SharedFixtures().general;
+  auto gate = std::make_unique<GateSolver>();
+  GateSolver* gate_ptr = gate.get();
+  ASSERT_TRUE(gate->Prepare(graph).ok());
+
+  PprServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  PprServer server(options);
+  ASSERT_TRUE(server.AddSolver("gate", std::move(gate)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<PprQuery> queries(4);
+  std::vector<PprResult> results;
+  std::thread batcher([&] {
+    Status status = server.SolveBatch(queries, &results);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+
+  // Query 0 occupies the worker on the gate, query 1 fills the queue,
+  // query 2 is now backing off; hold the gate long enough for many
+  // backoff rounds (the cap is 8ms, so 40ms spans several).
+  gate_ptr->AwaitEntered(1);
+  while (server.stats().queue_depth < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  gate_ptr->Open();
+  batcher.join();
+  ASSERT_EQ(results.size(), queries.size());
+  const PprServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, queries.size());
+  // Query 2 was certainly refused at least once; queries 1 and 3 may
+  // have been too, depending on pop/drain timing — but each at most
+  // once. The 40ms hold spans dozens of backoff rounds, so a per-retry
+  // counter would blow far past this bound.
+  EXPECT_GE(stats.rejected, 1u);
+  EXPECT_LE(stats.rejected, queries.size() - 1);
+  server.Stop();
+  EXPECT_EQ(server.stats().completed, queries.size());
+}
+
 TEST(PprServerTest, StopCompletesInFlightAndQueuedQueries) {
   const Graph& graph = SharedFixtures().general;
   auto gate = std::make_unique<GateSolver>();
@@ -502,13 +550,15 @@ TEST(PprServerDynamicTest, ApplyUpdatesRoutesAndValidates) {
 }
 
 TEST(PprServerDynamicTest, EpochConsistentUnderConcurrentUpdatesAndQueries) {
-  // The acceptance claim: with clients querying while batches apply,
-  // every served result (a) stamps an epoch that is exactly one of the
-  // batch boundaries — never a half-applied state — and (b) matches the
-  // dense exact solution *of that epoch's snapshot* within its
-  // advertised bound. The bound (~1e-7) is far below the score drift a
-  // single update causes here, so a torn or mis-stamped result cannot
-  // slip through.
+  // The acceptance claim, for all three dynamic solvers: with clients
+  // querying while batches apply, every served result (a) stamps an
+  // epoch that is exactly one of the batch boundaries — never a
+  // half-applied state — and (b) matches the dense exact solution *of
+  // that epoch's snapshot* within its advertised bound. For dynfwdpush
+  // the bound (~1e-7) is far below the score drift a single update
+  // causes here, so a torn or mis-stamped result cannot slip through;
+  // for the walk-index tier the boundary-membership check carries that
+  // weight while the ε bound polices the repaired index + estimate.
   constexpr NodeId kSource = 1;
   constexpr size_t kBatches = 6;
   Rng rng(17);
@@ -518,7 +568,7 @@ TEST(PprServerDynamicTest, EpochConsistentUnderConcurrentUpdatesAndQueries) {
   workload.count = 30;
   workload.delete_fraction = 0.3;
   workload.seed = 23;
-  UpdateBatch stream = GenerateUpdateStream(graph, workload);
+  UpdateBatch stream = GenerateUpdateStream(graph, workload).ValueOrDie();
   std::vector<UpdateBatch> batches(kBatches);
   for (size_t b = 0; b < kBatches; ++b) {
     batches[b].updates.assign(
@@ -526,7 +576,8 @@ TEST(PprServerDynamicTest, EpochConsistentUnderConcurrentUpdatesAndQueries) {
         stream.updates.begin() + (b + 1) * stream.size() / kBatches);
   }
 
-  // Replay the stream serially: exact solution per boundary epoch.
+  // Replay the stream serially: exact solution per boundary epoch,
+  // shared by every solver under test.
   std::map<uint64_t, std::vector<double>> exact;
   {
     DynamicGraph replay(graph);
@@ -538,56 +589,59 @@ TEST(PprServerDynamicTest, EpochConsistentUnderConcurrentUpdatesAndQueries) {
     }
   }
 
-  PprServer server({.workers = 3, .contexts = 2});
-  ASSERT_TRUE(server.AddSolver("dynfwdpush:rmax=1e-9", graph).ok());
-  ASSERT_TRUE(server.Start().ok());
+  for (const char* spec : {"dynfwdpush:rmax=1e-9", "dynfora:eps=0.3",
+                           "dynspeedppr:eps=0.3"}) {
+    PprServer server({.workers = 3, .contexts = 2});
+    ASSERT_TRUE(server.AddSolver(spec, graph).ok()) << spec;
+    ASSERT_TRUE(server.Start().ok()) << spec;
 
-  std::atomic<bool> done{false};
-  std::vector<std::vector<PprFuture>> futures(2);
-  std::vector<std::thread> clients;
-  for (size_t c = 0; c < futures.size(); ++c) {
-    clients.emplace_back([&, c] {
-      PprQuery query;
-      query.source = kSource;
-      while (!done.load(std::memory_order_relaxed)) {
-        auto submitted = server.Submit(query);
-        if (submitted.ok()) {
-          futures[c].push_back(std::move(submitted).ValueOrDie());
+    std::atomic<bool> done{false};
+    std::vector<std::vector<PprFuture>> futures(2);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < futures.size(); ++c) {
+      clients.emplace_back([&, c] {
+        PprQuery query;
+        query.source = kSource;
+        while (!done.load(std::memory_order_relaxed)) {
+          auto submitted = server.Submit(query);
+          if (submitted.ok()) {
+            futures[c].push_back(std::move(submitted).ValueOrDie());
+          }
+          std::this_thread::yield();
         }
-        std::this_thread::yield();
-      }
-    });
-  }
-
-  uint64_t final_epoch = 0;
-  for (const UpdateBatch& batch : batches) {
-    auto applied = server.ApplyUpdates(batch);
-    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
-    final_epoch = applied.value();
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  done.store(true);
-  for (std::thread& t : clients) t.join();
-  server.Stop();
-  EXPECT_EQ(final_epoch, stream.size());
-
-  size_t checked = 0;
-  for (const auto& client_futures : futures) {
-    for (const PprFuture& future : client_futures) {
-      PprResult result;
-      Status status = future.Get(&result);
-      if (!status.ok()) continue;  // shutdown race rejections only
-      auto it = exact.find(result.epoch);
-      ASSERT_NE(it, exact.end())
-          << "result stamped epoch " << result.epoch
-          << ", which is not a batch boundary — a torn update leaked";
-      ASSERT_LT(L1Distance(result.scores, it->second),
-                result.l1_bound + 1e-11)
-          << "epoch " << result.epoch;
-      checked++;
+      });
     }
+
+    uint64_t final_epoch = 0;
+    for (const UpdateBatch& batch : batches) {
+      auto applied = server.ApplyUpdates(batch);
+      ASSERT_TRUE(applied.ok()) << spec << ": " << applied.status().ToString();
+      final_epoch = applied.value();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true);
+    for (std::thread& t : clients) t.join();
+    server.Stop();
+    EXPECT_EQ(final_epoch, stream.size()) << spec;
+
+    size_t checked = 0;
+    for (const auto& client_futures : futures) {
+      for (const PprFuture& future : client_futures) {
+        PprResult result;
+        Status status = future.Get(&result);
+        if (!status.ok()) continue;  // shutdown race rejections only
+        auto it = exact.find(result.epoch);
+        ASSERT_NE(it, exact.end())
+            << spec << ": result stamped epoch " << result.epoch
+            << ", which is not a batch boundary — a torn update leaked";
+        ASSERT_LT(L1Distance(result.scores, it->second),
+                  result.l1_bound + 1e-11)
+            << spec << " epoch " << result.epoch;
+        checked++;
+      }
+    }
+    EXPECT_GT(checked, 0u) << spec;
   }
-  EXPECT_GT(checked, 0u);
 }
 
 TEST(PprServerDynamicTest, UpdatesInvalidateWarmPoolContexts) {

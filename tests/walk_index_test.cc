@@ -136,5 +136,137 @@ TEST(WalkIndexTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(WalkIndexTest, BuildRecordsTheGraphFingerprint) {
+  // The staleness check behind cache_dir=: the fingerprint is embedded
+  // at build time and survives a save/load round trip, so a cache saved
+  // for one CSR can never silently serve another.
+  Graph g = testing::SmallGraphZoo()[6].graph;
+  WalkIndex index = WalkIndex::BuildParallel(
+      g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, /*seed=*/5);
+  EXPECT_EQ(index.graph_fingerprint(), g.Fingerprint());
+
+  std::string path = ::testing::TempDir() + "/fingerprinted_index.bin";
+  ASSERT_TRUE(index.SaveTo(path).ok());
+  auto loaded = WalkIndex::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().graph_fingerprint(), g.Fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// DynamicWalkIndex — incremental walk refresh
+// ---------------------------------------------------------------------
+
+TEST(DynamicWalkIndexTest, FreshBuildMatchesBuildParallelBitForBit) {
+  // The dynamic index shares the (seed, v) per-node stream scheme, so
+  // before any mutation it IS the static index.
+  Graph g = testing::SmallGraphZoo()[7].graph;
+  constexpr uint64_t kSeed = 11;
+  for (auto sizing :
+       {WalkIndex::Sizing::kSpeedPpr, WalkIndex::Sizing::kForaPlus}) {
+    const uint64_t w = sizing == WalkIndex::Sizing::kForaPlus ? 100000 : 0;
+    WalkIndex flat = WalkIndex::BuildParallel(g, 0.2, sizing, w, kSeed);
+    DynamicWalkIndex dynamic(g, 0.2, sizing, w, kSeed);
+    ASSERT_EQ(dynamic.total_walks(), flat.total_walks());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto a = flat.Endpoints(v);
+      auto b = dynamic.Endpoints(v);
+      ASSERT_EQ(a.size(), b.size()) << "v=" << v;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << "v=" << v << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(DynamicWalkIndexTest, TracksTheSizingRuleAcrossMutations) {
+  Graph g = PaperExampleGraph();
+  DynamicGraph dg(g);
+  DynamicWalkIndex index(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, /*seed=*/3);
+
+  // Insertions grow K_u with the degree, deletions shrink it; dead ends
+  // keep one walk.
+  Rng rng(9);
+  for (int step = 0; step < 30; ++step) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(dg.num_nodes()));
+    const NodeId w = static_cast<NodeId>(rng.NextBounded(dg.num_nodes()));
+    if (u == w) continue;
+    if (dg.OutDegree(u) > 0 && rng.NextBernoulli(0.4)) {
+      auto neighbors = dg.OutNeighbors(u);
+      const NodeId victim =
+          neighbors[rng.NextBounded(neighbors.size())];
+      dg.RemoveEdge(u, victim);
+    } else {
+      dg.AddEdge(u, w);
+    }
+    index.RefreshMutatedNode(dg, u);
+
+    uint64_t expected_total = 0;
+    for (NodeId v = 0; v < dg.num_nodes(); ++v) {
+      const uint64_t expected =
+          dg.OutDegree(v) == 0 ? 1 : dg.OutDegree(v);
+      ASSERT_EQ(index.Endpoints(v).size(), expected)
+          << "step=" << step << " v=" << v;
+      expected_total += expected;
+    }
+    ASSERT_EQ(index.total_walks(), expected_total) << "step=" << step;
+  }
+}
+
+TEST(DynamicWalkIndexTest, RefreshRedirectsWalksOffRemovedEdges) {
+  // Path 0→1→2→3: cutting (1, 2) makes {2, 3} unreachable from 0 and 1,
+  // so after the refresh no stored walk from those origins may still
+  // stop there — the stale-suffix invalidation must catch every walk
+  // that crossed the removed edge.
+  Graph g = PathGraph(4);
+  DynamicGraph dg(g);
+  DynamicWalkIndex index(g, 0.2, WalkIndex::Sizing::kForaPlus, 4000,
+                         /*seed=*/21);
+  bool crossed_before = false;
+  for (NodeId origin : {NodeId{0}, NodeId{1}}) {
+    for (NodeId stop : index.Endpoints(origin)) {
+      crossed_before |= stop >= 2;
+    }
+  }
+  ASSERT_TRUE(crossed_before) << "fixture too small to exercise the cut";
+
+  dg.RemoveEdge(1, 2);
+  const uint64_t resampled = index.RefreshMutatedNode(dg, 1);
+  EXPECT_GT(resampled, 0u);
+  for (NodeId origin : {NodeId{0}, NodeId{1}}) {
+    for (NodeId stop : index.Endpoints(origin)) {
+      ASSERT_LT(stop, 2u) << "origin=" << origin;
+    }
+  }
+  // Walks from 2 and 3 never used node 1's adjacency and stay put.
+  for (NodeId stop : index.Endpoints(2)) ASSERT_GE(stop, 2u);
+  for (NodeId stop : index.Endpoints(3)) ASSERT_EQ(stop, 3u);
+}
+
+TEST(DynamicWalkIndexTest, RefreshedEndpointDistributionMatchesPpr) {
+  // The distribution-identity claim, empirically: after a mutation and
+  // its refresh, endpoint frequencies from a well-sampled node match
+  // the exact PPR of the *updated* graph — the same tolerance the
+  // static index passes on a fresh build.
+  Graph g = CompleteGraph(6);
+  DynamicGraph dg(g);
+  DynamicWalkIndex index(g, 0.2, WalkIndex::Sizing::kForaPlus, 40000000,
+                         /*seed=*/5);
+
+  dg.RemoveEdge(0, 3);
+  dg.AddEdge(5, 0);
+  index.RefreshMutatedNode(dg, 0);
+  index.RefreshMutatedNode(dg, 5);
+
+  Graph updated = dg.Snapshot();
+  std::vector<double> exact = testing::ExactPprDense(updated, 0, 0.2);
+  auto endpoints = index.Endpoints(0);
+  ASSERT_GT(endpoints.size(), 1000u);
+  std::vector<double> freq(updated.num_nodes(), 0.0);
+  for (NodeId stop : endpoints) freq[stop] += 1.0 / endpoints.size();
+  for (NodeId v = 0; v < updated.num_nodes(); ++v) {
+    EXPECT_NEAR(freq[v], exact[v], 0.02) << "v=" << v;
+  }
+}
+
 }  // namespace
 }  // namespace ppr
