@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# No raw std synchronization primitives outside src/util/mutex.h: the
+# annotated ppr::Mutex wrappers are what -Wthread-safety sees, so a raw
+# std::mutex member is invisible to the analysis — exactly the hole the
+# contracts exist to close.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern='std::(mutex|shared_mutex|condition_variable|lock_guard|scoped_lock|unique_lock|shared_lock)'
+offenders="$(grep -rnE "${pattern}" src --include='*.h' --include='*.cc' \
+             | grep -v '^src/util/mutex\.h:' || true)"
+if [ -n "${offenders}" ]; then
+  echo "error: raw std synchronization primitive outside src/util/mutex.h" >&2
+  echo "       (use ppr::Mutex / MutexLock / CondVar from util/mutex.h):" >&2
+  echo "${offenders}" >&2
+  exit 1
+fi
+echo "raw-mutex check: clean (wrappers confined to src/util/mutex.h)"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# clang-tidy over the library sources with the repo's .clang-tidy
+# (warnings are errors there). CI's clang-tidy job and
+# `scripts/check.sh --tidy` both land here, so local runs reproduce CI
+# exactly.
+#
+#   scripts/run_tidy.sh [paths...]
+#
+# With no paths, lints every src/**/*.cc. Honors $CLANG_TIDY (binary to
+# use) and $BUILD_DIR (compile-commands dir, default build-tidy).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "error: ${CLANG_TIDY} not found — install clang-tidy or set" \
+       "CLANG_TIDY" >&2
+  exit 2
+fi
+
+# compile_commands.json drives tidy; bench/tests/examples are covered by
+# -Wall builds and stay out of the lint surface.
+BUILD_DIR="${BUILD_DIR:-build-tidy}"
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DPPR_BUILD_TESTS=OFF \
+  -DPPR_BUILD_EXAMPLES=OFF \
+  > /dev/null
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+echo "clang-tidy (${#files[@]} files, .clang-tidy, warnings are errors)"
+"${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${files[@]}"
+
+# The wrapper layer is the one place raw std primitives are allowed;
+# everywhere else they bypass the thread-safety annotations. Grep-level
+# check so it runs even where clang-tidy itself is unavailable.
+scripts/check_raw_mutex.sh

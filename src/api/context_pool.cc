@@ -51,8 +51,8 @@ void ContextPool::RefreshForEpoch(SolverContext* context) {
 }
 
 ContextPool::Lease ContextPool::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
-  free_cv_.wait(lock, [this] { return !free_.empty(); });
+  MutexLock lock(mu_);
+  while (free_.empty()) free_cv_.Wait(lock);
   SolverContext* context = free_.back();
   free_.pop_back();
   RefreshForEpoch(context);
@@ -60,7 +60,7 @@ ContextPool::Lease ContextPool::Acquire() {
 }
 
 std::optional<ContextPool::Lease> ContextPool::TryAcquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (free_.empty()) return std::nullopt;
   SolverContext* context = free_.back();
   free_.pop_back();
@@ -69,25 +69,25 @@ std::optional<ContextPool::Lease> ContextPool::TryAcquire() {
 }
 
 void ContextPool::AdvanceEpoch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   epoch_++;
 }
 
 uint64_t ContextPool::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return epoch_;
 }
 
 void ContextPool::Return(SolverContext* context) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     free_.push_back(context);
   }
-  free_cv_.notify_one();
+  free_cv_.NotifyOne();
 }
 
 size_t ContextPool::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return free_.size();
 }
 

@@ -1,14 +1,14 @@
 #ifndef PPR_API_CONTEXT_POOL_H_
 #define PPR_API_CONTEXT_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "api/context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ppr {
 
@@ -58,24 +58,24 @@ class ContextPool {
   };
 
   /// Blocks until a context is free.
-  Lease Acquire();
+  Lease Acquire() PPR_EXCLUDES(mu_);
 
   /// Returns an invalid lease instead of blocking when the pool is
   /// exhausted.
-  std::optional<Lease> TryAcquire();
+  std::optional<Lease> TryAcquire() PPR_EXCLUDES(mu_);
 
   /// Marks every context stale: the next Acquire of each performs a
   /// full workspace invalidation (SolverContext::InvalidateWorkspace)
   /// before handing it out. Called once per applied update batch by
   /// PprServer::ApplyUpdates; costs each context one full O(n) assign
   /// on its next query, after which sparse resets resume.
-  void AdvanceEpoch();
+  void AdvanceEpoch() PPR_EXCLUDES(mu_);
 
   /// Number of AdvanceEpoch() calls so far.
-  uint64_t epoch() const;
+  uint64_t epoch() const PPR_EXCLUDES(mu_);
 
   size_t capacity() const { return contexts_.size(); }
-  size_t available() const;
+  size_t available() const PPR_EXCLUDES(mu_);
 
   /// Σ full_assigns() over every pooled context. Only meaningful when no
   /// lease is outstanding (the serve tests assert warm-pool steady state
@@ -85,16 +85,18 @@ class ContextPool {
   uint64_t TotalSparseResets() const;
 
  private:
-  void Return(SolverContext* context);
-  /// Invalidates `context` if it has not seen the current epoch.
-  /// Caller holds mu_.
-  void RefreshForEpoch(SolverContext* context);
+  void Return(SolverContext* context) PPR_EXCLUDES(mu_);
+  /// Invalidates `context` if it has not seen the current epoch —
+  /// the unlocked-checkout violation the negative-compile suite seeds.
+  void RefreshForEpoch(SolverContext* context) PPR_REQUIRES(mu_);
 
+  /// Immutable after construction (the pool never grows); only the
+  /// free-list below needs the lock.
   std::vector<std::unique_ptr<SolverContext>> contexts_;
-  mutable std::mutex mu_;
-  std::condition_variable free_cv_;
-  std::vector<SolverContext*> free_;
-  uint64_t epoch_ = 0;
+  mutable Mutex mu_;
+  CondVar free_cv_;
+  std::vector<SolverContext*> free_ PPR_GUARDED_BY(mu_);
+  uint64_t epoch_ PPR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ppr

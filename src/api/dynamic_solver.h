@@ -57,8 +57,8 @@ class DynamicSolver : public Solver {
 
   /// Applies the batch; see the contract above. `stats`, when non-null,
   /// receives the repair cost and the new epoch.
-  virtual Status ApplyUpdates(const UpdateBatch& batch,
-                              UpdateStats* stats = nullptr) = 0;
+  [[nodiscard]] virtual Status ApplyUpdates(const UpdateBatch& batch,
+                                            UpdateStats* stats = nullptr) = 0;
 
   /// Mutations applied since Prepare(). 0 before the first batch.
   virtual uint64_t epoch() const = 0;

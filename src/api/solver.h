@@ -92,7 +92,7 @@ class Solver {
 
   /// Binds the solver to a graph and runs preprocessing (index builds).
   /// Validates the capability preconditions (in-adjacency, dead ends).
-  virtual Status Prepare(const Graph& graph);
+  [[nodiscard]] virtual Status Prepare(const Graph& graph);
 
   /// Answers one query. `result` is overwritten. Returns
   /// FailedPrecondition when Prepare() has not succeeded and
@@ -100,8 +100,8 @@ class Solver {
   /// on one solver are safe when each thread uses its own context —
   /// implementations must keep per-query mutable state in the
   /// SolverContext (BatchSolve relies on this).
-  Status Solve(const PprQuery& query, SolverContext& context,
-               PprResult* result);
+  [[nodiscard]] Status Solve(const PprQuery& query, SolverContext& context,
+                             PprResult* result);
 
   /// The ℓ1-error bound the solver advertises for this query — exact for
   /// the high-precision family (the push-termination certificate), a

@@ -13,7 +13,6 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -37,8 +36,10 @@
 #include "core/power_iteration.h"
 #include "core/power_push.h"
 #include "core/priority_push.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace ppr {
@@ -169,12 +170,17 @@ class ForwardPushSolver : public Solver {
 /// PowerPush (Algorithm 3), the paper's primary contribution.
 class PowerPushSolver : public Solver {
  public:
+  /// epochs == 0 disables the dynamic-threshold epochs (single epoch at
+  /// lambda); queue_phase=false skips the local FIFO phase — the two
+  /// ablation axes of §5, exposed so the ablation benches run through
+  /// the registry instead of core internals.
   PowerPushSolver(ParamDefaults params, double lambda_unset, int epochs,
-                  double scan_threshold)
+                  double scan_threshold, bool queue_phase)
       : params_(params),
         lambda_set_(lambda_unset > 0),
         epochs_(epochs),
-        scan_threshold_(scan_threshold) {
+        scan_threshold_(scan_threshold),
+        queue_phase_(queue_phase) {
     if (lambda_set_) params_.lambda = lambda_unset;
   }
 
@@ -210,7 +216,9 @@ class PowerPushSolver : public Solver {
     PowerPushOptions options;
     options.alpha = params_.Alpha(query);
     options.lambda = Lambda(query);
-    options.epoch_num = epochs_;
+    options.use_epochs = epochs_ > 0;
+    options.epoch_num = epochs_ > 0 ? epochs_ : 1;
+    options.use_queue_phase = queue_phase_;
     options.scan_threshold_fraction = scan_threshold_;
     options.assume_initialized = true;
     options.threads = threads();
@@ -233,6 +241,7 @@ class PowerPushSolver : public Solver {
   const bool lambda_set_;  // false → paper default min(1e-8, 1/m)
   const int epochs_;
   const double scan_threshold_;
+  const bool queue_phase_;
   NodeId dead_ends_ = 0;
 };
 
@@ -414,9 +423,11 @@ class DynamicPoolSolver : public DynamicSolver {
 
   /// Maps the batch into layout space when needed and applies it to the
   /// pool; `applied` fires after each landed mutation (see
-  /// DynamicSspprPool::Apply). Caller must hold mu_.
+  /// DynamicSspprPool::Apply). The caller-must-hold-mu_ contract is
+  /// compiler-checked under PPR_ANALYZE.
   Status ApplyToPool(const UpdateBatch& batch, uint64_t* pushes,
-                     const std::function<void(const EdgeUpdate&)>& applied) {
+                     const std::function<void(const EdgeUpdate&)>& applied)
+      PPR_REQUIRES(mu_) {
     const std::vector<NodeId>& perm = layout_permutation();
     if (perm.empty()) return pool_->Apply(batch, pushes, applied);
     // Updates arrive in original ids; the evolving graph lives in
@@ -439,7 +450,7 @@ class DynamicPoolSolver : public DynamicSolver {
   std::unique_ptr<DynamicSspprPool> pool_;
   /// Serializes Solve (the maintained estimates live in the solver, not
   /// the context) and ApplyUpdates against each other.
-  std::mutex mu_;
+  Mutex mu_;
 };
 
 /// Incremental Forward Push on an evolving graph ("dynfwdpush"): the
@@ -492,7 +503,7 @@ class DynFwdPushSolver : public DynamicPoolSolver {
     }
     Timer timer;
     uint64_t pushes = 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PPR_RETURN_IF_ERROR(ApplyToPool(batch, &pushes, {}));
     if (stats != nullptr) {
       stats->push_operations = pushes;
@@ -520,7 +531,7 @@ class DynFwdPushSolver : public DynamicPoolSolver {
     // across queries and updates), not in the context — so concurrent
     // Solves serialize on the pool here. Solve is read-only for an
     // existing tracker; first use pays one from-scratch push.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DynamicSsppr& tracker = pool_->TrackerFor(query.source);
     const PprEstimate& estimate = tracker.estimate();
     result->scores.assign(estimate.reserve.begin(), estimate.reserve.end());
@@ -821,8 +832,11 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
     }
     index_ = std::make_unique<DynamicWalkIndex>(*graph_, params_.alpha,
                                                 sizing, index_w, index_seed_);
-    snapshot_.reset();
-    snapshot_epoch_ = 0;
+    {
+      MutexLock lock(mu_);
+      snapshot_.reset();
+      snapshot_epoch_ = 0;
+    }
     return Status::OK();
   }
 
@@ -839,7 +853,7 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
     Timer timer;
     uint64_t pushes = 0;
     uint64_t walks = 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // The hook runs right after each mutation lands, so the index always
     // repairs against the adjacency the walks must now follow; residue
     // repair and walk refresh share one validation and one graph pass.
@@ -882,7 +896,7 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
     const DynamicSsppr* tracker;
     const Graph* snapshot;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       tracker = &pool_->TrackerFor(query.source);
       RefreshSnapshotLocked();
       snapshot = snapshot_.get();
@@ -914,7 +928,7 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
   /// The walk phase's fresh-walk top-ups need a CSR of the current
   /// graph; materialized once per epoch, not per query. Caller holds
   /// mu_.
-  void RefreshSnapshotLocked() {
+  void RefreshSnapshotLocked() PPR_REQUIRES(mu_) {
     if (snapshot_ == nullptr || snapshot_epoch_ != dynamic_->epoch()) {
       snapshot_ = std::make_unique<Graph>(dynamic_->Snapshot());
       snapshot_epoch_ = dynamic_->epoch();
@@ -927,8 +941,8 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
   const uint64_t index_seed_;
   uint64_t walk_count_w_ = 0;
   std::unique_ptr<DynamicWalkIndex> index_;
-  std::unique_ptr<Graph> snapshot_;  // layout space, epoch snapshot_epoch_
-  uint64_t snapshot_epoch_ = 0;
+  std::unique_ptr<Graph> snapshot_ PPR_GUARDED_BY(mu_);  // layout space
+  uint64_t snapshot_epoch_ PPR_GUARDED_BY(mu_) = 0;
 };
 
 /// ResAcc (Lin et al., ICDE'20): index-free FORA accelerator.
@@ -1149,18 +1163,25 @@ Result<std::unique_ptr<Solver>> MakeDynFwdPush(const SolverSpec& spec) {
 Result<std::unique_ptr<Solver>> MakePowerPush(const SolverSpec& spec) {
   ParamDefaults params;
   double lambda = 0.0;  // unset → paper default min(1e-8, 1/m)
-  int epochs = 8;
+  int epochs = 8;  // 0 → single epoch at lambda (no-epochs ablation)
   double scan_threshold = 0.25;
+  bool queue_phase = true;
   CommonOptions common;
   OptionReader reader(spec);
   common.Read(reader);
   reader.Double("alpha", &params.alpha)
       .Double("lambda", &lambda)
       .Int("epochs", &epochs)
-      .Double("scan_threshold", &scan_threshold);
+      .Double("scan_threshold", &scan_threshold)
+      .Bool("queue_phase", &queue_phase);
   PPR_RETURN_IF_ERROR(reader.Finish());
-  return FinishSolver(common, std::unique_ptr<Solver>(new PowerPushSolver(
-                                  params, lambda, epochs, scan_threshold)));
+  if (epochs < 0) {
+    return Status::InvalidArgument("powerpush: epochs must be >= 0");
+  }
+  return FinishSolver(common,
+                      std::unique_ptr<Solver>(new PowerPushSolver(
+                          params, lambda, epochs, scan_threshold,
+                          queue_phase)));
 }
 
 Result<std::unique_ptr<Solver>> MakePowerIteration(const SolverSpec& spec) {
@@ -1333,7 +1354,8 @@ void RegisterBuiltinSolvers(SolverRegistry* registry) {
        "alpha, lambda, rmax, threads, order", MakeDynFwdPush});
   registry->Register(
       {"powerpush", "Power Iteration with Forward Push (Algorithm 3)",
-       "alpha, lambda, epochs, scan_threshold, threads, order",
+       "alpha, lambda, epochs (0 = off), scan_threshold, queue_phase, "
+       "threads, order",
        MakePowerPush});
   registry->Register({"powitr", "vanilla Power Iteration (Section 3.1)",
                       "alpha, lambda, threads, order", MakePowerIteration});

@@ -3,13 +3,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ppr {
 
@@ -43,13 +43,13 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Non-blocking admit; false when full or closed.
-  bool TryPush(T item) {
+  bool TryPush(T item) PPR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    consumer_cv_.notify_one();
+    consumer_cv_.NotifyOne();
     return true;
   }
 
@@ -64,55 +64,55 @@ class BoundedQueue {
   /// found the queue full — one flag per submission no matter how many
   /// backoff rounds it took, which is what lets the server count one
   /// refused submission exactly once in stats().rejected.
-  bool PushWithBackoff(T item, bool* saw_full = nullptr) {
+  bool PushWithBackoff(T item, bool* saw_full = nullptr) PPR_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       std::chrono::microseconds delay = kInitialBackoff;
       while (!closed_ && items_.size() >= capacity_) {
         if (saw_full != nullptr) *saw_full = true;
-        producer_cv_.wait_for(lock, delay);
+        producer_cv_.WaitFor(lock, delay);
         delay = std::min(delay * 2, kMaxBackoff);
       }
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    consumer_cv_.notify_one();
+    consumer_cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and
   /// drained; nullopt means "no more items, ever".
-  std::optional<T> Pop() {
+  std::optional<T> Pop() PPR_EXCLUDES(mu_) {
     std::optional<T> item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      consumer_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) consumer_cv_.Wait(lock);
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
     }
-    producer_cv_.notify_one();
+    producer_cv_.NotifyOne();
     return item;
   }
 
   /// Rejects future pushes and wakes all waiters; already-admitted items
   /// remain poppable. Idempotent.
-  void Close() {
+  void Close() PPR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    consumer_cv_.notify_all();
-    producer_cv_.notify_all();
+    consumer_cv_.NotifyAll();
+    producer_cv_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const PPR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const PPR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -123,11 +123,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable consumer_cv_;
-  std::condition_variable producer_cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar consumer_cv_;
+  CondVar producer_cv_;
+  std::deque<T> items_ PPR_GUARDED_BY(mu_);
+  bool closed_ PPR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ppr

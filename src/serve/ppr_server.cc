@@ -4,6 +4,7 @@
 
 #include "api/registry.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/worker_pool.h"
 
@@ -12,38 +13,38 @@ namespace ppr {
 // ---------------------------------------------------------------- future
 
 struct PprFuture::State {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status;
-  PprResult result;
+  Mutex mu;
+  CondVar cv;
+  bool done PPR_GUARDED_BY(mu) = false;
+  Status status PPR_GUARDED_BY(mu);
+  PprResult result PPR_GUARDED_BY(mu);
   std::chrono::steady_clock::time_point submitted;
-  double latency_seconds = 0.0;
+  double latency_seconds PPR_GUARDED_BY(mu) = 0.0;
 };
 
 bool PprFuture::done() const {
   PPR_CHECK(valid());
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->done;
 }
 
 void PprFuture::Wait() const {
   PPR_CHECK(valid());
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.Wait(lock);
 }
 
 Status PprFuture::Get(PprResult* out) const {
   PPR_CHECK(valid());
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.Wait(lock);
   if (state_->status.ok() && out != nullptr) *out = state_->result;
   return state_->status;
 }
 
 double PprFuture::latency_seconds() const {
   PPR_CHECK(valid());
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   PPR_CHECK(state_->done);
   return state_->latency_seconds;
 }
@@ -83,7 +84,7 @@ Status PprServer::AddSolver(std::string_view spec, const Graph& graph) {
 
 Status PprServer::AddSolver(std::string name, std::unique_ptr<Solver> solver) {
   PPR_CHECK(solver != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) {
     return Status::FailedPrecondition("AddSolver after Start()");
   }
@@ -93,12 +94,12 @@ Status PprServer::AddSolver(std::string name, std::unique_ptr<Solver> solver) {
     }
   }
   solvers_.push_back({std::move(name), std::move(solver),
-                      std::make_unique<std::shared_mutex>()});
+                      std::make_unique<SharedMutex>()});
   return Status::OK();
 }
 
 Status PprServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return Status::FailedPrecondition("Start() called twice");
   if (solvers_.empty()) {
     return Status::FailedPrecondition("Start() with no solver added");
@@ -113,7 +114,7 @@ Status PprServer::Start() {
 
 void PprServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || stopped_) {
       stopped_ = true;
       return;
@@ -129,7 +130,7 @@ void PprServer::Stop() {
 }
 
 bool PprServer::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return started_ && !stopped_;
 }
 
@@ -146,7 +147,7 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
                                      bool blocking) {
   internal::ServeRequest request;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || stopped_) {
       return Status::FailedPrecondition("server is not running");
     }
@@ -171,7 +172,7 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
   const bool admitted =
       blocking ? queue_.PushWithBackoff(std::move(request), &saw_full)
                : queue_.TryPush(std::move(request));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!admitted) {
     // A Stop() racing this submission closes the queue; that is a
     // lifecycle refusal, not load shedding.
@@ -229,9 +230,9 @@ Result<uint64_t> PprServer::ApplyUpdates(const UpdateBatch& batch,
                                          std::string_view solver,
                                          UpdateStats* stats) {
   Solver* target = nullptr;
-  std::shared_mutex* barrier = nullptr;
+  SharedMutex* barrier = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const Hosted* hosted = FindHosted(solver);
     if (hosted == nullptr) {
       return Status::NotFound("no solver '" + std::string(solver) +
@@ -252,7 +253,7 @@ Result<uint64_t> PprServer::ApplyUpdates(const UpdateBatch& batch,
     // Exclusive hold: waits out the queries running on this solver
     // (they hold the barrier shared), applies, and releases — queries
     // popped meanwhile block on the barrier, not on the whole server.
-    std::unique_lock<std::shared_mutex> epoch_guard(*barrier);
+    ExclusiveLock epoch_guard(*barrier);
     PPR_RETURN_IF_ERROR(dynamic->ApplyUpdates(batch, stats));
     epoch = dynamic->epoch();
     // Warm contexts are conservatively invalidated once per batch (the
@@ -261,7 +262,7 @@ Result<uint64_t> PprServer::ApplyUpdates(const UpdateBatch& batch,
     // new epoch.
     contexts_.AdvanceEpoch();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   updates_++;
   return epoch;
 }
@@ -277,14 +278,14 @@ void PprServer::WorkerLoop() {
       // ApplyUpdates on this solver waits for them and they never see a
       // half-applied batch — each result is consistent with exactly the
       // epoch it stamps.
-      std::shared_lock<std::shared_mutex> epoch_guard(*request->barrier);
+      SharedLock epoch_guard(*request->barrier);
       status = request->solver->Solve(request->query, *context, &result);
     }
     context.Release();
 
     PprFuture::State& state = *request->state;
     {
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       state.status = status;
       state.result = std::move(result);
       state.latency_seconds =
@@ -293,9 +294,9 @@ void PprServer::WorkerLoop() {
               .count();
       state.done = true;
     }
-    state.cv.notify_all();
+    state.cv.NotifyAll();
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (status.ok()) {
       completed_++;
     } else {
@@ -306,7 +307,7 @@ void PprServer::WorkerLoop() {
 
 PprServerStats PprServer::stats() const {
   PprServerStats stats;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats.submitted = submitted_;
   stats.rejected = rejected_;
   stats.completed = completed_;
@@ -317,7 +318,7 @@ PprServerStats PprServer::stats() const {
 }
 
 std::vector<std::string> PprServer::solver_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(solvers_.size());
   for (const Hosted& hosted : solvers_) names.push_back(hosted.name);

@@ -2,11 +2,8 @@
 #define PPR_SERVE_PPR_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -17,7 +14,9 @@
 #include "api/query.h"
 #include "api/solver.h"
 #include "serve/bounded_queue.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ppr {
 
@@ -61,9 +60,10 @@ namespace internal {
 struct ServeRequest {
   PprQuery query;
   Solver* solver = nullptr;
-  /// The hosted solver's epoch barrier, held shared for the duration of
-  /// the Solve so ApplyUpdates (exclusive) cannot interleave.
-  std::shared_mutex* barrier = nullptr;
+  /// The hosted solver's epoch barrier, held shared (SharedLock) for
+  /// the duration of the Solve so ApplyUpdates (ExclusiveLock) cannot
+  /// interleave.
+  SharedMutex* barrier = nullptr;
   uint64_t seed = 0;
   std::shared_ptr<PprFuture::State> state;
 };
@@ -149,19 +149,21 @@ class PprServer {
   /// (index builds happen here, not per query) and makes it routable
   /// under the exact spec string. The first added solver is the default.
   /// The graph must outlive the server. Fails after Start().
-  Status AddSolver(std::string_view spec, const Graph& graph);
+  Status AddSolver(std::string_view spec, const Graph& graph)
+      PPR_EXCLUDES(mu_);
 
   /// As above with a caller-constructed, already-Prepare()d solver —
   /// the hook tests use to inject instrumented solvers.
-  Status AddSolver(std::string name, std::unique_ptr<Solver> solver);
+  Status AddSolver(std::string name, std::unique_ptr<Solver> solver)
+      PPR_EXCLUDES(mu_);
 
   /// Spawns the worker threads. Requires at least one solver.
-  Status Start();
+  Status Start() PPR_EXCLUDES(mu_);
 
   /// Drains accepted queries and joins the workers. Idempotent.
-  void Stop();
+  void Stop() PPR_EXCLUDES(mu_);
 
-  bool running() const;
+  bool running() const PPR_EXCLUDES(mu_);
 
   /// Non-blocking submission. `solver` routes by spec string as given to
   /// AddSolver (empty → default). `seed` 0 derives a per-query stream
@@ -196,10 +198,11 @@ class PprServer {
   /// threads unless the caller serializes (the barrier also does).
   Result<uint64_t> ApplyUpdates(const UpdateBatch& batch,
                                 std::string_view solver = {},
-                                UpdateStats* stats = nullptr);
+                                UpdateStats* stats = nullptr)
+      PPR_EXCLUDES(mu_);
 
-  PprServerStats stats() const;
-  std::vector<std::string> solver_names() const;
+  PprServerStats stats() const PPR_EXCLUDES(mu_);
+  std::vector<std::string> solver_names() const PPR_EXCLUDES(mu_);
   const PprServerOptions& options() const { return options_; }
 
   /// The warm-context pool (read-only; the serve tests assert its
@@ -213,29 +216,33 @@ class PprServer {
     /// Queries hold it shared around Solve; ApplyUpdates holds it
     /// exclusive. Heap-allocated so Hosted stays movable and the
     /// mutex address survives vector growth.
-    std::unique_ptr<std::shared_mutex> barrier;
+    std::unique_ptr<SharedMutex> barrier;
   };
 
-  const Hosted* FindHosted(std::string_view name) const;
-  void WorkerLoop();
+  const Hosted* FindHosted(std::string_view name) const PPR_REQUIRES(mu_);
+  void WorkerLoop() PPR_EXCLUDES(mu_);
   Result<PprFuture> Enqueue(const PprQuery& query, std::string_view solver,
-                            uint64_t seed, bool blocking);
+                            uint64_t seed, bool blocking) PPR_EXCLUDES(mu_);
 
   PprServerOptions options_;
-  std::vector<Hosted> solvers_;
   ContextPool contexts_;
   BoundedQueue<internal::ServeRequest> queue_;
+  /// Joined by the single Stop() call that wins the stopped_ race —
+  /// outside mu_ (joining under the lock would deadlock the workers'
+  /// final stats update), so not GUARDED_BY: Start() fills it under
+  /// mu_, exactly one Stop() drains it.
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;
-  bool started_ = false;
-  bool stopped_ = false;
-  uint64_t next_submission_ = 0;
-  uint64_t submitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t updates_ = 0;
+  mutable Mutex mu_;
+  std::vector<Hosted> solvers_ PPR_GUARDED_BY(mu_);
+  bool started_ PPR_GUARDED_BY(mu_) = false;
+  bool stopped_ PPR_GUARDED_BY(mu_) = false;
+  uint64_t next_submission_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t submitted_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t failed_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t updates_ PPR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ppr

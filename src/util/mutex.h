@@ -1,0 +1,165 @@
+#ifndef PPR_UTIL_MUTEX_H_
+#define PPR_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ppr {
+
+// Capability-annotated wrappers over the std synchronization types —
+// the only place raw std::mutex / std::shared_mutex /
+// std::condition_variable may appear in src/ (scripts/run_tidy.sh and
+// the -Wthread-safety CI job keep it that way). Everything in the
+// serving/dynamic tier locks through these so Clang's thread-safety
+// analysis can verify the contracts:
+//
+//   Mutex mu_;
+//   std::deque<Item> items_ PPR_GUARDED_BY(mu_);
+//
+//   void Push(Item item) PPR_EXCLUDES(mu_) {
+//     MutexLock lock(mu_);
+//     items_.push_back(std::move(item));   // OK: mu_ held
+//   }
+//
+// The wrappers add no state and no behavior beyond the std types; in a
+// non-Clang build they compile to exactly the std calls.
+
+class CondVar;
+class MutexLock;
+
+/// An exclusive mutex (std::mutex) declared as a thread-safety
+/// capability. Prefer the scoped MutexLock over manual Lock/Unlock.
+class PPR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PPR_ACQUIRE() { mu_.lock(); }
+  void Unlock() PPR_RELEASE() { mu_.unlock(); }
+  bool TryLock() PPR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// A reader/writer mutex (std::shared_mutex) declared as a capability —
+/// the PprServer epoch barrier's type: queries hold it shared around
+/// Solve, ApplyUpdates holds it exclusive.
+class PPR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PPR_ACQUIRE() { mu_.lock(); }
+  void Unlock() PPR_RELEASE() { mu_.unlock(); }
+  void LockShared() PPR_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() PPR_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class SharedLock;
+  friend class ExclusiveLock;
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive hold on a Mutex. Also the handle CondVar waits
+/// through (wrapping std::unique_lock keeps std::condition_variable's
+/// native wait path), and re-lockable for the worker-pool pattern that
+/// releases the lock around chunk execution:
+///
+///   MutexLock lock(mu_);
+///   ...claim work...
+///   lock.Unlock();
+///   ...run the chunk without the lock...
+///   lock.Lock();
+class PPR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PPR_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() PPR_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early; the destructor then does nothing.
+  void Unlock() PPR_RELEASE() { lock_.unlock(); }
+  /// Re-acquires after an Unlock().
+  void Lock() PPR_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII shared (reader) hold on a SharedMutex.
+class PPR_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) PPR_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ~SharedLock() PPR_RELEASE() {}
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// RAII exclusive (writer) hold on a SharedMutex.
+class PPR_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mu) PPR_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~ExclusiveLock() PPR_RELEASE() {}
+
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock.
+///
+/// Deliberately predicate-free: the thread-safety analysis treats a
+/// lambda as a separate function, so a `cv.wait(lock, [&]{ return
+/// guarded_; })` predicate reads guarded state in a context where no
+/// lock is visibly held and fails the analysis. Write the loop
+/// explicitly instead — the guarded reads then sit lexically under the
+/// MutexLock:
+///
+///   MutexLock lock(mu_);
+///   while (!done_) cv_.Wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock, blocks, re-acquires before return.
+  /// As with std::condition_variable, spurious wakeups happen: always
+  /// re-check the condition in a loop.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// As Wait, but returns std::cv_status::timeout after `timeout` at
+  /// the latest.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_MUTEX_H_

@@ -29,7 +29,12 @@ const char* StatusCodeToString(StatusCode code);
 /// A lightweight success-or-error value, RocksDB-style. Functions that can
 /// fail for reasons outside the programmer's control (I/O, user input)
 /// return Status (or Result<T>); everything else uses assertions.
-class Status {
+///
+/// [[nodiscard]] on the class: any function returning Status by value
+/// makes ignoring the error a compile error (builds run with
+/// -Werror=unused-result). A deliberately-ignored error must say so
+/// with a (void) cast at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -80,9 +85,10 @@ class Status {
 };
 
 /// A value or an error. Result<T> is used by constructors/loaders that
-/// either produce a fully-formed object or fail.
+/// either produce a fully-formed object or fail. [[nodiscard]] for the
+/// same reason as Status: dropping one silently drops the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}          // NOLINT(implicit)
   Result(Status status) : value_(std::move(status)) {}   // NOLINT(implicit)

@@ -1,0 +1,102 @@
+#ifndef PPR_UTIL_THREAD_ANNOTATIONS_H_
+#define PPR_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros. Annotating a mutex
+// class as a *capability* and its guarded state with PPR_GUARDED_BY
+// turns the locking contract into something `-Wthread-safety` verifies
+// at compile time: an access to guarded state without the capability
+// held, a function called without its PPR_REQUIRES mutex, or a lock
+// leaked out of a scope is a compile error under PPR_ANALYZE=ON — no
+// interleaving needs to run (contrast the TSAN CI job, which only sees
+// the schedules the tests happen to hit).
+//
+// Every macro expands to nothing on compilers without the attributes
+// (GCC, MSVC), so the annotated wrappers in util/mutex.h cost nothing
+// off Clang. Policy — when to use which (see docs/development.md for
+// the long form):
+//
+//   PPR_GUARDED_BY(mu)   on a data member: reads and writes require mu.
+//   PPR_REQUIRES(mu)     on a private helper: every caller already
+//                        holds mu (the "Locked" suffix convention made
+//                        machine-checked).
+//   PPR_EXCLUDES(mu)     on a public method that acquires mu itself:
+//                        calling it with mu held would self-deadlock.
+//
+// The negative-compile suite (tests/static_analysis) proves these
+// macros reject the seeded violations — and that their corrected twins
+// still compile — so a broken macro definition cannot silently turn
+// the whole analysis off.
+
+#if defined(__clang__) && !defined(SWIG)
+#define PPR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PPR_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability ("mutex" names it in warnings).
+#define PPR_CAPABILITY(x) PPR_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability at construction
+/// and releases it at destruction.
+#define PPR_SCOPED_CAPABILITY PPR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define PPR_GUARDED_BY(x) PPR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define PPR_PT_GUARDED_BY(x) PPR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held exclusively on entry (and does
+/// not release it).
+#define PPR_REQUIRES(...) \
+  PPR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared on entry.
+#define PPR_REQUIRES_SHARED(...) \
+  PPR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (caller must not hold
+/// it on entry).
+#define PPR_ACQUIRE(...) \
+  PPR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared.
+#define PPR_ACQUIRE_SHARED(...) \
+  PPR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the (exclusively held) capability.
+#define PPR_RELEASE(...) \
+  PPR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases the shared-held capability.
+#define PPR_RELEASE_SHARED(...) \
+  PPR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability whether held shared or exclusive
+/// (what a scoped lock's destructor does).
+#define PPR_RELEASE_GENERIC(...) \
+  PPR_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return
+/// value meaning "acquired".
+#define PPR_TRY_ACQUIRE(...) \
+  PPR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it
+/// itself; holding it on entry would self-deadlock).
+#define PPR_EXCLUDES(...) PPR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (for code paths the
+/// analysis cannot follow); the analysis then assumes it.
+#define PPR_ASSERT_CAPABILITY(x) \
+  PPR_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define PPR_RETURN_CAPABILITY(x) PPR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with
+/// a comment explaining which protocol (not mutex) makes it safe.
+#define PPR_NO_THREAD_SAFETY_ANALYSIS \
+  PPR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PPR_UTIL_THREAD_ANNOTATIONS_H_

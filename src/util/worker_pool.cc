@@ -24,40 +24,40 @@ WorkerPool::~WorkerPool() { Shutdown(); }
 void WorkerPool::Shutdown() {
   std::vector<std::thread> to_join;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       // Another caller (say the destructor racing an explicit Shutdown)
       // owns the join; wait until it finishes so "after Shutdown the
       // workers are stopped" holds for every caller.
-      work_cv_.wait(lock, [this] { return joined_; });
+      while (!joined_) work_cv_.Wait(lock);
       return;
     }
     shutdown_ = true;
     to_join.swap(threads_);  // exactly one caller joins each thread
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : to_join) t.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     joined_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 void WorkerPool::WorkerLoop() {
   // Workers only ever run region chunks, so the nested-auto-sizing flag
   // can stay set for the thread's whole lifetime.
   internal::ScopedParallelWorker worker_marker;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+    while (!shutdown_ && pending_.empty()) work_cv_.Wait(lock);
     if (pending_.empty()) return;  // shutdown with the queue drained
     Region* r = pending_.front();
     const unsigned c = r->next_chunk++;
     RetireIfFullyClaimed(r);
-    lock.unlock();
+    lock.Unlock();
     ExecuteChunk(r, c);
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -70,7 +70,7 @@ void WorkerPool::RetireIfFullyClaimed(Region* r) {
 void WorkerPool::ExecuteChunk(Region* r, unsigned c) {
   bool skip;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     skip = r->failed;
     if (!skip) {
       active_++;
@@ -82,17 +82,17 @@ void WorkerPool::ExecuteChunk(Region* r, unsigned c) {
       internal::ScopedParallelWorker worker_marker;
       (*r->fn)(c);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!r->failed) {
         r->failed = true;
         r->error = std::current_exception();
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!skip) active_--;
   r->done++;
-  if (r->done == r->chunks) r->done_cv.notify_all();
+  if (r->done == r->chunks) r->done_cv.NotifyAll();
 }
 
 void WorkerPool::Run(unsigned chunks, const std::function<void(unsigned)>& fn) {
@@ -102,7 +102,7 @@ void WorkerPool::Run(unsigned chunks, const std::function<void(unsigned)>& fn) {
   region.chunks = chunks;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // After Shutdown (or with zero workers) nobody will pick the region
     // up, so don't enqueue it — the help loop below runs every chunk on
     // this thread, in index order.
@@ -110,39 +110,39 @@ void WorkerPool::Run(unsigned chunks, const std::function<void(unsigned)>& fn) {
       pending_.push_back(&region);
     }
   }
-  if (chunks > 1) work_cv_.notify_all();
+  if (chunks > 1) work_cv_.NotifyAll();
 
   // Help-first: claim this region's chunks until none are left, then
   // wait for the stragglers other threads claimed.
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (region.next_chunk < region.chunks) {
       const unsigned c = region.next_chunk++;
       RetireIfFullyClaimed(&region);
-      lock.unlock();
+      lock.Unlock();
       ExecuteChunk(&region, c);
-      lock.lock();
+      lock.Lock();
       continue;
     }
     if (region.done == region.chunks) break;
-    region.done_cv.wait(lock);
+    region.done_cv.Wait(lock);
   }
-  lock.unlock();
+  lock.Unlock();
   if (region.error) std::rethrow_exception(region.error);
 }
 
 unsigned WorkerPool::active_executors() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_;
 }
 
 unsigned WorkerPool::peak_executors() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return peak_active_;
 }
 
 void WorkerPool::ResetPeak() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   peak_active_ = active_;
 }
 

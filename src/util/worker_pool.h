@@ -1,13 +1,15 @@
 #ifndef PPR_UTIL_WORKER_POOL_H_
 #define PPR_UTIL_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ppr {
 
@@ -61,11 +63,12 @@ class WorkerPool {
   /// ParallelThreadCount), on pool workers and on the calling thread
   /// alike. Safe to call concurrently from many threads and from inside
   /// a running chunk. After Shutdown() regions run inline on the caller.
-  void Run(unsigned chunks, const std::function<void(unsigned)>& fn);
+  void Run(unsigned chunks, const std::function<void(unsigned)>& fn)
+      PPR_EXCLUDES(mu_);
 
   /// Stops and joins the workers after the queued regions drain.
   /// Idempotent; later Run() calls degrade to inline execution.
-  void Shutdown();
+  void Shutdown() PPR_EXCLUDES(mu_);
 
   unsigned num_threads() const { return num_threads_; }
 
@@ -73,10 +76,10 @@ class WorkerPool {
 
   /// Threads currently executing a chunk (pool workers + helping
   /// submitters).
-  unsigned active_executors() const;
+  unsigned active_executors() const PPR_EXCLUDES(mu_);
   /// High-water mark of active_executors() since the last ResetPeak().
-  unsigned peak_executors() const;
-  void ResetPeak();
+  unsigned peak_executors() const PPR_EXCLUDES(mu_);
+  void ResetPeak() PPR_EXCLUDES(mu_);
 
   /// The process-wide pool every ParallelForThreads region runs on,
   /// lazily created with ThreadBudget() - 1 workers (the submitting
@@ -86,6 +89,9 @@ class WorkerPool {
   static WorkerPool& Shared();
 
  private:
+  /// Region fields after construction are guarded by the pool's mu_
+  /// (expressed as comments: a nested struct cannot name the enclosing
+  /// class's mutex in a PPR_GUARDED_BY expression).
   struct Region {
     const std::function<void(unsigned)>* fn = nullptr;
     unsigned chunks = 0;
@@ -93,28 +99,28 @@ class WorkerPool {
     unsigned done = 0;        // finished chunks (guarded by mu_)
     bool failed = false;      // first exception wins; rest are skipped
     std::exception_ptr error;
-    std::condition_variable done_cv;
+    CondVar done_cv;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() PPR_EXCLUDES(mu_);
   /// Runs chunk `c` of `r` (or skips it when the region already failed)
   /// and updates completion state. Called with mu_ *unlocked*.
-  void ExecuteChunk(Region* r, unsigned c);
-  /// Pops `r` from pending_ once its last chunk is claimed. Requires mu_.
-  void RetireIfFullyClaimed(Region* r);
+  void ExecuteChunk(Region* r, unsigned c) PPR_EXCLUDES(mu_);
+  /// Pops `r` from pending_ once its last chunk is claimed.
+  void RetireIfFullyClaimed(Region* r) PPR_REQUIRES(mu_);
 
   const unsigned num_threads_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
+  mutable Mutex mu_;
+  CondVar work_cv_;
   /// Regions with unclaimed chunks, FIFO. A region leaves the deque when
   /// its last chunk is claimed (not when it finishes).
-  std::deque<Region*> pending_;
-  std::vector<std::thread> threads_;
-  bool shutdown_ = false;
-  bool joined_ = false;
+  std::deque<Region*> pending_ PPR_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ PPR_GUARDED_BY(mu_);
+  bool shutdown_ PPR_GUARDED_BY(mu_) = false;
+  bool joined_ PPR_GUARDED_BY(mu_) = false;
 
-  unsigned active_ = 0;  // guarded by mu_
-  unsigned peak_active_ = 0;
+  unsigned active_ PPR_GUARDED_BY(mu_) = 0;
+  unsigned peak_active_ PPR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ppr

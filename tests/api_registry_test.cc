@@ -137,6 +137,40 @@ TEST(SolverRegistryTest, CreateRejectsUnknownNamesAndOptions) {
   EXPECT_EQ(bad_value.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SolverRegistryTest, PowerPushAblationOptionsStayConformant) {
+  // The §5 ablation axes are registry options now (the ablation benches
+  // depend on them): epochs=0 disables the epoch schedule, and
+  // queue_phase=false skips the FIFO phase entirely. Both are exact
+  // ablations — every variant must still meet its advertised L1 bound.
+  for (const char* spec :
+       {"powerpush:epochs=0", "powerpush:queue_phase=false",
+        "powerpush:queue_phase=false,epochs=0"}) {
+    auto created = SolverRegistry::Global().Create(spec);
+    ASSERT_TRUE(created.ok()) << spec << ": " << created.status().ToString();
+    std::unique_ptr<Solver> solver = std::move(created).ValueOrDie();
+    const Graph& graph = PrepareOnFixture(*solver);
+
+    SolverContext context(kSeed);
+    PprQuery query;
+    query.source = 1;
+    PprResult result;
+    Status status = solver->Solve(query, context, &result);
+    ASSERT_TRUE(status.ok()) << spec << ": " << status.ToString();
+    const double error =
+        L1(result.scores, ExactPprDense(graph, query.source, kAlpha));
+    EXPECT_LE(error, result.l1_bound + 1e-9)
+        << spec << ": l1=" << error << " advertised=" << result.l1_bound;
+  }
+
+  auto bad_bool = SolverRegistry::Global().Create("powerpush:queue_phase=maybe");
+  ASSERT_FALSE(bad_bool.ok());
+  EXPECT_EQ(bad_bool.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_epochs = SolverRegistry::Global().Create("powerpush:epochs=-3");
+  ASSERT_FALSE(bad_epochs.ok());
+  EXPECT_EQ(bad_epochs.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SolverRegistryTest, HelpTextListsEverySolver) {
   const std::string help = SolverRegistry::Global().HelpText();
   for (const std::string& name : AllSolverNames()) {

@@ -1,0 +1,30 @@
+// PROBE(bad, Clang only): calling a PPR_REQUIRES(mu_) function without
+// holding mu_ must fail -Wthread-safety. This mirrors ContextPool's
+// checkout path (api/context_pool.h: RefreshForEpoch is
+// PPR_REQUIRES(mu_), called only from Acquire/TryAcquire under the
+// lock; it is private, hence the mirror). Corrected twin:
+// good_pool_checkout.cc.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class PoolMirror {
+ public:
+  void Checkout() {
+    RefreshForEpoch();  // BAD: caller never took mu_
+  }
+
+ private:
+  void RefreshForEpoch() PPR_REQUIRES(mu_) { stale_ = epoch_; }
+
+  ppr::Mutex mu_;
+  uint64_t epoch_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t stale_ PPR_GUARDED_BY(mu_) = 0;
+};
+
+PoolMirror pool_mirror;
+
+}  // namespace

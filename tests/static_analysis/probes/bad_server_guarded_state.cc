@@ -1,0 +1,33 @@
+// PROBE(bad, Clang only): reading PPR_GUARDED_BY state without holding
+// the lock must fail -Wthread-safety. This mirrors PprServer's stats
+// counters (serve/ppr_server.h: submitted_, completed_, ... are
+// PPR_GUARDED_BY(mu_) and private, hence the mirror) with the real
+// ppr::Mutex wrappers — so what it actually guards is the annotation
+// layer itself: strip the capability attributes from ppr::Mutex or
+// PPR_GUARDED_BY and this compiles, which fails the harness.
+// Corrected twin: good_server_guarded_state.cc.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class ServerStatsMirror {
+ public:
+  uint64_t completed() const {
+    return completed_;  // BAD: mu_ not held
+  }
+
+  void RecordCompleted() {
+    completed_++;  // BAD: racing writer
+  }
+
+ private:
+  mutable ppr::Mutex mu_;
+  uint64_t completed_ PPR_GUARDED_BY(mu_) = 0;
+};
+
+ServerStatsMirror stats_mirror;
+
+}  // namespace

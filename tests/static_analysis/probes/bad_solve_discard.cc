@@ -1,0 +1,23 @@
+// PROBE(bad): discarding the Status of Solver::Solve (and a dynamic
+// solver's ApplyUpdates) must not compile — a failed query would look
+// exactly like a successful one with stale results. Corrected twin:
+// good_solve_discard.cc.
+#include "api/dynamic_solver.h"
+#include "api/solver.h"
+
+namespace {
+
+void DiscardsSolve(ppr::Solver& solver, const ppr::PprQuery& query,
+                   ppr::SolverContext& context, ppr::PprResult* result) {
+  solver.Solve(query, context, result);  // BAD: result may be garbage
+}
+
+void DiscardsApply(ppr::DynamicSolver& solver,
+                   const ppr::UpdateBatch& batch) {
+  solver.ApplyUpdates(batch);  // BAD: estimates may now be stale
+}
+
+void* const kAnchor[] = {reinterpret_cast<void*>(&DiscardsSolve),
+                         reinterpret_cast<void*>(&DiscardsApply)};
+
+}  // namespace

@@ -1,0 +1,17 @@
+// PROBE(bad): silently dropping a returned Status must not compile.
+// Gate: class-level [[nodiscard]] on ppr::Status (util/status.h) +
+// -Werror=unused-result. Corrected twin: good_status_discard.cc.
+#include "util/status.h"
+
+namespace {
+
+ppr::Status Fallible() { return ppr::Status::IOError("disk gone"); }
+
+void Caller() {
+  Fallible();  // BAD: the IOError evaporates here
+}
+
+// Anchor so Caller is odr-used and the translation unit is not empty.
+void* const kAnchor = reinterpret_cast<void*>(&Caller);
+
+}  // namespace

@@ -1,0 +1,28 @@
+// PROBE(good): twin of bad_pool_checkout.cc — taking the lock before
+// the PPR_REQUIRES call is exactly what ContextPool::Acquire does, and
+// passes -Wthread-safety.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class PoolMirror {
+ public:
+  void Checkout() PPR_EXCLUDES(mu_) {
+    ppr::MutexLock lock(mu_);
+    RefreshForEpoch();
+  }
+
+ private:
+  void RefreshForEpoch() PPR_REQUIRES(mu_) { stale_ = epoch_; }
+
+  ppr::Mutex mu_;
+  uint64_t epoch_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t stale_ PPR_GUARDED_BY(mu_) = 0;
+};
+
+PoolMirror pool_mirror;
+
+}  // namespace

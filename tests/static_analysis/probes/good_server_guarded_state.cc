@@ -1,0 +1,29 @@
+// PROBE(good): twin of bad_server_guarded_state.cc — the same guarded
+// counter accessed under a MutexLock passes -Wthread-safety.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class ServerStatsMirror {
+ public:
+  uint64_t completed() const PPR_EXCLUDES(mu_) {
+    ppr::MutexLock lock(mu_);
+    return completed_;
+  }
+
+  void RecordCompleted() PPR_EXCLUDES(mu_) {
+    ppr::MutexLock lock(mu_);
+    completed_++;
+  }
+
+ private:
+  mutable ppr::Mutex mu_;
+  uint64_t completed_ PPR_GUARDED_BY(mu_) = 0;
+};
+
+ServerStatsMirror stats_mirror;
+
+}  // namespace

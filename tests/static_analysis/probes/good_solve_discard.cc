@@ -1,0 +1,24 @@
+// PROBE(good): twin of bad_solve_discard.cc — propagating or checking
+// the Solve/ApplyUpdates status compiles under the same gate.
+#include "api/dynamic_solver.h"
+#include "api/solver.h"
+
+namespace {
+
+ppr::Status ForwardsSolve(ppr::Solver& solver, const ppr::PprQuery& query,
+                          ppr::SolverContext& context,
+                          ppr::PprResult* result) {
+  return solver.Solve(query, context, result);
+}
+
+ppr::Status ChecksApply(ppr::DynamicSolver& solver,
+                        const ppr::UpdateBatch& batch) {
+  ppr::UpdateStats stats;
+  PPR_RETURN_IF_ERROR(solver.ApplyUpdates(batch, &stats));
+  return ppr::Status::OK();
+}
+
+void* const kAnchor[] = {reinterpret_cast<void*>(&ForwardsSolve),
+                         reinterpret_cast<void*>(&ChecksApply)};
+
+}  // namespace

@@ -1,0 +1,26 @@
+// PROBE(good): twin of bad_status_discard.cc — every legal way to
+// consume a Status compiles under the same gate.
+#include "util/status.h"
+
+namespace {
+
+ppr::Status Fallible() { return ppr::Status::IOError("disk gone"); }
+
+ppr::Status Propagates() {
+  PPR_RETURN_IF_ERROR(Fallible());  // the idiomatic fix
+  return ppr::Status::OK();
+}
+
+bool Inspects() { return Fallible().ok(); }
+
+void DeliberatelyIgnores() {
+  // Best-effort path: the discard is an explicit decision, visible in
+  // review, not an accident.
+  (void)Fallible();
+}
+
+void* const kAnchor[] = {reinterpret_cast<void*>(&Propagates),
+                         reinterpret_cast<void*>(&Inspects),
+                         reinterpret_cast<void*>(&DeliberatelyIgnores)};
+
+}  // namespace

@@ -1,0 +1,109 @@
+# Negative-compile harness: proves the compile-time contracts actually
+# reject what they claim to reject. Each probe under
+# tests/static_analysis/probes/ comes as a bad/good pair — the bad
+# probe must FAIL to compile with the gate's flags, and its corrected
+# good twin must compile with the same flags. A bad probe that compiles
+# means a contract silently rotted (e.g. someone stripped the capability
+# attributes off ppr::MutexLock, or dropped [[nodiscard]] from Status)
+# and the harness fails the build.
+#
+# Included by tests/static_analysis/CMakeLists.txt (a mini-project
+# configured by the `static_analysis.negative_compile` ctest entry), not
+# by the main build: try_compile is a configure-time command, so the
+# probes run as their own configure step.
+#
+# The [[nodiscard]] probes run under any compiler. The thread-safety
+# probes need Clang (-Wthread-safety); under other compilers they are
+# reported as skipped, not silently dropped.
+
+set(CMAKE_TRY_COMPILE_TARGET_TYPE STATIC_LIBRARY)  # compile-only, no main()
+
+set(PPR_PROBE_DIR ${CMAKE_CURRENT_LIST_DIR}/static_analysis/probes)
+set(PPR_PROBE_FAILURES "")
+set(PPR_PROBE_COUNT 0)
+
+# ppr_probe(<name> <source> <EXPECT_COMPILE|EXPECT_REJECT> <flags>
+#           <diag-substring>)
+# For EXPECT_REJECT, the compiler output must contain <diag-substring> —
+# a probe that fails for an unrelated reason (typo, missing include) is
+# a harness bug, not a passing test.
+function(ppr_probe name source expectation flags diag)
+  math(EXPR count "${PPR_PROBE_COUNT} + 1")
+  set(PPR_PROBE_COUNT ${count} PARENT_SCOPE)
+  separate_arguments(flag_list UNIX_COMMAND "${flags}")
+  # Distinct cached result var per probe; the ctest entry configures this
+  # project with --fresh, so results are never stale across runs.
+  try_compile(ppr_probe_${name}
+              ${CMAKE_BINARY_DIR}/probe_${name}
+              ${PPR_PROBE_DIR}/${source}
+              CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${PPR_SOURCE_DIR}/src"
+              COMPILE_DEFINITIONS ${flag_list}
+              CXX_STANDARD 20
+              CXX_STANDARD_REQUIRED ON
+              OUTPUT_VARIABLE probe_output)
+  if(expectation STREQUAL "EXPECT_COMPILE")
+    if(ppr_probe_${name})
+      message(STATUS "probe ${name}: compiled (expected)")
+    else()
+      list(APPEND PPR_PROBE_FAILURES
+           "${name}: expected to compile but was rejected:\n${probe_output}")
+    endif()
+  elseif(expectation STREQUAL "EXPECT_REJECT")
+    if(ppr_probe_${name})
+      list(APPEND PPR_PROBE_FAILURES
+           "${name}: expected rejection (${diag}) but it compiled — the "
+           "gate this probe exercises is no longer enforced")
+    elseif(NOT probe_output MATCHES "${diag}")
+      list(APPEND PPR_PROBE_FAILURES
+           "${name}: rejected, but not by '${diag}' — probe is broken, "
+           "not passing:\n${probe_output}")
+    else()
+      message(STATUS "probe ${name}: rejected by ${diag} (expected)")
+    endif()
+  else()
+    message(FATAL_ERROR "ppr_probe ${name}: bad expectation ${expectation}")
+  endif()
+  set(PPR_PROBE_FAILURES "${PPR_PROBE_FAILURES}" PARENT_SCOPE)
+endfunction()
+
+# ------------------------------------------------- [[nodiscard]] probes
+# Gate: class-level [[nodiscard]] on Status/Result (src/util/status.h)
+# plus -Werror=unused-result (root CMakeLists). Compiler-agnostic.
+
+ppr_probe(status_discard_bad bad_status_discard.cc
+          EXPECT_REJECT "-Werror=unused-result" "unused-result")
+ppr_probe(status_discard_good good_status_discard.cc
+          EXPECT_COMPILE "-Werror=unused-result" "")
+ppr_probe(solve_discard_bad bad_solve_discard.cc
+          EXPECT_REJECT "-Werror=unused-result" "unused-result")
+ppr_probe(solve_discard_good good_solve_discard.cc
+          EXPECT_COMPILE "-Werror=unused-result" "")
+
+# ------------------------------------------------ thread-safety probes
+# Gate: PPR_GUARDED_BY/PPR_REQUIRES attributes (util/thread_annotations.h)
+# on the ppr::Mutex wrappers (util/mutex.h), checked by Clang's
+# -Wthread-safety — the same flags PPR_ANALYZE turns on for the tree.
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  set(ts_flags "-Wthread-safety -Werror=thread-safety")
+  ppr_probe(server_guarded_bad bad_server_guarded_state.cc
+            EXPECT_REJECT "${ts_flags}" "thread-safety")
+  ppr_probe(server_guarded_good good_server_guarded_state.cc
+            EXPECT_COMPILE "${ts_flags}" "")
+  ppr_probe(pool_checkout_bad bad_pool_checkout.cc
+            EXPECT_REJECT "${ts_flags}" "thread-safety")
+  ppr_probe(pool_checkout_good good_pool_checkout.cc
+            EXPECT_COMPILE "${ts_flags}" "")
+else()
+  message(STATUS "thread-safety probes: SKIPPED "
+          "(${CMAKE_CXX_COMPILER_ID} has no -Wthread-safety; they run on "
+          "the Clang CI job)")
+endif()
+
+# -------------------------------------------------------------- verdict
+if(PPR_PROBE_FAILURES)
+  list(JOIN PPR_PROBE_FAILURES "\n---\n" failure_report)
+  message(FATAL_ERROR
+          "negative-compile probes failed:\n${failure_report}")
+endif()
+message(STATUS "all ${PPR_PROBE_COUNT} negative-compile probes behaved")
