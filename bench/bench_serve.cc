@@ -9,6 +9,7 @@
 // everywhere (queries here are millisecond-scale); p99 stays within a
 // small multiple of p50 — the context pool keeps per-query setup O(touched).
 
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "eval/experiment.h"
 #include "eval/query_gen.h"
 #include "serve/ppr_server.h"
+#include "util/fault_injection.h"
+#include "util/flags.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 #include "util/worker_pool.h"
@@ -27,16 +30,22 @@ using namespace ppr;
 
 struct ServeLoad {
   double wall_seconds = 0.0;
-  std::vector<double> latencies;
+  std::vector<double> latencies;  ///< successful queries only
+  uint64_t accepted = 0;
+  uint64_t deadline_misses = 0;  ///< shed in-queue or expired mid-solve
   uint64_t rejected = 0;
 };
 
 /// `clients` threads split `queries` round-robin and submit them as fast
-/// as the bounded queue admits (blocking batch discipline, so nothing is
-/// shed and every latency is measured).
+/// as the bounded queue admits (blocking batch discipline). With
+/// `deadline_ms` > 0 every query carries that completion budget, and
+/// queries that miss it (shed in-queue or stopped mid-solve) are counted
+/// instead of crashing the bench — that miss rate is the measurement.
 ServeLoad DriveLoad(PprServer& server, const std::vector<PprQuery>& queries,
-                    unsigned clients) {
+                    unsigned clients, uint64_t deadline_ms) {
   std::vector<std::vector<double>> per_client(clients);
+  std::vector<uint64_t> misses(clients, 0);
+  std::vector<uint64_t> accepted(clients, 0);
   Timer timer;
   std::vector<std::thread> threads;
   threads.reserve(clients);
@@ -44,10 +53,14 @@ ServeLoad DriveLoad(PprServer& server, const std::vector<PprQuery>& queries,
     threads.emplace_back([&, c] {
       std::vector<PprFuture> futures;
       for (size_t i = c; i < queries.size(); i += clients) {
+        PprQuery query = queries[i];
+        if (deadline_ms > 0) {
+          query.deadline = std::chrono::milliseconds(deadline_ms);
+        }
         // Block politely when the queue is full: this bench measures
-        // capacity, not shedding.
+        // capacity, not admission refusal.
         while (true) {
-          auto submitted = server.Submit(queries[i], {}, /*seed=*/1 + i);
+          auto submitted = server.Submit(query, {}, /*seed=*/1 + i);
           if (submitted.ok()) {
             futures.push_back(std::move(submitted).ValueOrDie());
             break;
@@ -57,10 +70,17 @@ ServeLoad DriveLoad(PprServer& server, const std::vector<PprQuery>& queries,
           std::this_thread::yield();
         }
       }
+      accepted[c] = futures.size();
       for (PprFuture& f : futures) {
         PprResult result;
-        PPR_CHECK(f.Get(&result).ok());
-        per_client[c].push_back(f.latency_seconds());
+        const Status status = f.Get(&result);
+        if (status.ok()) {
+          per_client[c].push_back(f.latency_seconds());
+        } else if (status.code() == StatusCode::kDeadlineExceeded) {
+          misses[c]++;
+        } else {
+          PPR_CHECK(false) << "unexpected serve status: " << status.ToString();
+        }
       }
     });
   }
@@ -68,9 +88,11 @@ ServeLoad DriveLoad(PprServer& server, const std::vector<PprQuery>& queries,
 
   ServeLoad load;
   load.wall_seconds = timer.ElapsedSeconds();
-  for (auto& latencies : per_client) {
-    load.latencies.insert(load.latencies.end(), latencies.begin(),
-                          latencies.end());
+  for (unsigned c = 0; c < clients; ++c) {
+    load.latencies.insert(load.latencies.end(), per_client[c].begin(),
+                          per_client[c].end());
+    load.deadline_misses += misses[c];
+    load.accepted += accepted[c];
   }
   load.rejected = server.stats().rejected;
   return load;
@@ -78,11 +100,46 @@ ServeLoad DriveLoad(PprServer& server, const std::vector<PprQuery>& queries,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  uint64_t deadline_ms = 0;
+  bool chaos = false;
+  FlagParser flags;
+  flags.AddUint64("deadline_ms", &deadline_ms,
+                  "per-query completion budget; 0 = no deadline");
+  flags.AddBool("chaos", &chaos,
+                "inject deterministic solver slowness (fault-injection "
+                "build only) and report p99 under it");
+  if (Status status = flags.Parse(argc - 1, argv + 1); !status.ok()) {
+    std::fprintf(stderr, "%s\nusage:\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+
   bench::PrintHeader(
       "Serve path: PprServer throughput and latency",
       "Fixed query set, concurrent clients; workers swept up to the\n"
-      "thread budget. Latency = submit-to-completion per query.");
+      "thread budget. Latency = submit-to-completion per query.\n"
+      "--deadline_ms bounds each query (missed deadlines are counted,\n"
+      "not crashed on); --chaos injects deterministic solver slowness.");
+
+#if PPR_FAULT_INJECTION
+  if (chaos) {
+    // Deterministic slowness on the solve path: every third-ish solve
+    // sleeps 500us. p99_under_injected_slowness quantifies how the
+    // serving tier degrades when the kernels misbehave.
+    FaultSpec slow;
+    slow.probability = 0.3;
+    slow.delay = std::chrono::microseconds(500);
+    FaultInjector::Global().SetFault("solver.solve", slow);
+    FaultInjector::Global().Enable(/*seed=*/0xC4A05ULL);
+  }
+#else
+  if (chaos) {
+    std::fprintf(stderr,
+                 "--chaos ignored: built with -DPPR_FAULT_INJECTION=OFF\n");
+    chaos = false;
+  }
+#endif
 
   const size_t query_count = 64 * BenchQueryCount(4);
   bench::BenchJsonWriter json("serve");
@@ -119,11 +176,16 @@ int main() {
         PPR_CHECK_OK(server.AddSolver(spec, graph));
         PPR_CHECK_OK(server.Start());
         const unsigned clients = workers;  // closed loop, one per worker
-        ServeLoad load = DriveLoad(server, queries, clients);
+        ServeLoad load = DriveLoad(server, queries, clients, deadline_ms);
+        const uint64_t shed = server.stats().shed;
         server.Stop();
 
         const double qps =
             static_cast<double>(load.latencies.size()) / load.wall_seconds;
+        const double miss_rate =
+            load.accepted > 0 ? static_cast<double>(load.deadline_misses) /
+                                    static_cast<double>(load.accepted)
+                              : 0.0;
         const double p50 = Percentile(load.latencies, 50.0) * 1e3;
         const double p99 = Percentile(load.latencies, 99.0) * 1e3;
         const double pmax = Percentile(load.latencies, 100.0) * 1e3;
@@ -148,7 +210,12 @@ int main() {
             .Num("qps_per_worker", qps / workers)
             .Num("p50_ms", p50)
             .Num("p99_ms", p99)
-            .Num("max_ms", pmax);
+            .Num("max_ms", pmax)
+            // Robustness fields: always present so the dashboard schema
+            // is stable; zero in a deadline-free fault-free run.
+            .Int("shed", shed)
+            .Num("deadline_miss_rate", miss_rate)
+            .Num("p99_under_injected_slowness", chaos ? p99 : 0.0);
       }
       std::printf("%s — %s\n%s", label, spec, table.ToString().c_str());
     }

@@ -39,9 +39,12 @@ for arg in "$@"; do
 done
 
 # The concurrency surface TSAN covers: worker pool, ParallelFor kernels,
-# the PprServer queue/context-checkout path, and the updates-under-load
+# the PprServer queue/context-checkout path, the updates-under-load
 # suite (PprServerDynamicTest matches PprServer*), which races
-# ApplyUpdates' exclusive epoch barrier against concurrent queries.
+# ApplyUpdates' exclusive epoch barrier against concurrent queries, and
+# the chaos suites (PprServerChaosTest / PprServerQueueTest), which race
+# cancellation, deadlines, injected faults and bounded-drain shutdown
+# against all of the above.
 TSAN_FILTER='WorkerPool*:ThreadBudget*:PprServer*:ParallelFor*:Batch*'
 
 case "${MODE}" in

@@ -8,6 +8,7 @@
 #include "core/trace.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/fifo_queue.h"
 #include "util/rng.h"
 
@@ -43,6 +44,13 @@ class SolverContext {
   /// of the Solve() calls; set nullptr to disable.
   void set_trace(ConvergenceTrace* trace) { trace_ = trace; }
   ConvergenceTrace* trace() const { return trace_; }
+
+  /// Optional cooperative cancellation token, polled by the long-running
+  /// kernel phases during Solve() (see util/cancellation.h). The token
+  /// must stay valid for the duration of the Solve() calls; set nullptr
+  /// to disable — the default, and the bit-identical fast path.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
 
   // ---- workspace protocol (called by Solver adapters) ----------------
 
@@ -114,6 +122,7 @@ class SolverContext {
  private:
   Rng rng_;
   ConvergenceTrace* trace_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
 
   PprEstimate estimate_;
   std::vector<NodeId> estimate_support_;

@@ -1,6 +1,7 @@
 #ifndef PPR_API_QUERY_H_
 #define PPR_API_QUERY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,6 +52,15 @@ struct PprQuery {
   /// Request the residue vector in PprResult::residues. Honored only by
   /// solvers whose capabilities().exposes_residues is true.
   bool want_residues = false;
+
+  /// Relative completion budget, measured from admission (Submit /
+  /// SolveBatch). Zero = no deadline. The serving tier arms a
+  /// cancellation token with it: a query whose deadline expires while
+  /// still queued is shed (never solved, counted in stats().shed), and
+  /// one that expires mid-solve is stopped at the solver's next
+  /// cooperative poll and fails with kDeadlineExceeded. Ignored by
+  /// direct Solver::Solve calls unless the caller arms a token itself.
+  std::chrono::nanoseconds deadline{0};
 };
 
 /// The unified result every solver produces.
@@ -82,6 +92,12 @@ struct PprResult {
 
   /// Name of the solver that produced this result.
   std::string solver;
+
+  /// True when an overloaded server answered with its DegradedPolicy
+  /// fallback spec (relaxed quality for bounded latency) instead of the
+  /// solver the query would normally route to. Always false outside the
+  /// serving tier. See docs/serving.md, "Load shedding & degraded mode".
+  bool degraded = false;
 
   bool has_residues() const { return !residues.empty(); }
 };

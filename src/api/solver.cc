@@ -5,6 +5,7 @@
 
 #include "eval/metrics.h"
 #include "graph/permute.h"
+#include "util/fault_injection.h"
 #include "util/parallel.h"
 
 namespace ppr {
@@ -86,10 +87,18 @@ Status Solver::Solve(const PprQuery& query, SolverContext& context,
   if (query.target != kNoTarget && query.target >= graph_->num_nodes()) {
     return Status::InvalidArgument("query target out of range");
   }
+  // Boundary cancellation checks bracket DoSolve: the pre-check stops a
+  // query that is already cancelled/expired before any compute, and the
+  // post-check guarantees an OK result was finished in time even for
+  // solvers with no interior poll points.
+  const CancelToken* cancel = context.cancel_token();
+  if (cancel != nullptr) PPR_RETURN_IF_ERROR(cancel->CheckNow());
+  PPR_FAULT_STATUS("solver.solve");
   result->residues.clear();
   result->top_nodes.clear();
   result->stats = SolveStats{};
   result->epoch = 0;  // dynamic solvers stamp their epoch in DoSolve
+  result->degraded = false;
   if (perm_.empty()) {
     PPR_RETURN_IF_ERROR(DoSolve(query, context, result));
   } else {
@@ -110,6 +119,7 @@ Status Solver::Solve(const PprQuery& query, SolverContext& context,
       result->residues.swap(scratch);
     }
   }
+  if (cancel != nullptr) PPR_RETURN_IF_ERROR(cancel->CheckNow());
   result->solver = name();
   result->l1_bound = AdvertisedL1Bound(query);
   if (query.top_k > 0) {

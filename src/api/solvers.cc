@@ -143,6 +143,7 @@ class ForwardPushSolver : public Solver {
     options.alpha = params_.Alpha(query);
     options.rmax = ResolvedRmax(query);
     options.assume_initialized = true;
+    options.cancel = context.cancel_token();
     if (priority_) {
       result->stats = PriorityForwardPush(*graph_, query.source, options,
                                           estimate, context.trace());
@@ -222,6 +223,7 @@ class PowerPushSolver : public Solver {
     options.scan_threshold_fraction = scan_threshold_;
     options.assume_initialized = true;
     options.threads = threads();
+    options.cancel = context.cancel_token();
     result->stats = PowerPush(*graph_, query.source, options, estimate,
                               context.trace(), context.AcquireQueue(n),
                               threads() > 1
@@ -278,6 +280,7 @@ class PowerIterationSolver : public Solver {
     options.lambda = params_.Lambda(query);
     options.assume_initialized = true;
     options.threads = threads();
+    options.cancel = context.cancel_token();
     result->stats = PowerIteration(*graph_, query.source, options, estimate,
                                    context.trace(),
                                    threads() > 1
@@ -590,6 +593,7 @@ class MonteCarloSolver : public Solver {
     options.epsilon = params_.Epsilon(query);
     options.mu = params_.Mu(query, n);
     options.threads = threads();
+    options.cancel = context.cancel_token();
     std::vector<double>* scores = context.AcquireScores(n);
     // Scratch feeds only the dense-counts branch; the stop-list branch
     // would leave O(n·workers) buffers pinned unused.
@@ -712,6 +716,7 @@ class TwoPhaseSolver : public Solver {
     options.epsilon = params_.Epsilon(query);
     options.mu = params_.Mu(query, n);
     options.threads = threads();
+    options.cancel = context.cancel_token();
 
     // The compositions live in SpeedPprInto/ForaInto — shared with the
     // free functions, so the two entry points cannot drift.
@@ -915,7 +920,7 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
     SolveStats stats;
     ResidueWalkPhase(*snapshot, tracker->estimate().residue, walk_count_w_,
                      params_.alpha, context.rng(), index_.get(), scores,
-                     &stats, threads());
+                     &stats, threads(), context.cancel_token());
     stats.final_rsum = tracker->ResidueL1();
     stats.seconds = timer.ElapsedSeconds();
     result->stats = stats;
@@ -971,6 +976,7 @@ class ResAccSolver : public Solver {
     options.epsilon = params_.Epsilon(query);
     options.mu = params_.Mu(query, graph_->num_nodes());
     options.threads = threads();
+    options.cancel = context.cancel_token();
     result->stats = ResAcc(*graph_, query.source, options, context.rng(),
                            &result->scores);
     return Status::OK();

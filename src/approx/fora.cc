@@ -33,16 +33,21 @@ SolveStats ForaInto(const Graph& graph, NodeId source,
   push_options.alpha = options.alpha;
   push_options.rmax = ForaRmax(graph, w);
   push_options.assume_initialized = true;
+  push_options.cancel = options.cancel;
   SolveStats push_stats = FifoForwardPush(graph, source, push_options,
                                           estimate, /*trace=*/nullptr, queue);
   stats.push_operations = push_stats.push_operations;
   stats.edge_pushes = push_stats.edge_pushes;
   stats.final_rsum = push_stats.final_rsum;
+  if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;  // partial; the Solve wrapper converts to a Status
+  }
 
   // Phase 2: Monte-Carlo refinement of the leftover residues.
   SeedScoresFromReserve(estimate->reserve, out);
   ResidueWalkPhase(graph, estimate->residue, w, options.alpha, rng, index, out,
-                   &stats, options.threads);
+                   &stats, options.threads, options.cancel);
 
   stats.seconds = timer.ElapsedSeconds();
   return stats;

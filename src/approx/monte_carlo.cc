@@ -53,9 +53,11 @@ SolveStats MonteCarloInto(const Graph& graph, NodeId source,
       options.threads == 0 ? ParallelThreadCount() : options.threads;
 
   const bool dense_counts = MonteCarloUsesDenseCounts(n, options);
+  const CancelToken* cancel = options.cancel;
   if (threads <= 1 || blocks < 2) {
     uint64_t steps = 0;
     for (uint64_t b = 0; b < blocks; ++b) {
+      if (cancel != nullptr && cancel->ShouldStop()) break;
       Rng block_rng = SplitStream(seed, b);
       const uint64_t hi = std::min(walks, (b + 1) * kWalkBlock);
       for (uint64_t i = b * kWalkBlock; i < hi; ++i) {
@@ -85,6 +87,7 @@ SolveStats MonteCarloInto(const Graph& graph, NodeId source,
                        [&](uint64_t lo, uint64_t hi, unsigned w) {
       auto& local_counts = counts[w];
       for (uint64_t b = lo; b < hi; ++b) {
+        if (cancel != nullptr && cancel->ShouldStop()) break;
         Rng block_rng = SplitStream(seed, b);
         const uint64_t end = std::min(walks, (b + 1) * kWalkBlock);
         for (uint64_t i = b * kWalkBlock; i < end; ++i) {
@@ -120,6 +123,7 @@ SolveStats MonteCarloInto(const Graph& graph, NodeId source,
       auto& buffer = stops[w];
       buffer.reserve((hi - lo) * kWalkBlock);
       for (uint64_t b = lo; b < hi; ++b) {
+        if (cancel != nullptr && cancel->ShouldStop()) break;
         Rng block_rng = SplitStream(seed, b);
         const uint64_t end = std::min(walks, (b + 1) * kWalkBlock);
         for (uint64_t i = b * kWalkBlock; i < end; ++i) {

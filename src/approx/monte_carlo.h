@@ -5,6 +5,7 @@
 
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 
 namespace ppr {
@@ -24,6 +25,9 @@ struct ApproxOptions {
   /// per-block RNG streams with ordered merges), push-stage results only
   /// for a fixed one.
   unsigned threads = 0;
+  /// Optional cooperative cancellation, polled between walk blocks and
+  /// between algorithm phases; nullptr (the default) never polls.
+  const CancelToken* cancel = nullptr;
 
   double ResolvedMu(NodeId n) const {
     return mu > 0.0 ? mu : 1.0 / static_cast<double>(n);

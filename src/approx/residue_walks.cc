@@ -24,9 +24,13 @@ template <typename Emit>
 void WalkNodeRange(const Graph& graph, const std::vector<double>& residue,
                    uint64_t lo, uint64_t hi, uint64_t walk_count_w,
                    double alpha, uint64_t seed, WalkIndexView index,
-                   const Emit& emit, uint64_t* walks, uint64_t* steps) {
+                   const Emit& emit, uint64_t* walks, uint64_t* steps,
+                   const CancelToken* cancel) {
   const double dw = static_cast<double>(walk_count_w);
   for (uint64_t v = lo; v < hi; ++v) {
+    if (cancel != nullptr && ((v - lo) & 255) == 0 && cancel->ShouldStop()) {
+      return;
+    }
     const double r = residue[v];
     if (r == 0.0) continue;
     const uint64_t wv = WalksForResidue(r, dw);
@@ -67,7 +71,8 @@ struct WalkBuffer {
 void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
                       uint64_t walk_count_w, double alpha, Rng& rng,
                       WalkIndexView index, std::vector<double>* out,
-                      SolveStats* stats, unsigned threads) {
+                      SolveStats* stats, unsigned threads,
+                      const CancelToken* cancel) {
   const NodeId n = graph.num_nodes();
   PPR_CHECK(residue.size() == n);
   PPR_CHECK(out->size() == n);
@@ -97,7 +102,7 @@ void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
     WalkNodeRange(
         graph, residue, 0, n, walk_count_w, alpha, seed, index,
         [&](uint64_t, NodeId stop, double c) { (*out)[stop] += c; }, &walks,
-        &steps);
+        &steps, cancel);
     stats->random_walks += walks;
     stats->walk_steps += steps;
     return;
@@ -118,6 +123,9 @@ void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
   ParallelForThreads(0, threads, threads,
                      [&](uint64_t lo, uint64_t hi, unsigned) {
     for (uint64_t c = lo; c < hi; ++c) {
+      // Chunk boundary: a triggered token skips the remaining chunks
+      // (WalkNodeRange polls inside the chunk as well).
+      if (cancel != nullptr && cancel->ShouldStop()) break;
       WalkBuffer& buffer = buffers[c];
       buffer.stops.reserve((total_walks + threads - 1) / threads);
       WalkNodeRange(
@@ -130,7 +138,7 @@ void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
             buffer.runs.back().second++;
             buffer.stops.push_back(stop);
           },
-          &chunk_walks[c], &chunk_steps[c]);
+          &chunk_walks[c], &chunk_steps[c], cancel);
     }
   }, /*grain=*/1);
 

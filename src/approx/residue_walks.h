@@ -6,6 +6,7 @@
 #include "approx/walk_index.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 
 namespace ppr {
@@ -35,10 +36,16 @@ namespace ppr {
 /// `out` must be sized n and already contain whatever the walks refine
 /// (typically the reserve vector); contributions are accumulated into it.
 /// Increments stats->random_walks and stats->walk_steps.
+///
+/// `cancel`, when non-null, is polled at chunk boundaries and every ~256
+/// nodes inside a chunk; a triggered token abandons the remaining walks
+/// (the partial accumulation is meaningless and the caller discards it).
+/// nullptr never polls — bit-identical to the pre-cancellation phase.
 void ResidueWalkPhase(const Graph& graph, const std::vector<double>& residue,
                       uint64_t walk_count_w, double alpha, Rng& rng,
                       WalkIndexView index, std::vector<double>* out,
-                      SolveStats* stats, unsigned threads = 0);
+                      SolveStats* stats, unsigned threads = 0,
+                      const CancelToken* cancel = nullptr);
 
 /// Support-only copy of the push reserves into the (all-zero) score
 /// buffer that the walk phase then refines: writes only nonzero

@@ -38,19 +38,29 @@ SolveStats SpeedPprInto(const Graph& graph, NodeId source,
       static_cast<double>(graph.num_edges()) / static_cast<double>(w);
   push_options.assume_initialized = true;
   push_options.threads = options.threads;
+  push_options.cancel = options.cancel;
   SolveStats push_stats = PowerPush(graph, source, push_options, estimate,
                                     /*trace=*/nullptr, queue, thread_scratch);
   stats.push_operations = push_stats.push_operations;
   stats.edge_pushes = push_stats.edge_pushes;
 
+  const bool stopped_early =
+      options.cancel != nullptr && options.cancel->ShouldStop();
+
   // Phase 1b: O(m) refinement (Lemma 4.5) so that no node is active
   // w.r.t. r_max = 1/W, i.e. r(s,v) <= d_v/W for every v.
   const double rmax = 1.0 / static_cast<double>(w);
-  SolveStats refine_stats = FifoForwardPushRefine(graph, source, options.alpha,
-                                                  rmax, estimate, queue);
-  stats.push_operations += refine_stats.push_operations;
-  stats.edge_pushes += refine_stats.edge_pushes;
-  stats.final_rsum = refine_stats.final_rsum;
+  if (!stopped_early) {
+    SolveStats refine_stats = FifoForwardPushRefine(
+        graph, source, options.alpha, rmax, estimate, queue, options.cancel);
+    stats.push_operations += refine_stats.push_operations;
+    stats.edge_pushes += refine_stats.edge_pushes;
+    stats.final_rsum = refine_stats.final_rsum;
+  }
+  if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;  // partial (Lemma 4.5 does not hold); caller discards
+  }
 
 #ifndef NDEBUG
   // Lemma 4.5's cap: refinement must leave W_v = ceil(r(s,v)·W) <= d_v.
@@ -67,7 +77,7 @@ SolveStats SpeedPprInto(const Graph& graph, NodeId source,
   // Phase 2: at most d_v walks per node.
   SeedScoresFromReserve(estimate->reserve, out);
   ResidueWalkPhase(graph, estimate->residue, w, options.alpha, rng, index, out,
-                   &stats, options.threads);
+                   &stats, options.threads, options.cancel);
 
   stats.seconds = timer.ElapsedSeconds();
   return stats;

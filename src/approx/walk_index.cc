@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "approx/random_walk.h"
+#include "util/fault_injection.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -168,6 +169,7 @@ std::string WalkIndex::CacheFileName(Sizing sizing, double alpha,
 }
 
 Status WalkIndex::SaveTo(const std::string& path) const {
+  PPR_FAULT_STATUS("walkindex.save");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   auto write_u64 = [&](uint64_t v) {
@@ -188,6 +190,7 @@ Status WalkIndex::SaveTo(const std::string& path) const {
 }
 
 Result<WalkIndex> WalkIndex::LoadFrom(const std::string& path) {
+  PPR_FAULT_STATUS("walkindex.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   auto read_u64 = [&](uint64_t* v) {

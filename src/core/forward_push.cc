@@ -11,7 +11,8 @@ namespace {
 /// node and pushes until the queue drains (or rsum falls to stop_rsum).
 SolveStats RunFifoLoop(const Graph& graph, NodeId source, double alpha,
                        double rmax, double stop_rsum, PprEstimate* estimate,
-                       ConvergenceTrace* trace, FifoQueue* scratch) {
+                       ConvergenceTrace* trace, FifoQueue* scratch,
+                       const CancelToken* cancel) {
   const NodeId n = graph.num_nodes();
   FifoQueue local_queue(scratch != nullptr ? 0 : n);
   FifoQueue& queue = scratch != nullptr ? *scratch : local_queue;
@@ -30,7 +31,15 @@ SolveStats RunFifoLoop(const Graph& graph, NodeId source, double alpha,
   std::vector<double>& reserve = estimate->reserve;
   std::vector<double>& residue = estimate->residue;
 
+  // Cancellation poll cadence: cheap enough to be invisible, frequent
+  // enough that a deadline miss stays within ~1024 pushes of compute.
+  constexpr uint64_t kCancelPollMask = 1023;
+
   while (!queue.empty() && (stop_rsum <= 0.0 || rsum > stop_rsum)) {
+    if (cancel != nullptr && (stats.push_operations & kCancelPollMask) == 0 &&
+        cancel->ShouldStop()) {
+      break;
+    }
     const NodeId v = queue.Pop();
     const double r = residue[v];
     if (r == 0.0) continue;
@@ -81,20 +90,22 @@ SolveStats FifoForwardPush(const Graph& graph, NodeId source,
   if (trace != nullptr) trace->Start();
   out->EnsureStartState(graph.num_nodes(), source, options.assume_initialized);
   SolveStats stats = RunFifoLoop(graph, source, options.alpha, options.rmax,
-                                 options.stop_rsum, out, trace, queue);
+                                 options.stop_rsum, out, trace, queue,
+                                 options.cancel);
   if (trace != nullptr) trace->Record(stats.edge_pushes, stats.final_rsum);
   return stats;
 }
 
 SolveStats FifoForwardPushRefine(const Graph& graph, NodeId source,
                                  double alpha, double rmax,
-                                 PprEstimate* estimate, FifoQueue* queue) {
+                                 PprEstimate* estimate, FifoQueue* queue,
+                                 const CancelToken* cancel) {
   PPR_CHECK(source < graph.num_nodes());
   PPR_CHECK(rmax > 0.0);
   PPR_CHECK(estimate->reserve.size() == graph.num_nodes());
   PPR_CHECK(estimate->residue.size() == graph.num_nodes());
   return RunFifoLoop(graph, source, alpha, rmax, /*stop_rsum=*/0.0, estimate,
-                     /*trace=*/nullptr, queue);
+                     /*trace=*/nullptr, queue, cancel);
 }
 
 }  // namespace ppr

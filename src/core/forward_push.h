@@ -4,6 +4,7 @@
 #include "core/trace.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/fifo_queue.h"
 
 namespace ppr {
@@ -24,6 +25,10 @@ struct ForwardPushOptions {
   /// by the api/ adapters to make repeated queries allocation- and
   /// assign-free.
   bool assume_initialized = false;
+  /// Optional cooperative cancellation, polled every ~1024 push
+  /// operations; the loop exits early with a partial estimate. nullptr
+  /// (the default) takes the unpolled path — bit-identical behavior.
+  const CancelToken* cancel = nullptr;
 };
 
 /// First-In-First-Out Forward Push — the "common implementation" whose
@@ -46,7 +51,8 @@ SolveStats FifoForwardPush(const Graph& graph, NodeId source,
 SolveStats FifoForwardPushRefine(const Graph& graph, NodeId source,
                                  double alpha, double rmax,
                                  PprEstimate* estimate,
-                                 FifoQueue* queue = nullptr);
+                                 FifoQueue* queue = nullptr,
+                                 const CancelToken* cancel = nullptr);
 
 }  // namespace ppr
 

@@ -98,6 +98,7 @@ SolveStats PowerIteration(const Graph& graph, NodeId source,
     std::vector<uint64_t> chunk_edges(threads, 0);
     while (rsum > options.lambda &&
            stats.iterations < options.max_iterations) {
+      if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
       rsum = ParallelPowerStep(graph, source, alpha, row_bounds, threads,
                                gamma, out->reserve, deltas, chunk_rsum,
                                chunk_pushes, chunk_edges, &stats);
@@ -110,6 +111,7 @@ SolveStats PowerIteration(const Graph& graph, NodeId source,
     std::vector<double> next(n, 0.0);  // γ_{j+1}
     while (rsum > options.lambda &&
            stats.iterations < options.max_iterations) {
+      if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
       // One simultaneous step: π̂ += α γ;  γ' = (1−α) γ P.
       double next_rsum = 0.0;
       for (NodeId v = 0; v < n; ++v) {

@@ -4,6 +4,7 @@
 #include "core/trace.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 
 namespace ppr {
 
@@ -24,6 +25,9 @@ struct PowerIterationOptions {
   /// order — deterministic for a fixed N, equal to the serial result up
   /// to floating-point reassociation (≈1e-12 ℓ1 in practice).
   unsigned threads = 0;
+  /// Optional cooperative cancellation, polled at every SpMV iteration
+  /// boundary; nullptr (the default) never polls.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Power Iteration: maintains the alive-walk distribution γ_j and the

@@ -96,6 +96,11 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
   SolveStats stats;
   double rsum = 1.0;
 
+  const auto stopped = [&options] {
+    return options.cancel != nullptr && options.cancel->ShouldStop();
+  };
+  constexpr uint64_t kCancelPollMask = 1023;
+
   // ---- Phase 1: local FIFO pushes while the frontier is sparse. ----
   if (options.use_queue_phase) {
     FifoQueue local_queue(scratch != nullptr ? 0 : n);
@@ -104,6 +109,10 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
     queue.PushIfAbsent(source);
     while (!queue.empty() && queue.size() <= scan_threshold &&
            rsum > lambda) {
+      if (options.cancel != nullptr &&
+          (stats.push_operations & kCancelPollMask) == 0 && stopped()) {
+        break;
+      }
       const NodeId v = queue.Pop();
       const double r = residue[v];
       if (r == 0.0) continue;
@@ -138,7 +147,7 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
   }
 
   // ---- Phase 2: global scans with a dynamic threshold. ----
-  if (rsum > lambda) {
+  if (rsum > lambda && !stopped()) {
     const unsigned threads = options.threads <= 1 ? 1 : options.threads;
     std::vector<uint64_t> row_bounds;
     ThreadDenseBuffers local_buffers;
@@ -163,6 +172,7 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
       const double epoch_rmax =
           epoch_target / static_cast<double>(graph.num_edges());
       while (rsum > epoch_target) {
+        if (stopped()) break;
         if (threads > 1) {
           const uint64_t pushes = ParallelScanPass(
               graph, source, alpha, epoch_rmax, row_bounds, threads, out,
@@ -213,6 +223,7 @@ SolveStats PowerPush(const Graph& graph, NodeId source,
         // no pushes cannot make progress, so move to the next epoch.
         if (stats.push_operations == pushes_before) break;
       }
+      if (stopped()) break;
     }
   }
 

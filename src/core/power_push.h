@@ -4,6 +4,7 @@
 #include "core/trace.h"
 #include "core/workspace.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/fifo_queue.h"
 
 namespace ppr {
@@ -40,6 +41,10 @@ struct PowerPushOptions {
   /// unchanged. Deterministic for a fixed N. The FIFO phase is
   /// inherently sequential and always runs on one thread.
   unsigned threads = 0;
+  /// Optional cooperative cancellation: polled every ~1024 pushes in the
+  /// FIFO phase and at every scan-pass boundary in the global phase.
+  /// nullptr (the default) never polls.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The λ value the paper uses for high-precision experiments:

@@ -13,6 +13,13 @@
 
 namespace ppr {
 
+/// Outcome of a blocking admission attempt (PushUntil).
+enum class QueuePushResult {
+  kAdmitted,  // item is in the queue
+  kClosed,    // queue closed before the item could be admitted
+  kTimedOut,  // admission deadline passed while the queue stayed full
+};
+
 /// A bounded multi-producer multi-consumer FIFO — the PprServer's
 /// request queue. Two admission disciplines:
 ///
@@ -20,13 +27,15 @@ namespace ppr {
 ///    when the queue is full (the server turns that into an Unavailable
 ///    status, so clients learn about overload instead of piling up
 ///    unbounded work);
-///  * PushWithBackoff: backpressure by waiting — used by the
-///    synchronous batch path, where the caller *is* the client and
+///  * PushUntil / PushWithBackoff: backpressure by waiting — used by
+///    the synchronous batch path, where the caller *is* the client and
 ///    waiting is the contract. A producer that finds the queue full
 ///    does not hot-spin resubmitting: re-checks are paced by a bounded
 ///    exponential backoff (and woken early when a consumer frees a
 ///    slot), so a saturated server spends its cycles draining the
-///    queue, not arbitrating admission retries.
+///    queue, not arbitrating admission retries. PushUntil additionally
+///    caps the total wait by an absolute deadline, so a stalled server
+///    cannot block a batch caller forever.
 ///
 /// Close() wakes every waiter. Consumers drain whatever was admitted
 /// before the close (Pop returns the remaining items, then nullopt), so
@@ -53,31 +62,55 @@ class BoundedQueue {
     return true;
   }
 
-  /// Blocking admit with bounded exponential backoff; false only when
-  /// the queue is (or becomes) closed. Each failed admission check
-  /// sleeps at most the current backoff interval — starting at
-  /// kInitialBackoff and doubling up to kMaxBackoff — and a consumer
-  /// freeing a slot wakes the producer early, so latency stays
-  /// notify-driven while wakeup storms stay bounded.
+  /// Blocking admit with bounded exponential backoff and an absolute
+  /// admission deadline (time_point::max() = wait indefinitely). Each
+  /// failed admission check sleeps at most the current backoff interval
+  /// — starting at kInitialBackoff and doubling up to kMaxBackoff,
+  /// never past the remaining deadline budget — and a consumer freeing
+  /// a slot wakes the producer early, so latency stays notify-driven
+  /// while wakeup storms stay bounded. The closed flag is re-checked
+  /// first on every round: a Close() racing a backoff sleep fails the
+  /// push at the next wakeup instead of sleeping through further
+  /// rounds against a queue that can never drain.
   ///
   /// `*saw_full`, when non-null, is set to true iff at least one check
   /// found the queue full — one flag per submission no matter how many
   /// backoff rounds it took, which is what lets the server count one
   /// refused submission exactly once in stats().rejected.
-  bool PushWithBackoff(T item, bool* saw_full = nullptr) PPR_EXCLUDES(mu_) {
+  QueuePushResult PushUntil(T item,
+                            std::chrono::steady_clock::time_point deadline,
+                            bool* saw_full = nullptr) PPR_EXCLUDES(mu_) {
+    constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
     {
       MutexLock lock(mu_);
       std::chrono::microseconds delay = kInitialBackoff;
-      while (!closed_ && items_.size() >= capacity_) {
+      while (items_.size() >= capacity_) {
+        if (closed_) return QueuePushResult::kClosed;
         if (saw_full != nullptr) *saw_full = true;
-        producer_cv_.WaitFor(lock, delay);
+        std::chrono::microseconds wait = delay;
+        if (deadline != kNoDeadline) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now >= deadline) return QueuePushResult::kTimedOut;
+          wait = std::min(
+              delay, std::chrono::ceil<std::chrono::microseconds>(deadline -
+                                                                  now));
+        }
+        producer_cv_.WaitFor(lock, wait);
         delay = std::min(delay * 2, kMaxBackoff);
       }
-      if (closed_) return false;
+      if (closed_) return QueuePushResult::kClosed;
       items_.push_back(std::move(item));
     }
     consumer_cv_.NotifyOne();
-    return true;
+    return QueuePushResult::kAdmitted;
+  }
+
+  /// PushUntil without a deadline; false only when the queue is (or
+  /// becomes) closed.
+  bool PushWithBackoff(T item, bool* saw_full = nullptr) PPR_EXCLUDES(mu_) {
+    return PushUntil(std::move(item),
+                     std::chrono::steady_clock::time_point::max(),
+                     saw_full) == QueuePushResult::kAdmitted;
   }
 
   /// Blocks until an item is available or the queue is closed and

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "api/registry.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/rng.h"
@@ -20,6 +21,11 @@ struct PprFuture::State {
   PprResult result PPR_GUARDED_BY(mu);
   std::chrono::steady_clock::time_point submitted;
   double latency_seconds PPR_GUARDED_BY(mu) = 0.0;
+  /// Lives here (not in the queued request) so Cancel() keeps working
+  /// while the query is in flight and the token outlives the server if
+  /// the future does. Armed/chained before the request is published to
+  /// the queue; only polled (atomics) afterwards.
+  CancelToken token;
 };
 
 bool PprFuture::done() const {
@@ -40,6 +46,11 @@ Status PprFuture::Get(PprResult* out) const {
   while (!state_->done) state_->cv.Wait(lock);
   if (state_->status.ok() && out != nullptr) *out = state_->result;
   return state_->status;
+}
+
+void PprFuture::Cancel() const {
+  PPR_CHECK(valid());
+  state_->token.RequestCancel();
 }
 
 double PprFuture::latency_seconds() const {
@@ -67,7 +78,8 @@ size_t ResolveContexts(const PprServerOptions& options) {
 PprServer::PprServer(PprServerOptions options)
     : options_(options),
       contexts_(ResolveContexts(options), options.seed),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      hard_stop_(std::make_shared<std::atomic<bool>>(false)) {
   options_.workers = ResolveWorkers(options);
   options_.contexts = ResolveContexts(options);
 }
@@ -104,6 +116,12 @@ Status PprServer::Start() {
   if (solvers_.empty()) {
     return Status::FailedPrecondition("Start() with no solver added");
   }
+  if (!options_.degraded.fallback_solver.empty() &&
+      FindHosted(options_.degraded.fallback_solver) == nullptr) {
+    return Status::FailedPrecondition(
+        "degraded fallback solver '" + options_.degraded.fallback_solver +
+        "' is not hosted; AddSolver it before Start()");
+  }
   started_ = true;
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i) {
@@ -113,6 +131,19 @@ Status PprServer::Start() {
 }
 
 void PprServer::Stop() {
+  StopInternal(/*bounded=*/false, std::chrono::nanoseconds{0});
+}
+
+void PprServer::Stop(std::chrono::nanoseconds drain_budget) {
+  StopInternal(/*bounded=*/true, drain_budget);
+}
+
+uint64_t PprServer::FinishedCountLocked() const {
+  return completed_ + failed_ + shed_ + cancelled_;
+}
+
+void PprServer::StopInternal(bool bounded,
+                             std::chrono::nanoseconds drain_budget) {
   {
     MutexLock lock(mu_);
     if (!started_ || stopped_) {
@@ -125,6 +156,23 @@ void PprServer::Stop() {
   // drain every accepted request before their Pop returns nullopt — the
   // join below therefore completes all in-flight futures.
   queue_.Close();
+  if (bounded) {
+    const auto deadline = std::chrono::steady_clock::now() + drain_budget;
+    MutexLock lock(mu_);
+    while (FinishedCountLocked() < submitted_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        // Budget spent: flip the shared hard stop. Workers shed what is
+        // still queued and in-flight solves bail at their next poll —
+        // everything still completes (with Cancelled), just no longer
+        // at full fidelity. The join below then finishes promptly.
+        hard_stop_->store(true, std::memory_order_relaxed);
+        break;
+      }
+      drain_cv_.WaitFor(lock, std::chrono::ceil<std::chrono::microseconds>(
+                                  deadline - now));
+    }
+  }
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 }
@@ -151,9 +199,18 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
     if (!started_ || stopped_) {
       return Status::FailedPrecondition("server is not running");
     }
-    const Hosted* hosted = FindHosted(solver);
+    // Degraded mode: reroute default-routed queries to the (validated
+    // at Start) fallback when the queue is at or past the watermark.
+    // Explicit specs are honoured as given — the caller chose.
+    std::string_view route = solver;
+    if (solver.empty() && !options_.degraded.fallback_solver.empty() &&
+        queue_.size() >= options_.degraded.queue_watermark) {
+      route = options_.degraded.fallback_solver;
+      request.degraded = true;
+    }
+    const Hosted* hosted = FindHosted(route);
     if (hosted == nullptr) {
-      return Status::NotFound("no solver '" + std::string(solver) +
+      return Status::NotFound("no solver '" + std::string(route) +
                               "' on this server");
     }
     request.solver = hosted->solver.get();
@@ -166,20 +223,52 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
   request.query = query;
   request.state = std::make_shared<PprFuture::State>();
   request.state->submitted = std::chrono::steady_clock::now();
+  // Token setup happens before the request is published to the queue
+  // (ChainHardStop is not poll-safe); afterwards the token is only
+  // touched through its atomics.
+  if (query.deadline.count() > 0) {
+    request.state->token.ArmDeadline(request.state->submitted +
+                                     query.deadline);
+  }
+  request.state->token.ChainHardStop(hard_stop_);
   PprFuture future(request.state);
+  const bool degraded = request.degraded;
 
+  PPR_FAULT_STATUS("serve.queue.push");
+
+  QueuePushResult admitted;
   bool saw_full = false;
-  const bool admitted =
-      blocking ? queue_.PushWithBackoff(std::move(request), &saw_full)
-               : queue_.TryPush(std::move(request));
+  if (blocking) {
+    // The admission wait is bounded by the query's own deadline when it
+    // has one, else by the configured batch admission budget (0 = wait
+    // indefinitely, the legacy contract).
+    auto admission_deadline = std::chrono::steady_clock::time_point::max();
+    if (query.deadline.count() > 0) {
+      admission_deadline = request.state->submitted + query.deadline;
+    } else if (options_.batch_admission_budget.count() > 0) {
+      admission_deadline =
+          request.state->submitted + options_.batch_admission_budget;
+    }
+    admitted =
+        queue_.PushUntil(std::move(request), admission_deadline, &saw_full);
+  } else {
+    admitted = queue_.TryPush(std::move(request))
+                   ? QueuePushResult::kAdmitted
+                   : QueuePushResult::kClosed;  // refined below
+  }
   MutexLock lock(mu_);
-  if (!admitted) {
+  if (admitted != QueuePushResult::kAdmitted) {
     // A Stop() racing this submission closes the queue; that is a
     // lifecycle refusal, not load shedding.
     if (queue_.closed()) {
       return Status::FailedPrecondition("server is shutting down");
     }
     rejected_++;
+    if (admitted == QueuePushResult::kTimedOut) {
+      return Status::DeadlineExceeded(
+          "admission deadline passed while waiting for queue space (" +
+          std::to_string(queue_.capacity()) + " pending)");
+    }
     return Status::Unavailable(
         "request queue full (" + std::to_string(queue_.capacity()) +
         " pending); retry later or raise queue_capacity");
@@ -189,6 +278,7 @@ Result<PprFuture> PprServer::Enqueue(const PprQuery& query,
   // admission took — the refusal was absorbed by the wait instead of
   // surfacing as Unavailable, but it is the same backpressure event.
   if (saw_full) rejected_++;
+  if (degraded) degraded_++;
   submitted_++;
   return future;
 }
@@ -241,6 +331,7 @@ Result<uint64_t> PprServer::ApplyUpdates(const UpdateBatch& batch,
     target = hosted->solver.get();
     barrier = hosted->barrier.get();
   }
+  PPR_FAULT_STATUS("server.apply_updates");
   DynamicSolver* dynamic = target->AsDynamic();
   if (dynamic == nullptr) {
     return Status::FailedPrecondition(
@@ -269,19 +360,30 @@ Result<uint64_t> PprServer::ApplyUpdates(const UpdateBatch& batch,
 
 void PprServer::WorkerLoop() {
   while (auto request = queue_.Pop()) {
-    ContextPool::Lease context = contexts_.Acquire();
-    context->Reseed(request->seed);
+    PPR_FAULT_POINT("serve.queue.pop");
+    // Triage before spending any compute: a query whose deadline
+    // already expired in-queue (or that was cancelled while waiting,
+    // or that a bounded-drain hard stop overtook) is shed — completed
+    // with its terminal status without ever touching the solver.
+    const Status triage = request->state->token.CheckNow();
     PprResult result;
-    Status status;
-    {
-      // The epoch barrier: queries run under a shared hold, so an
-      // ApplyUpdates on this solver waits for them and they never see a
-      // half-applied batch — each result is consistent with exactly the
-      // epoch it stamps.
-      SharedLock epoch_guard(*request->barrier);
-      status = request->solver->Solve(request->query, *context, &result);
+    Status status = triage;
+    if (triage.ok()) {
+      ContextPool::Lease context = contexts_.Acquire();
+      context->Reseed(request->seed);
+      context->set_cancel_token(&request->state->token);
+      {
+        // The epoch barrier: queries run under a shared hold, so an
+        // ApplyUpdates on this solver waits for them and they never see
+        // a half-applied batch — each result is consistent with exactly
+        // the epoch it stamps.
+        SharedLock epoch_guard(*request->barrier);
+        status = request->solver->Solve(request->query, *context, &result);
+      }
+      context->set_cancel_token(nullptr);
+      context.Release();
+      if (status.ok()) result.degraded = request->degraded;
     }
-    context.Release();
 
     PprFuture::State& state = *request->state;
     {
@@ -296,12 +398,25 @@ void PprServer::WorkerLoop() {
     }
     state.cv.NotifyAll();
 
-    MutexLock lock(mu_);
-    if (status.ok()) {
-      completed_++;
-    } else {
-      failed_++;
+    {
+      MutexLock lock(mu_);
+      // Terminal taxonomy — exactly one bucket per accepted query, so
+      // submitted == completed + failed + shed + cancelled always:
+      //   shed       pre-solve deadline expiry (never ran);
+      //   cancelled  Cancel()/hard stop, whether triaged or mid-solve;
+      //   failed     every other non-OK, incl. mid-solve deadline expiry
+      //              (compute was spent, unlike a shed query).
+      if (status.ok()) {
+        completed_++;
+      } else if (status.code() == StatusCode::kCancelled) {
+        cancelled_++;
+      } else if (triage.code() == StatusCode::kDeadlineExceeded) {
+        shed_++;
+      } else {
+        failed_++;
+      }
     }
+    drain_cv_.NotifyAll();
   }
 }
 
@@ -312,6 +427,9 @@ PprServerStats PprServer::stats() const {
   stats.rejected = rejected_;
   stats.completed = completed_;
   stats.failed = failed_;
+  stats.shed = shed_;
+  stats.cancelled = cancelled_;
+  stats.degraded = degraded_;
   stats.updates = updates_;
   stats.queue_depth = queue_.size();
   return stats;

@@ -1,6 +1,7 @@
 #ifndef PPR_SERVE_PPR_SERVER_H_
 #define PPR_SERVE_PPR_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "api/query.h"
 #include "api/solver.h"
 #include "serve/bounded_queue.h"
+#include "util/cancellation.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -42,6 +44,15 @@ class PprFuture {
   /// repeated Get calls agree).
   Status Get(PprResult* out) const;
 
+  /// Requests cooperative cancellation of this query. Non-blocking and
+  /// idempotent; safe from any thread. A query still in the queue is
+  /// completed with Cancelled without ever being solved; a query
+  /// mid-solve observes the request at its next cancellation poll
+  /// (chunk / iteration / every-N-pushes boundary) and completes with
+  /// Cancelled shortly after. A query that already finished is
+  /// unaffected — Get keeps returning its original status.
+  void Cancel() const;
+
   /// Seconds from Submit() to completion. Valid once done().
   double latency_seconds() const;
 
@@ -65,6 +76,9 @@ struct ServeRequest {
   /// interleave.
   SharedMutex* barrier = nullptr;
   uint64_t seed = 0;
+  /// True when the degraded policy rerouted this query to the fallback
+  /// solver; stamped onto PprResult::degraded on success.
+  bool degraded = false;
   std::shared_ptr<PprFuture::State> state;
 };
 
@@ -86,6 +100,24 @@ struct PprServerOptions {
   /// Base seed: query i with no explicit seed gets SplitStream(seed, i)
   /// by global submission index.
   uint64_t seed = SolverContext::kDefaultSeed;
+  /// Opt-in degraded mode: when `fallback_solver` is non-empty and the
+  /// queue depth at submission time is >= `queue_watermark`, a query
+  /// submitted *without* an explicit solver spec is rerouted to the
+  /// fallback (typically a relaxed-epsilon spec of the same algorithm)
+  /// and its result is stamped PprResult::degraded = true. Queries that
+  /// name a solver explicitly are never rerouted — the caller asked for
+  /// that solver, overload or not. The fallback spec must be hosted
+  /// (AddSolver) before Start(), which validates it.
+  struct DegradedPolicy {
+    std::string fallback_solver;
+    size_t queue_watermark = 0;
+  };
+  DegradedPolicy degraded;
+  /// Upper bound on how long one SolveBatch submission may wait for
+  /// queue space when its query carries no deadline of its own
+  /// (queries with PprQuery::deadline > 0 are bounded by that instead).
+  /// 0 → wait indefinitely (the pre-deadline behaviour).
+  std::chrono::nanoseconds batch_admission_budget{0};
 };
 
 /// Point-in-time counters (monotonic except queue_depth).
@@ -98,6 +130,18 @@ struct PprServerStats {
   uint64_t rejected = 0;
   uint64_t completed = 0;  ///< finished with an OK status
   uint64_t failed = 0;     ///< finished with a non-OK status
+  /// Queries whose deadline had already expired when a worker picked
+  /// them up: completed with DeadlineExceeded *without* running the
+  /// solver. Disjoint from failed/cancelled — for every accepted query,
+  /// submitted == completed + failed + shed + cancelled exactly.
+  uint64_t shed = 0;
+  /// Queries that finished with Cancelled — via PprFuture::Cancel() or
+  /// a bounded-drain Stop() hard-stopping leftover work.
+  uint64_t cancelled = 0;
+  /// Queries the degraded policy rerouted to the fallback solver.
+  /// Counted at admission (a rerouted query may still be shed or
+  /// cancelled later); subset of submitted, not a terminal state.
+  uint64_t degraded = 0;
   uint64_t updates = 0;    ///< update batches applied via ApplyUpdates
   size_t queue_depth = 0;  ///< requests currently waiting
 };
@@ -133,10 +177,22 @@ struct PprServerStats {
 /// resubmissions; each such backpressured submission shows up exactly
 /// once in stats().rejected.
 ///
+/// Deadlines & shedding: a query with PprQuery::deadline > 0 must
+/// finish within that budget of its submission. Workers shed queries
+/// whose deadline already expired in-queue (completed with
+/// DeadlineExceeded, never solved — stats().shed), and a deadline that
+/// expires mid-solve stops the compute at the solver's next
+/// cancellation poll. PprFuture::Cancel() stops a query the same
+/// cooperative way with Cancelled. See docs/serving.md, "Deadlines and
+/// cancellation".
+///
 /// Shutdown: Stop() closes the queue (later Submits fail), lets the
 /// workers drain every accepted request, then joins. Every future
-/// obtained from an accepted Submit therefore completes. Idempotent;
-/// the destructor calls it.
+/// obtained from an accepted Submit therefore completes. The bounded
+/// overload Stop(drain_budget) waits at most that long for the drain;
+/// whatever is still unfinished then is hard-stopped and completed
+/// with Cancelled — still *completed*, never abandoned. Idempotent;
+/// the destructor calls it (unbounded form).
 class PprServer {
  public:
   explicit PprServer(PprServerOptions options = {});
@@ -157,11 +213,22 @@ class PprServer {
   Status AddSolver(std::string name, std::unique_ptr<Solver> solver)
       PPR_EXCLUDES(mu_);
 
-  /// Spawns the worker threads. Requires at least one solver.
+  /// Spawns the worker threads. Requires at least one solver; when a
+  /// degraded policy is configured, its fallback spec must be hosted.
   Status Start() PPR_EXCLUDES(mu_);
 
   /// Drains accepted queries and joins the workers. Idempotent.
   void Stop() PPR_EXCLUDES(mu_);
+
+  /// Bounded-drain shutdown: closes the queue, waits up to
+  /// `drain_budget` for the accepted queries to finish, then
+  /// hard-stops whatever remains — in-queue requests are completed
+  /// with Cancelled by the draining workers, and in-flight solves
+  /// observe the stop at their next cancellation poll and complete
+  /// with Cancelled too. Always joins the workers before returning, so
+  /// every accepted future is done when this returns. Idempotent with
+  /// Stop(): the first call wins.
+  void Stop(std::chrono::nanoseconds drain_budget) PPR_EXCLUDES(mu_);
 
   bool running() const PPR_EXCLUDES(mu_);
 
@@ -177,7 +244,12 @@ class PprServer {
   /// instead of rejecting), blocks until all finish, and fills `results`
   /// aligned with `queries`. Per-entry seed i is SplitStream(seed, i)
   /// (seed 0 → options.seed), so a batch is reproducible regardless of
-  /// worker count. Returns the first per-query failure, if any.
+  /// worker count. The admission wait is bounded: a query with a
+  /// deadline may wait at most that deadline for queue space, one
+  /// without at most options.batch_admission_budget (0 = indefinitely);
+  /// exceeding the bound fails the batch with DeadlineExceeded (the
+  /// already-admitted prefix still completes and is waited for).
+  /// Returns the first per-query failure, if any.
   Status SolveBatch(const std::vector<PprQuery>& queries,
                     std::vector<PprResult>* results,
                     std::string_view solver = {}, uint64_t seed = 0);
@@ -223,6 +295,9 @@ class PprServer {
   void WorkerLoop() PPR_EXCLUDES(mu_);
   Result<PprFuture> Enqueue(const PprQuery& query, std::string_view solver,
                             uint64_t seed, bool blocking) PPR_EXCLUDES(mu_);
+  void StopInternal(bool bounded, std::chrono::nanoseconds drain_budget)
+      PPR_EXCLUDES(mu_);
+  uint64_t FinishedCountLocked() const PPR_REQUIRES(mu_);
 
   PprServerOptions options_;
   ContextPool contexts_;
@@ -232,8 +307,17 @@ class PprServer {
   /// final stats update), so not GUARDED_BY: Start() fills it under
   /// mu_, exactly one Stop() drains it.
   std::vector<std::thread> workers_;
+  /// Set by a bounded-drain Stop() whose budget expired; chained into
+  /// every accepted query's CancelToken so leftover work stops at its
+  /// next poll. A plain atomic (not GUARDED_BY): workers read it
+  /// lock-free inside solve loops.
+  const std::shared_ptr<std::atomic<bool>> hard_stop_;
 
   mutable Mutex mu_;
+  /// Signalled by workers after every terminal-counter update; the
+  /// bounded-drain Stop() waits on it for
+  /// completed+failed+shed+cancelled to catch up with submitted.
+  CondVar drain_cv_;
   std::vector<Hosted> solvers_ PPR_GUARDED_BY(mu_);
   bool started_ PPR_GUARDED_BY(mu_) = false;
   bool stopped_ PPR_GUARDED_BY(mu_) = false;
@@ -242,6 +326,9 @@ class PprServer {
   uint64_t rejected_ PPR_GUARDED_BY(mu_) = 0;
   uint64_t completed_ PPR_GUARDED_BY(mu_) = 0;
   uint64_t failed_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t cancelled_ PPR_GUARDED_BY(mu_) = 0;
+  uint64_t degraded_ PPR_GUARDED_BY(mu_) = 0;
   uint64_t updates_ PPR_GUARDED_BY(mu_) = 0;
 };
 

@@ -1,0 +1,110 @@
+#ifndef PPR_UTIL_CANCELLATION_H_
+#define PPR_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace ppr {
+
+/// Cooperative cancellation + deadline token for long-running solves.
+///
+/// One token belongs to one in-flight operation (the serving tier keeps
+/// it in the PprFuture's shared state). Three independent stop signals
+/// feed it:
+///
+///   * RequestCancel()   — explicit caller cancellation (PprFuture::Cancel);
+///   * ArmDeadline(tp)   — an absolute steady-clock completion deadline;
+///   * ChainHardStop(p)  — a shared flag flipped by bounded-drain server
+///                         shutdown, chained once before the token is
+///                         published to other threads.
+///
+/// Compute kernels poll ShouldStop() at coarse boundaries (walk-phase
+/// chunks, SpMV iterations, every-N pushes) and bail out; the Solve
+/// wrapper converts the condition to a Status with CheckNow(). Polling
+/// is lock-free (plain atomics), and a null token pointer means "never
+/// stop" — kernels gate every poll on `cancel != nullptr`, so
+/// deadline-free serving takes exactly the pre-token code path.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Asks the operation to stop as soon as it next polls. Idempotent,
+  /// callable from any thread at any time.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms an absolute completion deadline. Call before publishing the
+  /// token to the solving thread (the serving tier arms it at admission).
+  void ArmDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           deadline.time_since_epoch())
+                           .count(),
+                       std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  bool deadline_expired() const {
+    const int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    return ns != 0 && NowNs() >= ns;
+  }
+
+  /// Chains a shared stop flag (bounded-drain shutdown). shared_ptr so a
+  /// token embedded in a future that outlives the server stays valid.
+  /// Not thread-safe against concurrent polls: call before publication.
+  void ChainHardStop(std::shared_ptr<const std::atomic<bool>> stop) {
+    hard_stop_ = std::move(stop);
+  }
+
+  /// Cheap poll for kernel inner loops: should the operation stop now?
+  bool ShouldStop() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (hard_stop_ != nullptr && hard_stop_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_expired();
+  }
+
+  /// Status form of ShouldStop() for operation boundaries. Explicit
+  /// cancellation and shutdown report kCancelled; an expired deadline
+  /// reports kDeadlineExceeded.
+  Status CheckNow() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (hard_stop_ != nullptr && hard_stop_->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("server shutting down");
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  // Steady-clock deadline in ns since clock epoch; 0 = no deadline armed.
+  std::atomic<int64_t> deadline_ns_{0};
+  std::shared_ptr<const std::atomic<bool>> hard_stop_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_UTIL_CANCELLATION_H_

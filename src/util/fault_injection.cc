@@ -1,0 +1,140 @@
+#include "util/fault_injection.h"
+
+#include <thread>
+
+namespace ppr {
+namespace {
+
+// FNV-1a, so trigger decisions are stable across platforms (std::hash
+// makes no such promise).
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Uniform draw in [0, 1) from (seed, point, visit index) — independent
+// of thread schedule, so a chaos run replays with its seed.
+double Draw(uint64_t seed, std::string_view point, uint64_t visit) {
+  const uint64_t h = Mix(seed + Mix(HashBytes(point) + Mix(visit)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Status MakeStatus(StatusCode code, const std::string& message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(message);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Enable(uint64_t seed) {
+  {
+    MutexLock lock(mu_);
+    seed_ = seed;
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disable() { armed_.store(false, std::memory_order_release); }
+
+void FaultInjector::SetFault(std::string_view point, FaultSpec spec) {
+  MutexLock lock(mu_);
+  Point& entry = points_[std::string(point)];
+  entry.spec = std::move(spec);
+  entry.visits = 0;
+  entry.triggers = 0;
+}
+
+void FaultInjector::ClearFault(std::string_view point) {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) points_.erase(it);
+}
+
+void FaultInjector::Clear() {
+  MutexLock lock(mu_);
+  points_.clear();
+}
+
+Status FaultInjector::Evaluate(std::string_view point) {
+  std::chrono::microseconds delay{0};
+  StatusCode error = StatusCode::kOk;
+  std::string message;
+  {
+    MutexLock lock(mu_);
+    if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    Point& entry = it->second;
+    const uint64_t visit = entry.visits++;
+    const FaultSpec& spec = entry.spec;
+    if (spec.max_triggers != 0 && entry.triggers >= spec.max_triggers) {
+      return Status::OK();
+    }
+    if (spec.probability < 1.0 &&
+        Draw(seed_, point, visit) >= spec.probability) {
+      return Status::OK();
+    }
+    ++entry.triggers;
+    delay = spec.delay;
+    error = spec.error;
+    message = spec.message;
+  }
+  // Sleep outside the lock so one slow point never serializes others.
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return MakeStatus(error, message);
+}
+
+uint64_t FaultInjector::visits(std::string_view point) const {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.visits;
+}
+
+uint64_t FaultInjector::triggers(std::string_view point) const {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace ppr

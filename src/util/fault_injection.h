@@ -1,0 +1,154 @@
+#ifndef PPR_UTIL_FAULT_INJECTION_H_
+#define PPR_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+// Deterministic fault injection for chaos testing.
+//
+// Production code marks *named injection points* with the macros below;
+// tests arm specific points with a delay and/or an error, drive load,
+// and assert the system's invariants hold under the induced slowness
+// and failures. Injection is:
+//
+//   * deterministic — whether visit k of point p triggers is a pure
+//     function of (enable seed, p, k), independent of thread schedule,
+//     so a failing chaos run reproduces with the same seed;
+//   * cheap when idle — a disarmed point costs one relaxed atomic load;
+//   * compiled out entirely when CMake is configured with
+//     -DPPR_FAULT_INJECTION=OFF (the macros expand to nothing).
+//
+// Registered points (keep this list in sync with docs/serving.md):
+//
+//   serve.queue.push      PprServer admission, before the queue push
+//   serve.queue.pop       worker loop, after popping a request
+//   solver.solve          Solver::Solve wrapper, before DoSolve
+//   walkindex.save        WalkIndex::SaveTo entry (cache write)
+//   walkindex.load        WalkIndex::LoadFrom entry (cache read)
+//   server.apply_updates  PprServer::ApplyUpdates, before the barrier
+
+#if !defined(PPR_FAULT_INJECTION)
+#define PPR_FAULT_INJECTION 0
+#endif
+
+namespace ppr {
+
+/// What an armed injection point does when a visit triggers.
+struct FaultSpec {
+  /// Probability in [0, 1] that a given visit triggers (deterministic
+  /// per visit index; 1.0 = every visit).
+  double probability = 1.0;
+  /// Sleep this long on a triggered visit (injected slowness).
+  std::chrono::microseconds delay{0};
+  /// Status code returned on a triggered visit; kOk = delay only.
+  StatusCode error = StatusCode::kOk;
+  /// Message for the injected status.
+  std::string message = "injected fault";
+  /// Stop triggering after this many triggers; 0 = unlimited.
+  uint64_t max_triggers = 0;
+};
+
+/// Process-wide registry of armed injection points. Thread-safe; the
+/// disarmed fast path is a single relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms the injector. Trigger decisions derive from `seed`; Clear()s
+  /// nothing, so faults set before Enable stay armed.
+  void Enable(uint64_t seed) PPR_EXCLUDES(mu_);
+  /// Disarms every point (specs stay registered until Clear()).
+  void Disable() PPR_EXCLUDES(mu_);
+  bool enabled() const {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  void SetFault(std::string_view point, FaultSpec spec) PPR_EXCLUDES(mu_);
+  void ClearFault(std::string_view point) PPR_EXCLUDES(mu_);
+  /// Removes every spec and resets all visit/trigger counters.
+  void Clear() PPR_EXCLUDES(mu_);
+
+  /// Evaluates one visit of `point`: sleeps through an injected delay,
+  /// then returns the injected error (or OK). Called via the macros.
+  Status Evaluate(std::string_view point) PPR_EXCLUDES(mu_);
+
+  /// Observability for tests.
+  uint64_t visits(std::string_view point) const PPR_EXCLUDES(mu_);
+  uint64_t triggers(std::string_view point) const PPR_EXCLUDES(mu_);
+
+ private:
+  struct Point {
+    FaultSpec spec;
+    uint64_t visits = 0;
+    uint64_t triggers = 0;
+  };
+
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable Mutex mu_;
+  uint64_t seed_ PPR_GUARDED_BY(mu_) = 0;
+  std::map<std::string, Point, std::less<>> points_ PPR_GUARDED_BY(mu_);
+};
+
+/// RAII enable/cleanup for tests: arms the injector with `seed` on
+/// construction, disables it and clears every spec on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(uint64_t seed) {
+    FaultInjector::Global().Enable(seed);
+  }
+  ~ScopedFaultInjection() {
+    FaultInjector::Global().Disable();
+    FaultInjector::Global().Clear();
+  }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace ppr
+
+#if PPR_FAULT_INJECTION
+
+/// Marks an injection point whose only effect can be delay: an injected
+/// error status at this point is deliberately dropped.
+#define PPR_FAULT_POINT(point)                                         \
+  do {                                                                 \
+    if (::ppr::FaultInjector::Global().enabled()) {                    \
+      ::ppr::Status _fault_st =                                        \
+          ::ppr::FaultInjector::Global().Evaluate(point);              \
+      (void)_fault_st;                                                 \
+    }                                                                  \
+  } while (0)
+
+/// Marks an injection point on a Status/Result-returning path: an
+/// injected error is returned to the caller (delay still applies).
+#define PPR_FAULT_STATUS(point)                                        \
+  do {                                                                 \
+    if (::ppr::FaultInjector::Global().enabled()) {                    \
+      ::ppr::Status _fault_st =                                        \
+          ::ppr::FaultInjector::Global().Evaluate(point);              \
+      if (!_fault_st.ok()) return _fault_st;                           \
+    }                                                                  \
+  } while (0)
+
+#else  // !PPR_FAULT_INJECTION
+
+#define PPR_FAULT_POINT(point) \
+  do {                         \
+  } while (0)
+#define PPR_FAULT_STATUS(point) \
+  do {                          \
+  } while (0)
+
+#endif  // PPR_FAULT_INJECTION
+
+#endif  // PPR_UTIL_FAULT_INJECTION_H_

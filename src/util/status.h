@@ -21,6 +21,10 @@ enum class StatusCode {
   kUnimplemented,
   /// Transient overload: retry later (e.g. a full PprServer queue).
   kUnavailable,
+  /// The operation's deadline passed before it finished (serving tier).
+  kDeadlineExceeded,
+  /// The operation was cancelled by the caller or by server shutdown.
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a status code ("IOError", ...).
@@ -63,6 +67,12 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

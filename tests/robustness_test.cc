@@ -46,6 +46,45 @@ TEST(RobustnessTest, EdgeListReaderSurvivesRandomBytes) {
   }
 }
 
+TEST(RobustnessTest, UpdateStreamReaderSurvivesRandomBytes) {
+  Rng rng(4);
+  const std::string path = ::testing::TempDir() + "/fuzz_updates.txt";
+  for (int trial = 0; trial < 50; ++trial) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      const size_t len = rng.NextBounded(512);
+      for (size_t i = 0; i < len; ++i) {
+        // Bias toward the stream's own alphabet — kind markers, digits,
+        // separators — so many trials get past the kind field and into
+        // the id parsing and range checks, not just the first branch.
+        char c;
+        const uint64_t pick = rng.NextBounded(12);
+        if (pick < 2) {
+          c = "+-ad"[rng.NextBounded(4)];
+        } else if (pick < 6) {
+          c = static_cast<char>('0' + rng.NextBounded(10));
+        } else if (pick < 9) {
+          c = " \t\n,"[rng.NextBounded(4)];
+        } else {
+          c = static_cast<char>(rng.NextBounded(256));
+        }
+        out.put(c);
+      }
+    }
+    auto result = ReadUpdateStreamText(path);
+    // Either a parsed batch or a clean Status; a crash kills the process
+    // and fails the test. Successful parses must still be well-formed.
+    if (result.ok()) {
+      for (const auto& update : result.value().updates) {
+        EXPECT_TRUE(update.kind == UpdateKind::kInsert ||
+                    update.kind == UpdateKind::kDelete);
+      }
+    } else {
+      EXPECT_NE(result.status().code(), StatusCode::kOk);
+    }
+  }
+}
+
 TEST(RobustnessTest, GraphBinaryReaderSurvivesRandomBytes) {
   Rng rng(2);
   const std::string path = ::testing::TempDir() + "/fuzz_graph.bin";

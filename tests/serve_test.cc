@@ -89,6 +89,12 @@ class GateSolver : public Solver {
     cv_.wait(lock, [&] { return entered_ >= count; });
   }
 
+  /// How many queries reached DoSolve (shed queries never do).
+  unsigned entered() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entered_;
+  }
+
  protected:
   Status DoSolve(const PprQuery& query, SolverContext&,
                  PprResult* result) override {
@@ -499,6 +505,208 @@ TEST(PprServerTest, SolveBatchPropagatesPerQueryFailures) {
   EXPECT_EQ(results[0].scores.size(), graph.num_nodes());
   EXPECT_EQ(results[2].scores.size(), graph.num_nodes());
   server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Deadlines, shedding, degraded mode, future lifecycle
+// ---------------------------------------------------------------------
+
+TEST(PprServerTest, ExpiredDeadlineInQueueIsShedNeverSolved) {
+  const Graph& graph = SharedFixtures().general;
+  auto gate = std::make_unique<GateSolver>();
+  GateSolver* gate_ptr = gate.get();
+  ASSERT_TRUE(gate->Prepare(graph).ok());
+
+  PprServer server({.workers = 1, .queue_capacity = 8});
+  ASSERT_TRUE(server.AddSolver("gate", std::move(gate)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Occupy the single worker, then park queries with a deadline far
+  // shorter than the hold — by the time the worker gets to them their
+  // budget is spent, so solving them would only waste the survivors'
+  // capacity.
+  auto inflight = server.Submit({});
+  ASSERT_TRUE(inflight.ok());
+  gate_ptr->AwaitEntered(1);
+
+  PprQuery doomed;
+  doomed.deadline = std::chrono::milliseconds(2);
+  std::vector<PprFuture> parked;
+  for (int i = 0; i < 3; ++i) {
+    auto submitted = server.Submit(doomed);
+    ASSERT_TRUE(submitted.ok());
+    parked.push_back(std::move(submitted).ValueOrDie());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate_ptr->Open();
+
+  for (PprFuture& f : parked) {
+    EXPECT_EQ(f.Get(nullptr).code(), StatusCode::kDeadlineExceeded);
+  }
+  PprResult result;
+  EXPECT_TRUE(inflight.value().Get(&result).ok());
+  server.Stop();
+
+  const PprServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.shed, 3u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  // Shed means shed: the solver only ever saw the in-flight query.
+  EXPECT_EQ(gate_ptr->entered(), 1u);
+}
+
+TEST(PprServerTest, DegradedPolicyRoutesToFallbackOverWatermark) {
+  const Graph& graph = SharedFixtures().general;
+  auto gate = std::make_unique<GateSolver>();
+  GateSolver* gate_ptr = gate.get();
+  ASSERT_TRUE(gate->Prepare(graph).ok());
+
+  PprServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.degraded.fallback_solver = "mc:eps=0.9";
+  options.degraded.queue_watermark = 1;
+  PprServer server(options);
+  ASSERT_TRUE(server.AddSolver("gate", std::move(gate)).ok());
+  ASSERT_TRUE(server.AddSolver("mc:eps=0.9", graph).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Below the watermark: default routing, full fidelity.
+  auto inflight = server.Submit({});
+  ASSERT_TRUE(inflight.ok());
+  gate_ptr->AwaitEntered(1);
+  auto queued = server.Submit({});
+  ASSERT_TRUE(queued.ok());
+
+  // Queue depth is now 1 (>= watermark): a default-routed query is
+  // rerouted to the relaxed fallback, an explicitly-routed one is not.
+  auto degraded = server.Submit({});
+  ASSERT_TRUE(degraded.ok());
+  auto explicit_spec = server.Submit({}, "gate");
+  ASSERT_TRUE(explicit_spec.ok());
+
+  gate_ptr->Open();
+  PprResult queued_result, degraded_result, explicit_result;
+  ASSERT_TRUE(queued.value().Get(&queued_result).ok());
+  ASSERT_TRUE(degraded.value().Get(&degraded_result).ok());
+  ASSERT_TRUE(explicit_spec.value().Get(&explicit_result).ok());
+  EXPECT_FALSE(queued_result.degraded);
+  EXPECT_TRUE(degraded_result.degraded);
+  EXPECT_EQ(degraded_result.solver, "mc");
+  EXPECT_FALSE(explicit_result.degraded);
+  server.Stop();
+  EXPECT_EQ(server.stats().degraded, 1u);
+  EXPECT_EQ(server.stats().completed, 4u);
+}
+
+TEST(PprServerTest, StartValidatesDegradedFallbackIsHosted) {
+  const Graph& graph = SharedFixtures().general;
+  PprServerOptions options;
+  options.workers = 1;
+  options.degraded.fallback_solver = "mc:eps=0.9";  // never AddSolver'd
+  PprServer server(options);
+  ASSERT_TRUE(server.AddSolver("powerpush", graph).ok());
+  EXPECT_EQ(server.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PprServerTest, SolveBatchAdmissionBoundedByBudget) {
+  // A wedged server (worker held, queue full) must not block SolveBatch
+  // forever: the admission wait is bounded by batch_admission_budget
+  // and surfaces as DeadlineExceeded. The legacy unbounded default is
+  // covered by SolveBatchBacksOffUnderBackpressureAndCountsOnce.
+  const Graph& graph = SharedFixtures().general;
+  auto gate = std::make_unique<GateSolver>();
+  GateSolver* gate_ptr = gate.get();
+  ASSERT_TRUE(gate->Prepare(graph).ok());
+
+  PprServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.batch_admission_budget = std::chrono::milliseconds(50);
+  PprServer server(options);
+  ASSERT_TRUE(server.AddSolver("gate", std::move(gate)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<PprQuery> queries(3);
+  std::vector<PprResult> results;
+  Status batch_status;
+  std::thread batcher([&] {
+    batch_status = server.SolveBatch(queries, &results);
+  });
+  // Entry 0 occupies the worker, entry 1 fills the queue, entry 2 backs
+  // off until its 50ms admission budget runs out. The batch call stays
+  // blocked on the admitted entries until the gate opens — proving it
+  // still waits for what it did admit.
+  gate_ptr->AwaitEntered(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  gate_ptr->Open();
+  batcher.join();
+
+  EXPECT_EQ(batch_status.code(), StatusCode::kDeadlineExceeded);
+  server.Stop();
+  const PprServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GE(stats.rejected, 1u);
+}
+
+TEST(PprServerTest, FutureOutlivesServerAndRepeatedGetsAgree) {
+  const Graph& graph = SharedFixtures().general;
+  PprFuture survivor;
+  {
+    PprServer server({.workers = 1});
+    ASSERT_TRUE(server.AddSolver("powerpush", graph).ok());
+    ASSERT_TRUE(server.Start().ok());
+    auto submitted = server.Submit({}, {}, /*seed=*/kSeedBase);
+    ASSERT_TRUE(submitted.ok());
+    survivor = std::move(submitted).ValueOrDie();
+    server.Stop();
+  }  // server destroyed; the future's shared state must stand alone
+
+  ASSERT_TRUE(survivor.valid());
+  ASSERT_TRUE(survivor.done());
+  survivor.Wait();
+  survivor.Wait();  // Wait is idempotent
+  PprResult first, second;
+  Status s1 = survivor.Get(&first);
+  Status s2 = survivor.Get(&second);
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  EXPECT_EQ(s1.code(), s2.code());
+  ASSERT_EQ(first.scores.size(), second.scores.size());
+  for (size_t v = 0; v < first.scores.size(); ++v) {
+    ASSERT_EQ(first.scores[v], second.scores[v]) << "v=" << v;
+  }
+  // Cancelling a finished query is a harmless no-op.
+  survivor.Cancel();
+  EXPECT_TRUE(survivor.Get(nullptr).ok());
+}
+
+TEST(PprServerTest, CancelledWhileQueuedCompletesWithCancelled) {
+  const Graph& graph = SharedFixtures().general;
+  auto gate = std::make_unique<GateSolver>();
+  GateSolver* gate_ptr = gate.get();
+  ASSERT_TRUE(gate->Prepare(graph).ok());
+
+  PprServer server({.workers = 1, .queue_capacity = 4});
+  ASSERT_TRUE(server.AddSolver("gate", std::move(gate)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto inflight = server.Submit({});
+  ASSERT_TRUE(inflight.ok());
+  gate_ptr->AwaitEntered(1);
+  auto parked = server.Submit({});
+  ASSERT_TRUE(parked.ok());
+
+  parked.value().Cancel();
+  gate_ptr->Open();
+  EXPECT_EQ(parked.value().Get(nullptr).code(), StatusCode::kCancelled);
+  EXPECT_TRUE(inflight.value().Get(nullptr).ok());
+  server.Stop();
+  EXPECT_EQ(server.stats().cancelled, 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+  EXPECT_EQ(gate_ptr->entered(), 1u);  // the cancelled query never ran
 }
 
 // ---------------------------------------------------------------------
