@@ -47,6 +47,17 @@ std::unique_ptr<Solver> MustCreate(const std::string& spec) {
   return std::move(created).ValueOrDie();
 }
 
+// Staleness of the frozen epoch-0 answer against a truth vector whose
+// graph may have grown since: a non-updating server scores absent nodes
+// at zero, so the frozen vector is compared zero-padded to the truth's
+// dimension.
+double FrozenL1(const std::vector<double>& frozen,
+                const std::vector<double>& truth) {
+  std::vector<double> padded = frozen;
+  padded.resize(truth.size(), 0.0);
+  return L1Distance(padded, truth);
+}
+
 }  // namespace
 
 int main() {
@@ -55,7 +66,8 @@ int main() {
       "dynfwdpush / dynfora / dynspeedppr (via SolverRegistry) repaired\n"
       "in chunks vs the frozen epoch-0 answer and a from-scratch\n"
       "re-Prepare of the same solver on the current snapshot.\n"
-      "Stream: 200 updates, 25% deletions, skew 0.5.");
+      "Stream: 200 updates, 25% deletions, skew 0.5, plus node\n"
+      "additions/removals (5%/2%) exercising graph resize.");
 
   constexpr size_t kUpdates = 200;
   constexpr size_t kChunks = 8;
@@ -74,6 +86,8 @@ int main() {
     workload.count = kUpdates;
     workload.delete_fraction = 0.25;
     workload.skew = 0.5;
+    workload.node_add_fraction = 0.05;
+    workload.node_remove_fraction = 0.02;
     auto generated = GenerateUpdateStream(graph, workload);
     PPR_CHECK(generated.ok()) << generated.status().ToString();
     UpdateBatch stream = std::move(generated).ValueOrDie();
@@ -131,6 +145,7 @@ int main() {
       double repair_seconds_total = 0.0;
       uint64_t repair_pushes_total = 0;
       uint64_t walks_total = 0;
+      uint64_t resize_events_total = 0;
       double bound = 0.0;
       for (size_t c = 0; c < kChunks; ++c) {
         UpdateStats stats;
@@ -139,10 +154,11 @@ int main() {
         repair_seconds_total += stats.seconds;
         repair_pushes_total += stats.push_operations;
         walks_total += stats.walks_resampled;
+        resize_events_total += stats.resize_events;
 
         PprResult repaired;
         PPR_CHECK(solver->Solve(query, context, &repaired).ok());
-        staleness = L1Distance(epoch0.scores, truths[c]);
+        staleness = FrozenL1(epoch0.scores, truths[c]);
         tracker_err = L1Distance(repaired.scores, truths[c]);
         bound = repaired.l1_bound;
         json.Add()
@@ -156,6 +172,8 @@ int main() {
             .Num("bound", repaired.l1_bound)
             .Int("repair_pushes", stats.push_operations)
             .Int("walks_resampled", stats.walks_resampled)
+            .Int("resize_events", stats.resize_events)
+            .Int("index_bytes", solver->IndexBytes())
             .Num("repair_seconds", stats.seconds);
       }
 
@@ -184,6 +202,8 @@ int main() {
           .Num("bound", bound)
           .Int("repair_pushes_per_chunk", repair_pushes_total / kChunks)
           .Int("walks_resampled_per_chunk", walks_total / kChunks)
+          .Int("resize_events", resize_events_total)
+          .Int("index_bytes", solver->IndexBytes())
           .Num("repair_seconds_per_chunk", repair_seconds_total / kChunks)
           .Num("reprepare_seconds", reprepare_seconds);
 

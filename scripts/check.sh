@@ -41,11 +41,13 @@ done
 # The concurrency surface TSAN covers: worker pool, ParallelFor kernels,
 # the PprServer queue/context-checkout path, the updates-under-load
 # suite (PprServerDynamicTest matches PprServer*), which races
-# ApplyUpdates' exclusive epoch barrier against concurrent queries, and
-# the chaos suites (PprServerChaosTest / PprServerQueueTest), which race
+# ApplyUpdates' exclusive epoch barrier against concurrent queries, the
+# chaos suites (PprServerChaosTest / PprServerQueueTest), which race
 # cancellation, deadlines, injected faults and bounded-drain shutdown
-# against all of the above.
-TSAN_FILTER='WorkerPool*:ThreadBudget*:PprServer*:ParallelFor*:Batch*'
+# against all of the above, and the dynamic resize conformance suite
+# (DynamicResizeTest), whose node add/remove batches grow and shrink
+# tracker and walk-index dimensions under the same epoch machinery.
+TSAN_FILTER='WorkerPool*:ThreadBudget*:PprServer*:ParallelFor*:Batch*:DynamicResize*'
 
 case "${MODE}" in
   tidy)

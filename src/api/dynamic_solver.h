@@ -17,16 +17,21 @@ struct UpdateStats {
   /// plus fresh walks appended when a node's sizing target grew. 0 for
   /// index-free dynamic solvers.
   uint64_t walks_resampled = 0;
+  /// Drift-triggered whole-index K_v re-derivations during this batch
+  /// (dynamic approximate tier with the kForaPlus sizing only; see
+  /// docs/api.md "Dynamic solvers" — resize & drift). 0 elsewhere.
+  uint64_t resize_events = 0;
   /// Wall time inside ApplyUpdates.
   double seconds = 0.0;
   /// Graph epoch after the batch.
   uint64_t epoch = 0;
 };
 
-/// A Solver that maintains its estimates under edge updates — the
+/// A Solver that maintains its estimates under graph updates — the
 /// evolving-graph extension of the unified API. Where a static solver's
 /// only reaction to a changed graph is a whole-graph re-Prepare(), a
-/// DynamicSolver accepts an UpdateBatch and repairs its internal state
+/// DynamicSolver accepts an UpdateBatch — edge insertions/deletions
+/// plus node additions/removals — and repairs its internal state
 /// incrementally (O(d_u) algebraic corrections plus local pushes for
 /// the push family), advancing a monotonically increasing epoch by one
 /// per mutation.
@@ -39,10 +44,14 @@ struct UpdateStats {
 ///  * `ApplyUpdates` validates the whole batch first (bounds,
 ///    self-loops, deletions of absent edges → InvalidArgument with
 ///    nothing applied), then applies it atomically with respect to
-///    epochs: the epoch moves from e to e + batch.size() and queries
-///    never observe an intermediate state. Updates speak *original*
-///    node ids — a configured order= layout is mapped internally, the
-///    same way Solve maps queries.
+///    epochs: the epoch moves from e to e + one per mutation
+///    (batch.size() for edge-only batches; a kRemoveNode lowers to its
+///    incident edge deletions plus a marker, see
+///    DynamicGraph::RemoveNode) and queries never observe an
+///    intermediate state. Updates speak *original* node ids — a
+///    configured order= layout is mapped internally, the same way Solve
+///    maps queries; nodes added after Prepare extend both id spaces
+///    identically (identity mapping) and are immediately queryable.
 ///  * After any applied update sequence, Solve results must stay within
 ///    AdvertisedL1Bound of a from-scratch solve on Snapshot() — the
 ///    dynamic conformance suite (tests/dynamic_solver_test.cc) holds

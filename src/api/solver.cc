@@ -81,10 +81,13 @@ Status Solver::Solve(const PprQuery& query, SolverContext& context,
   if (graph_ == nullptr) {
     return Status::FailedPrecondition("Solve() before a successful Prepare()");
   }
-  if (query.source >= graph_->num_nodes()) {
+  // Range checks use the evolving node count for dynamic solvers, so a
+  // node added by ApplyUpdates is queryable without re-Prepare.
+  const NodeId current_n = CurrentNumNodes();
+  if (query.source >= current_n) {
     return Status::InvalidArgument("query source out of range");
   }
-  if (query.target != kNoTarget && query.target >= graph_->num_nodes()) {
+  if (query.target != kNoTarget && query.target >= current_n) {
     return Status::InvalidArgument("query target out of range");
   }
   // Boundary cancellation checks bracket DoSolve: the pre-check stops a
@@ -103,19 +106,22 @@ Status Solver::Solve(const PprQuery& query, SolverContext& context,
     PPR_RETURN_IF_ERROR(DoSolve(query, context, result));
   } else {
     PprQuery mapped = query;
-    mapped.source = perm_[query.source];
-    if (query.target != kNoTarget) mapped.target = perm_[query.target];
+    mapped.source = LayoutOf(query.source);
+    if (query.target != kNoTarget) mapped.target = LayoutOf(query.target);
     PPR_RETURN_IF_ERROR(DoSolve(mapped, context, result));
-    // Back to original ids: entry v lives at layout slot perm_[v]. The
+    // Back to original ids: entry v lives at layout slot LayoutOf(v)
+    // (perm_[v], identity for nodes added after Prepare). The
     // gather-and-swap through the context scratch keeps warm queries
     // allocation-free.
     const NodeId n = static_cast<NodeId>(result->scores.size());
     std::vector<double>& scratch = *context.RemapScratch();
     scratch.resize(n);
-    for (NodeId v = 0; v < n; ++v) scratch[v] = result->scores[perm_[v]];
+    for (NodeId v = 0; v < n; ++v) scratch[v] = result->scores[LayoutOf(v)];
     result->scores.swap(scratch);
     if (!result->residues.empty()) {
-      for (NodeId v = 0; v < n; ++v) scratch[v] = result->residues[perm_[v]];
+      for (NodeId v = 0; v < n; ++v) {
+        scratch[v] = result->residues[LayoutOf(v)];
+      }
       result->residues.swap(scratch);
     }
   }

@@ -114,6 +114,11 @@ class Solver {
   /// relabeled copy when an order= layout is configured.
   const Graph* graph() const { return graph_; }
 
+  /// In-memory bytes of any prepared per-graph index (walk index, hub
+  /// oracle, LU blocks); 0 for index-free solvers or before Prepare().
+  /// The Table-2-style memory column, reachable without downcasting.
+  virtual uint64_t IndexBytes() const { return 0; }
+
   /// The dynamic interface when capabilities().supports_updates, else
   /// nullptr — how drivers (PprServer, ppr_cli --updates) reach
   /// ApplyUpdates without downcasting by name.
@@ -148,6 +153,22 @@ class Solver {
   /// Dynamic solvers map incoming update endpoints through it so their
   /// evolving graph stays in layout space (results map back via Solve).
   const std::vector<NodeId>& layout_permutation() const { return perm_; }
+
+  /// Original id → layout id, identity beyond the Prepare-time node
+  /// count: nodes added after Prepare (kAddNode) append to both spaces
+  /// in arrival order, so the extension is exact. The single mapping
+  /// rule for queries and updates once the graph can grow.
+  NodeId LayoutOf(NodeId v) const {
+    return v < perm_.size() ? perm_[v] : v;
+  }
+
+  /// Node count Solve() range-checks queries against. The static base
+  /// answers with the Prepare-time graph; dynamic solvers override to
+  /// their evolving graph so nodes added by ApplyUpdates are queryable
+  /// (and removed ones stay addressable as isolated dead ends).
+  virtual NodeId CurrentNumNodes() const {
+    return graph_ == nullptr ? 0 : graph_->num_nodes();
+  }
 
   const Graph* graph_ = nullptr;
 

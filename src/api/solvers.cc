@@ -366,7 +366,7 @@ class BepiApiSolver : public Solver {
     return std::sqrt(params_.Lambda(query));
   }
 
-  uint64_t IndexBytes() const { return bepi_ ? bepi_->IndexBytes() : 0; }
+  uint64_t IndexBytes() const override { return bepi_ ? bepi_->IndexBytes() : 0; }
 
  protected:
   Status DoSolve(const PprQuery& query, SolverContext& /*context*/,
@@ -404,12 +404,24 @@ class DynamicPoolSolver : public DynamicSolver {
     Graph layout = dynamic_->Snapshot();
     const std::vector<NodeId>& perm = layout_permutation();
     if (perm.empty()) return layout;
-    // Back to original ids: layout node perm[v] is original node v.
-    std::vector<NodeId> inverse(perm.size());
+    // Back to original ids: layout node perm[v] is original node v, and
+    // nodes added after Prepare sit at the same id in both spaces.
+    std::vector<NodeId> inverse(layout.num_nodes());
     for (NodeId v = 0; v < static_cast<NodeId>(perm.size()); ++v) {
       inverse[perm[v]] = v;
     }
+    for (NodeId v = static_cast<NodeId>(perm.size());
+         v < layout.num_nodes(); ++v) {
+      inverse[v] = v;
+    }
     return PermuteGraph(layout, inverse);
+  }
+
+  /// Queries range-check against the evolving graph, so nodes added by
+  /// ApplyUpdates are queryable without re-Prepare.
+  NodeId CurrentNumNodes() const override {
+    return dynamic_ != nullptr ? dynamic_->num_nodes()
+                               : Solver::CurrentNumNodes();
   }
 
  protected:
@@ -434,17 +446,24 @@ class DynamicPoolSolver : public DynamicSolver {
     const std::vector<NodeId>& perm = layout_permutation();
     if (perm.empty()) return pool_->Apply(batch, pushes, applied);
     // Updates arrive in original ids; the evolving graph lives in
-    // layout space. Out-of-range endpoints must fail validation, not
-    // index perm, so map only in-range ids and let Apply reject.
+    // layout space. LayoutOf passes post-Prepare ids (identity-mapped)
+    // and out-of-range ids through unchanged — Apply's validation
+    // rejects the truly out-of-range ones against the evolving node
+    // count, which Prepare-time perm cannot know.
     UpdateBatch mapped;
     mapped.updates.reserve(batch.updates.size());
-    const NodeId n = static_cast<NodeId>(perm.size());
     for (const EdgeUpdate& up : batch.updates) {
-      if (up.u >= n || up.v >= n) {
-        return Status::InvalidArgument("update: node out of range (n=" +
-                                       std::to_string(n) + ")");
+      switch (up.kind) {
+        case UpdateKind::kAddNode:
+          mapped.updates.push_back(up);  // no ids to map
+          break;
+        case UpdateKind::kRemoveNode:
+          mapped.updates.push_back({up.kind, LayoutOf(up.u), 0});
+          break;
+        default:
+          mapped.updates.push_back({up.kind, LayoutOf(up.u), LayoutOf(up.v)});
+          break;
       }
-      mapped.updates.push_back({up.kind, perm[up.u], perm[up.v]});
     }
     return pool_->Apply(mapped, pushes, applied);
   }
@@ -511,6 +530,7 @@ class DynFwdPushSolver : public DynamicPoolSolver {
     if (stats != nullptr) {
       stats->push_operations = pushes;
       stats->walks_resampled = 0;
+      stats->resize_events = 0;
       stats->seconds = timer.ElapsedSeconds();
       stats->epoch = dynamic_->epoch();
     }
@@ -699,6 +719,10 @@ class TwoPhaseSolver : public Solver {
     return params_.Epsilon(query);
   }
 
+  uint64_t IndexBytes() const override {
+    return index_ != nullptr ? index_->SizeBytes() : 0;
+  }
+
   const WalkIndex* index() const { return index_.get(); }
 
  protected:
@@ -786,18 +810,21 @@ class TwoPhaseSolver : public Solver {
 /// The W behind the walk counts (and FORA's rmax) is fixed at Prepare
 /// from the configured ε — per-query ε/α/μ overrides are rejected, the
 /// same way dynfwdpush rejects per-query lambdas. For the kForaPlus
-/// sizing the per-degree ratio sqrt(W/m) is likewise frozen at the
-/// Prepare-time m (see DynamicWalkIndex).
+/// sizing the per-degree ratio sqrt(W/m) tracks the live m: when it
+/// drifts past the configured drift= factor, the index re-derives the
+/// ratio and resizes every K_v (UpdateStats::resize_events counts the
+/// events; see DynamicWalkIndex).
 class DynTwoPhaseSolver : public DynamicPoolSolver {
  public:
   using Kind = TwoPhaseSolver::Kind;
 
   DynTwoPhaseSolver(Kind kind, ParamDefaults params, double index_eps,
-                    uint64_t index_seed)
+                    uint64_t index_seed, double drift_factor)
       : kind_(kind),
         params_(params),
         index_eps_(index_eps),
-        index_seed_(index_seed) {}
+        index_seed_(index_seed),
+        drift_factor_(drift_factor) {}
 
   std::string_view name() const override {
     return kind_ == Kind::kFora ? "dynfora" : "dynspeedppr";
@@ -835,8 +862,8 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
       const double eps = index_eps_ > 0 ? index_eps_ : params_.epsilon;
       index_w = ChernoffWalkCount(n, eps, params_.Mu({}, n));
     }
-    index_ = std::make_unique<DynamicWalkIndex>(*graph_, params_.alpha,
-                                                sizing, index_w, index_seed_);
+    index_ = std::make_unique<DynamicWalkIndex>(
+        *graph_, params_.alpha, sizing, index_w, index_seed_, drift_factor_);
     {
       MutexLock lock(mu_);
       snapshot_.reset();
@@ -859,21 +886,39 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
     uint64_t pushes = 0;
     uint64_t walks = 0;
     MutexLock lock(mu_);
+    const uint64_t resizes_before = index_->resize_events();
     // The hook runs right after each mutation lands, so the index always
     // repairs against the adjacency the walks must now follow; residue
     // repair and walk refresh share one validation and one graph pass.
+    // Node ops arrive through the same hook: a kAddNode grows the index
+    // in lockstep with the graph; a kRemoveNode already fired the hook
+    // once per lowered edge deletion, so its marker needs no refresh.
     PPR_RETURN_IF_ERROR(
         ApplyToPool(batch, &pushes, [&](const EdgeUpdate& up) {
-          walks += index_->RefreshMutatedNode(*dynamic_, up.u);
+          switch (up.kind) {
+            case UpdateKind::kAddNode:
+              index_->AddNode();
+              break;
+            case UpdateKind::kRemoveNode:
+              break;
+            default:
+              walks += index_->RefreshMutatedNode(*dynamic_, up.u);
+              break;
+          }
         }));
     snapshot_.reset();  // next Solve re-materializes the current epoch
     if (stats != nullptr) {
       stats->push_operations = pushes;
       stats->walks_resampled = walks;
+      stats->resize_events = index_->resize_events() - resizes_before;
       stats->seconds = timer.ElapsedSeconds();
       stats->epoch = dynamic_->epoch();
     }
     return Status::OK();
+  }
+
+  uint64_t IndexBytes() const override {
+    return index_ != nullptr ? index_->SizeBytes() : 0;
   }
 
   const DynamicWalkIndex* index() const { return index_.get(); }
@@ -912,8 +957,10 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
     // contract — under load, by the server's epoch barrier), so
     // concurrent queries pay the lock only for tracker lookup/creation
     // and the per-epoch snapshot refresh, not for the walk phase that
-    // dominates the query.
-    const NodeId n = graph_->num_nodes();
+    // dominates the query. The snapshot's node count (not the
+    // Prepare-time graph_'s) sizes the workspace: the graph may have
+    // grown through kAddNode updates.
+    const NodeId n = snapshot->num_nodes();
     Timer timer;
     std::vector<double>* scores = context.AcquireScores(n);
     SeedScoresFromReserve(tracker->estimate().reserve, scores);
@@ -944,6 +991,7 @@ class DynTwoPhaseSolver : public DynamicPoolSolver {
   const ParamDefaults params_;
   const double index_eps_;
   const uint64_t index_seed_;
+  const double drift_factor_;
   uint64_t walk_count_w_ = 0;
   std::unique_ptr<DynamicWalkIndex> index_;
   std::unique_ptr<Graph> snapshot_ PPR_GUARDED_BY(mu_);  // layout space
@@ -1280,6 +1328,7 @@ Result<std::unique_ptr<Solver>> MakeDynTwoPhase(const SolverSpec& spec,
                                                 TwoPhaseSolver::Kind kind) {
   ParamDefaults params;
   double index_eps = 0.0;
+  double drift = DynamicWalkIndex::kDefaultDriftFactor;
   uint64_t seed = SolverContext::kDefaultSeed;
   CommonOptions common;
   OptionReader reader(spec);
@@ -1289,11 +1338,18 @@ Result<std::unique_ptr<Solver>> MakeDynTwoPhase(const SolverSpec& spec,
       .Double("mu", &params.mu)
       .Uint64("seed", &seed);
   if (kind == TwoPhaseSolver::Kind::kFora) {
-    reader.Double("index_eps", &index_eps);
+    // drift= only matters to the W-dependent kForaPlus sizing; the
+    // d_v-sized dynspeedppr index has no ratio to re-derive.
+    reader.Double("index_eps", &index_eps).Double("drift", &drift);
   }
   PPR_RETURN_IF_ERROR(reader.Finish());
+  if (!std::isfinite(drift) || (drift != 0.0 && drift <= 1.0)) {
+    return Status::InvalidArgument(
+        "option 'drift' expects a factor > 1 (or 0 to disable); got " +
+        std::to_string(drift));
+  }
   return FinishSolver(common, std::unique_ptr<Solver>(new DynTwoPhaseSolver(
-                                  kind, params, index_eps, seed)));
+                                  kind, params, index_eps, seed, drift)));
 }
 
 Result<std::unique_ptr<Solver>> MakeResAcc(const SolverSpec& spec) {
@@ -1401,7 +1457,7 @@ void RegisterBuiltinSolvers(SolverRegistry* registry) {
       {"dynfora",
        "FORA+ on an evolving graph: maintained pushes + incremental walk "
        "refresh (ApplyUpdates)",
-       "alpha, eps, mu, index_eps, seed, threads, order",
+       "alpha, eps, mu, index_eps, drift, seed, threads, order",
        [](const SolverSpec& s) {
          return MakeDynTwoPhase(s, TwoPhaseSolver::Kind::kFora);
        }});

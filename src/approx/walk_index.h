@@ -116,18 +116,30 @@ class WalkIndex {
 /// sequence is distribution-identical to a fresh build on the final
 /// graph — the property the dynamic conformance suite exercises.
 ///
-/// For Sizing::kForaPlus the per-degree walk ratio sqrt(W/m) is frozen
-/// at construction (m drifts as edges mutate; re-deriving it would
-/// resize every node on every update for no accuracy gain — shortfalls
-/// are topped up with fresh walks at query time, as always).
+/// For Sizing::kForaPlus the per-degree walk ratio sqrt(W/m) is
+/// re-derived when the live edge count m drifts past a configurable
+/// factor of the m it was last derived at (default 2x, `drift_factor`):
+/// every node's K_v is then resized through its own refresh stream —
+/// fresh appends, tail drops — so the resized index is
+/// distribution-identical to a fresh build at the new m. Between drift
+/// events the ratio holds steady (re-deriving on every update would
+/// resize every node every time for no accuracy gain; shortfalls are
+/// topped up with fresh walks at query time, as always).
 ///
 /// Cost per mutation: O(walks through u · expected walk length) plus
 /// the K_u resize — proportional to the mutation's actual blast
-/// radius, not to the index size.
+/// radius, not to the index size. A drift resize is the exception:
+/// O(total walks), amortized over the ~m/2 mutations it took to
+/// trigger.
 class DynamicWalkIndex {
  public:
+  /// Re-derive the kForaPlus ratio when m drifts 2x by default; 0
+  /// disables drift tracking (the pre-drift frozen-ratio behavior).
+  static constexpr double kDefaultDriftFactor = 2.0;
+
   DynamicWalkIndex(const Graph& graph, double alpha, WalkIndex::Sizing sizing,
-                   uint64_t walk_count_w, uint64_t seed);
+                   uint64_t walk_count_w, uint64_t seed,
+                   double drift_factor = kDefaultDriftFactor);
 
   /// Endpoints of the currently valid walks from v (size K_v at the
   /// current degree). Invalidated by RefreshMutatedNode.
@@ -142,20 +154,59 @@ class DynamicWalkIndex {
   WalkIndex::Sizing sizing() const { return sizing_; }
   double build_seconds() const { return build_seconds_; }
 
+  /// In-memory bytes of the stored walks (endpoints, path arenas, slot
+  /// tables) plus the inverted index — the dynamic tier's entry in the
+  /// Table-2-style memory story. Content bytes, matching the convention
+  /// of WalkIndex::SizeBytes (vector headers and slack capacity are
+  /// excluded); retired arena words still count until compaction
+  /// reclaims them, which is exactly what the memory-accounting
+  /// regression test pins down.
+  uint64_t SizeBytes() const;
+
+  /// Number of drift-triggered whole-index K_v re-derivations so far
+  /// (kForaPlus only; always 0 for kSpeedPpr or drift_factor 0).
+  uint64_t resize_events() const { return resize_events_; }
+
   /// Repairs the index after one mutation of u's out-adjacency; `graph`
   /// must already reflect the mutation (call once per applied update,
   /// in order). Returns the number of walks resampled (invalidated
-  /// suffixes plus fresh walks appended by the K_u resize).
+  /// suffixes, fresh walks appended by the K_u resize, and — when this
+  /// mutation tipped m past the drift factor — the whole-index resize).
   uint64_t RefreshMutatedNode(const DynamicGraph& graph, NodeId u);
 
+  /// Grows the index by one node, mirroring DynamicGraph::AddNode (call
+  /// once per applied kAddNode, in order). The new node's initial walks
+  /// come from its build stream — bit-identical to what a fresh build
+  /// at the new n would generate for it — and its refresh stream is
+  /// armed for future mutations.
+  void AddNode();
+
  private:
-  /// One stored walk: the stop node plus the sequence of nodes the walk
-  /// departed from (origin first; empty when the walk stopped at its
-  /// origin without moving). Endpoints live in their own contiguous
-  /// array so Endpoints() hands out the span the walk phase consumes.
+  /// One node's stored walks, arena-flattened: endpoints in their own
+  /// contiguous array (Endpoints() hands out the span the walk phase
+  /// consumes), and every walk's departure path — origin first; empty
+  /// when the walk stopped without moving — concatenated into `arena`,
+  /// walk i owning arena[begin[i], begin[i]+length[i]). This is the CSR
+  /// trick WalkIndex::offsets_/endpoints_ uses, adapted for in-place
+  /// refresh: a resampled path is appended at the arena tail and the
+  /// old span retired where it lies; once retired words outnumber live
+  /// ones the arena is compacted in one pass (amortized O(1) per
+  /// refresh). Compared to one heap vector per walk this drops the
+  /// per-walk header/allocation entirely — 8 bytes of slot table per
+  /// walk instead of a 24-byte header plus allocator slack.
   struct NodeWalks {
     std::vector<NodeId> endpoints;
-    std::vector<std::vector<NodeId>> paths;
+    std::vector<NodeId> arena;
+    std::vector<uint32_t> begin;
+    std::vector<uint32_t> length;
+    uint64_t live_words = 0;  // Σ length; arena.size() − retired words
+
+    std::span<const NodeId> Path(uint32_t walk) const {
+      return {arena.data() + begin[walk], length[walk]};
+    }
+    uint32_t walk_count() const {
+      return static_cast<uint32_t>(begin.size());
+    }
   };
 
   /// Inverted-index entry: walk `walk` of origin `origin` departed the
@@ -177,16 +228,35 @@ class DynamicWalkIndex {
   /// invalidated lists of rarely-mutated nodes stay within a constant
   /// factor of their live size instead of growing with update volume.
   void CompactThrough(NodeId x);
+  /// Replaces walk `walk`'s path with scratch_'s contents: retires the
+  /// old arena span, appends at the tail, compacts when retired words
+  /// outnumber live ones.
+  void CommitPath(NodeWalks& walks, uint32_t walk);
+  /// Rewrites the arena with only live spans, in walk order.
+  void CompactArena(NodeWalks& walks);
+  /// Grows or shrinks node v's walk count to the sizing target at its
+  /// current degree, drawing appends from streams_[v]. Returns walks
+  /// appended (counted as resampled).
+  uint64_t ResizeNode(const DynamicGraph& graph, NodeId v, uint64_t target);
+  /// Re-derives fora_ratio_ at the current m and resizes every node —
+  /// the drift event. Returns walks appended across the index.
+  uint64_t ResizeForDrift(const DynamicGraph& graph);
 
   double alpha_;
   WalkIndex::Sizing sizing_;
-  double fora_ratio_ = 0.0;  // sqrt(W/m) frozen at construction
+  uint64_t walk_count_w_ = 0;
+  uint64_t seed_ = 0;
+  double fora_ratio_ = 0.0;  // sqrt(W/m) as of the last derivation
+  double drift_factor_ = kDefaultDriftFactor;
+  double ratio_edges_ = 0.0;  // the m fora_ratio_ was last derived at
+  uint64_t resize_events_ = 0;
   std::vector<NodeWalks> nodes_;
   std::vector<std::vector<Slot>> through_;
   /// Per-node compaction thresholds: through_[x] is compacted when it
   /// outgrows this, then re-armed at twice the compacted size.
   std::vector<uint32_t> through_limits_;
   std::vector<Rng> streams_;  // per-node refresh streams
+  std::vector<NodeId> scratch_;  // reusable path buffer for refreshes
   uint64_t total_walks_ = 0;
   double build_seconds_ = 0.0;
 };

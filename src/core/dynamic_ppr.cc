@@ -117,6 +117,13 @@ void DynamicSsppr::ObserveBeforeDelete(NodeId u, NodeId w) {
   }
 }
 
+void DynamicSsppr::GrowTo(NodeId n) {
+  PPR_CHECK(n >= estimate_.reserve.size());
+  PPR_CHECK(n <= graph_->num_nodes());
+  estimate_.reserve.resize(n, 0.0);
+  estimate_.residue.resize(n, 0.0);
+}
+
 uint64_t DynamicSsppr::AddEdge(NodeId u, NodeId w) {
   ObserveBeforeInsert(u, w);
   graph_->AddEdge(u, w);
@@ -159,16 +166,39 @@ Status DynamicSspprPool::Apply(
     const std::function<void(const EdgeUpdate&)>& applied) {
   PPR_RETURN_IF_ERROR(graph_->Validate(batch));
   for (const EdgeUpdate& up : batch.updates) {
-    if (up.kind == UpdateKind::kInsert) {
-      for (auto& [source, tracker] : trackers_) {
-        tracker->ObserveBeforeInsert(up.u, up.v);
-      }
-      graph_->AddEdge(up.u, up.v);
-    } else {
-      for (auto& [source, tracker] : trackers_) {
-        tracker->ObserveBeforeDelete(up.u, up.v);
-      }
-      graph_->RemoveEdge(up.u, up.v);
+    switch (up.kind) {
+      case UpdateKind::kInsert:
+        for (auto& [source, tracker] : trackers_) {
+          tracker->ObserveBeforeInsert(up.u, up.v);
+        }
+        graph_->AddEdge(up.u, up.v);
+        break;
+      case UpdateKind::kDelete:
+        for (auto& [source, tracker] : trackers_) {
+          tracker->ObserveBeforeDelete(up.u, up.v);
+        }
+        graph_->RemoveEdge(up.u, up.v);
+        break;
+      case UpdateKind::kAddNode:
+        graph_->AddNode();
+        for (auto& [source, tracker] : trackers_) {
+          tracker->GrowTo(graph_->num_nodes());
+        }
+        break;
+      case UpdateKind::kRemoveNode:
+        // RemoveNode lowers to per-edge deletions; the `before` hook
+        // runs the usual pre-mutation corrections and the `after` hook
+        // forwards each lowered deletion to the caller (the walk index
+        // refreshes the mutated endpoint per edge, not per marker).
+        graph_->RemoveNode(
+            up.u,
+            [this](const EdgeUpdate& lowered) {
+              for (auto& [source, tracker] : trackers_) {
+                tracker->ObserveBeforeDelete(lowered.u, lowered.v);
+              }
+            },
+            applied);
+        break;
     }
     if (applied) applied(up);
   }

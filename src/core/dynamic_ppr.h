@@ -77,6 +77,11 @@ class DynamicSsppr {
   /// the edge must currently exist.
   void ObserveBeforeDelete(NodeId u, NodeId w);
 
+  /// Resizes the estimate to n nodes after the graph gained isolated
+  /// nodes (kAddNode). Exact, no repair needed: a node nothing points
+  /// at has π̂ = 0 and r = 0, so the push invariant extends with zeros.
+  void GrowTo(NodeId n);
+
   /// Current estimate; reserve ≈ π_s within the bound above.
   const PprEstimate& estimate() const { return estimate_; }
 
@@ -125,7 +130,9 @@ class DynamicSspprPool {
   /// the graph (in batch order, before the end-of-batch refreshes) —
   /// the hook the dynamic approximate tier uses to keep its walk index
   /// in lockstep with the shared repair pool without re-validating or
-  /// re-walking the batch.
+  /// re-walking the batch. A kRemoveNode update fires the hook once per
+  /// lowered edge deletion (as a kDelete) and then once for the marker
+  /// itself; a kAddNode fires after every tracker has grown.
   Status Apply(const UpdateBatch& batch, uint64_t* pushes = nullptr,
                const std::function<void(const EdgeUpdate&)>& applied = {});
 

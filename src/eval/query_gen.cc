@@ -57,6 +57,15 @@ Result<UpdateBatch> GenerateUpdateStream(const Graph& base,
         std::to_string(UpdateWorkloadOptions::kMaxUpdateSkew) + "]; got " +
         std::to_string(options.skew));
   }
+  const double add_fraction = options.node_add_fraction;
+  const double remove_fraction = options.node_remove_fraction;
+  if (!std::isfinite(add_fraction) || add_fraction < 0.0 ||
+      !std::isfinite(remove_fraction) || remove_fraction < 0.0 ||
+      add_fraction + remove_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "node_add_fraction and node_remove_fraction must be finite, "
+        "non-negative, and sum to at most 1");
+  }
   const double delete_fraction =
       std::clamp(options.delete_fraction, 0.0, 1.0);
   Rng rng(options.seed);
@@ -69,9 +78,41 @@ Result<UpdateBatch> GenerateUpdateStream(const Graph& base,
     for (NodeId w : base.OutNeighbors(v)) live.push_back({v, w});
   }
 
+  // Node-op bookkeeping. Only touched when a node fraction is set, so
+  // fraction-0 streams replay the exact pre-node-op RNG sequence.
+  NodeId running_n = n;
+  std::unordered_set<NodeId> removed;
+
   UpdateBatch batch;
   batch.updates.reserve(options.count);
   while (batch.size() < options.count) {
+    if (add_fraction + remove_fraction > 0.0) {
+      const double r = rng.NextDouble();
+      if (r < add_fraction) {
+        batch.AddNode();
+        ++running_n;
+        continue;
+      }
+      if (r < add_fraction + remove_fraction) {
+        // Keep at least two nodes alive (the generator's own floor for
+        // edge endpoints); when the roll cannot be honored, the draw
+        // falls through to an edge update instead of looping.
+        if (running_n - removed.size() > 2) {
+          NodeId u;
+          do {
+            u = static_cast<NodeId>(rng.NextBounded(running_n));
+          } while (removed.count(u) != 0);
+          live.erase(std::remove_if(live.begin(), live.end(),
+                                    [u](const Edge& e) {
+                                      return e.src == u || e.dst == u;
+                                    }),
+                     live.end());
+          removed.insert(u);
+          batch.RemoveNode(u);
+          continue;
+        }
+      }
+    }
     if (!live.empty() && rng.NextBernoulli(delete_fraction)) {
       const size_t i = static_cast<size_t>(rng.NextBounded(live.size()));
       const Edge edge = live[i];
@@ -89,9 +130,10 @@ Result<UpdateBatch> GenerateUpdateStream(const Graph& base,
                           "edges remain";
       break;
     } else {
-      const NodeId u = SampleSkewedNode(n, options.skew, rng);
-      const NodeId w = SampleSkewedNode(n, options.skew, rng);
+      const NodeId u = SampleSkewedNode(running_n, options.skew, rng);
+      const NodeId w = SampleSkewedNode(running_n, options.skew, rng);
       if (u == w) continue;  // resample instead of biasing toward u±1
+      if (removed.count(u) != 0 || removed.count(w) != 0) continue;
       live.push_back({u, w});
       batch.Insert(u, w);
     }

@@ -30,6 +30,14 @@ struct UpdateWorkloadOptions {
   /// update stream on hot rows). Must be finite and in
   /// [0, kMaxUpdateSkew].
   double skew = 0.0;
+  /// Fraction of updates that add a fresh isolated node (kAddNode) /
+  /// detach a live node (kRemoveNode). Both default to 0, and at 0 the
+  /// generated stream is bit-identical to streams from before node ops
+  /// existed (no extra RNG draws). Must be finite, in [0, 1], and sum
+  /// to at most 1 with each other; the remaining probability mass goes
+  /// to edge updates split by delete_fraction.
+  double node_add_fraction = 0.0;
+  double node_remove_fraction = 0.0;
   uint64_t seed = 13;
 
   /// Guard rails enforced with InvalidArgument: a count above this is a
@@ -42,10 +50,12 @@ struct UpdateWorkloadOptions {
 
 /// Generates a valid update stream against `base`: every deletion
 /// targets an edge that exists at its point in the stream (edges the
-/// stream itself inserted are fair game), insertions avoid self-loops,
-/// and the result passes DynamicGraph::Validate on a graph equal to
-/// `base`. Deterministic in (base, options). Out-of-bounds count/skew
-/// return InvalidArgument (see UpdateWorkloadOptions).
+/// stream itself inserted are fair game), insertions avoid self-loops
+/// and never touch removed nodes, node removals target live nodes (the
+/// generator keeps at least two alive), and the result passes
+/// DynamicGraph::Validate on a graph equal to `base`. Deterministic in
+/// (base, options). Out-of-bounds count/skew/node fractions return
+/// InvalidArgument (see UpdateWorkloadOptions).
 ///
 /// Degenerate workloads terminate instead of looping or padding: a
 /// pure-deletion stream (delete_fraction = 1) on a graph that runs out

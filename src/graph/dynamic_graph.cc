@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/rng.h"
 
@@ -11,9 +12,11 @@ namespace ppr {
 namespace {
 
 /// 64-bit packing of one mutation, fed through SplitMix64 so the running
-/// fingerprint diffuses every bit of (kind, u, v).
+/// fingerprint diffuses every bit of (kind, u, v). Two kind bits cover
+/// the four mutation kinds; fingerprints are runtime-only tokens (never
+/// persisted), so widening the field across versions is safe.
 uint64_t MutationWord(UpdateKind kind, NodeId u, NodeId v) {
-  return (static_cast<uint64_t>(kind) << 63) |
+  return (static_cast<uint64_t>(kind) << 62) |
          (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
 }
 
@@ -74,18 +77,83 @@ void DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
   MixMutation(UpdateKind::kDelete, u, v);
 }
 
+NodeId DynamicGraph::AddNode() {
+  adjacency_.emplace_back();
+  num_dead_ends_++;
+  const NodeId id = static_cast<NodeId>(adjacency_.size() - 1);
+  MixMutation(UpdateKind::kAddNode, id, 0);
+  return id;
+}
+
+size_t DynamicGraph::RemoveNode(
+    NodeId u, const std::function<void(const EdgeUpdate&)>& before,
+    const std::function<void(const EdgeUpdate&)>& after) {
+  PPR_CHECK(u < num_nodes());
+  size_t removed = 0;
+  auto drop = [&](NodeId a, NodeId b) {
+    const EdgeUpdate lowered{UpdateKind::kDelete, a, b};
+    if (before) before(lowered);
+    RemoveEdge(a, b);
+    if (after) after(lowered);
+    removed++;
+  };
+  // In-edges first, scanning rows in id order; each parallel occurrence
+  // is its own lowered deletion so observers see multiplicities drop one
+  // step at a time, exactly as an equivalent hand-written batch would.
+  for (NodeId x = 0; x < num_nodes(); ++x) {
+    if (x == u) continue;
+    NodeId multiplicity = EdgeMultiplicity(x, u);
+    while (multiplicity-- > 0) drop(x, u);
+  }
+  // Then the out-edges, front to back (RemoveEdge erases the first
+  // occurrence, so taking front() each round preserves row order).
+  while (!adjacency_[u].empty()) drop(u, adjacency_[u].front());
+  // Finally the marker mutation: the epoch/fingerprint history records
+  // the removal itself, not just its lowering.
+  MixMutation(UpdateKind::kRemoveNode, u, 0);
+  return removed;
+}
+
 Status DynamicGraph::Validate(const UpdateBatch& batch) const {
   // Running multiplicities for the edges the batch touches — seeded
   // from the graph with one O(d_u) scan on first touch, then O(1) — so
   // a deletion is checked against the graph *as it will be* when the
-  // update is reached (a batch may consume edges it inserted earlier).
+  // update is reached (a batch may consume edges it inserted earlier,
+  // touch nodes it added, or re-touch an edge slot a node removal
+  // cleared). Node ops need two extra pieces of running state: the node
+  // count as it evolves through the batch, and the set of nodes removed
+  // so far — a first-touch key with a removed endpoint seeds at zero
+  // instead of the pre-batch multiplicity, and a removal zeroes every
+  // already-tracked key incident to it.
   std::unordered_map<uint64_t, int64_t> remaining;
+  std::unordered_set<NodeId> removed_nodes;
+  uint64_t running_n = num_nodes();
+  auto multiplicity_at = [&](NodeId a, NodeId b) -> int64_t {
+    if (a >= num_nodes() || b >= num_nodes()) return 0;  // added in-batch
+    if (removed_nodes.count(a) != 0 || removed_nodes.count(b) != 0) return 0;
+    return static_cast<int64_t>(EdgeMultiplicity(a, b));
+  };
   for (size_t i = 0; i < batch.updates.size(); ++i) {
     const EdgeUpdate& up = batch.updates[i];
-    if (up.u >= num_nodes() || up.v >= num_nodes()) {
+    if (up.kind == UpdateKind::kAddNode) {
+      running_n++;
+      continue;
+    }
+    if (up.u >= running_n ||
+        (up.kind != UpdateKind::kRemoveNode && up.v >= running_n)) {
       return Status::InvalidArgument(
           "update " + std::to_string(i) + ": node out of range (n=" +
-          std::to_string(num_nodes()) + ")");
+          std::to_string(running_n) + ")");
+    }
+    if (up.kind == UpdateKind::kRemoveNode) {
+      for (auto& [key, count] : remaining) {
+        if (static_cast<NodeId>(key >> 32) == up.u ||
+            static_cast<NodeId>(key & 0xffffffffULL) == up.u) {
+          count = 0;
+        }
+      }
+      removed_nodes.insert(up.u);
+      continue;
     }
     if (up.u == up.v) {
       return Status::InvalidArgument("update " + std::to_string(i) +
@@ -95,10 +163,7 @@ Status DynamicGraph::Validate(const UpdateBatch& batch) const {
         (static_cast<uint64_t>(up.u) << 32) | static_cast<uint64_t>(up.v);
     auto it = remaining.find(key);
     if (it == remaining.end()) {
-      it = remaining
-               .emplace(key,
-                        static_cast<int64_t>(EdgeMultiplicity(up.u, up.v)))
-               .first;
+      it = remaining.emplace(key, multiplicity_at(up.u, up.v)).first;
     }
     if (up.kind == UpdateKind::kInsert) {
       it->second++;
@@ -118,10 +183,19 @@ Status DynamicGraph::Validate(const UpdateBatch& batch) const {
 Status DynamicGraph::Apply(const UpdateBatch& batch) {
   PPR_RETURN_IF_ERROR(Validate(batch));
   for (const EdgeUpdate& up : batch.updates) {
-    if (up.kind == UpdateKind::kInsert) {
-      AddEdge(up.u, up.v);
-    } else {
-      RemoveEdge(up.u, up.v);
+    switch (up.kind) {
+      case UpdateKind::kInsert:
+        AddEdge(up.u, up.v);
+        break;
+      case UpdateKind::kDelete:
+        RemoveEdge(up.u, up.v);
+        break;
+      case UpdateKind::kAddNode:
+        AddNode();
+        break;
+      case UpdateKind::kRemoveNode:
+        RemoveNode(up.u);
+        break;
     }
   }
   return Status::OK();

@@ -2,6 +2,7 @@
 #define PPR_GRAPH_DYNAMIC_GRAPH_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -10,10 +11,16 @@
 
 namespace ppr {
 
-/// One edge mutation of an evolving graph.
+/// One mutation of an evolving graph. Edge mutations keep the node set
+/// fixed; the node mutations resize it — kAddNode appends one isolated
+/// node, kRemoveNode detaches every edge incident to a node (the id
+/// stays allocated as an isolated dead end, so existing ids never
+/// shift).
 enum class UpdateKind : uint8_t {
-  kInsert,  ///< append directed edge (u, v); parallel edges permitted
-  kDelete,  ///< remove one occurrence of directed edge (u, v)
+  kInsert,      ///< append directed edge (u, v); parallel edges permitted
+  kDelete,      ///< remove one occurrence of directed edge (u, v)
+  kAddNode,     ///< append one isolated node (u, v unused)
+  kRemoveNode,  ///< detach node u: remove all its in- and out-edges
 };
 
 struct EdgeUpdate {
@@ -24,11 +31,12 @@ struct EdgeUpdate {
   bool operator==(const EdgeUpdate&) const = default;
 };
 
-/// An ordered sequence of edge insertions and deletions — the unit in
-/// which updates travel through the system (DynamicSolver::ApplyUpdates,
+/// An ordered sequence of graph mutations — the unit in which updates
+/// travel through the system (DynamicSolver::ApplyUpdates,
 /// PprServer::ApplyUpdates, the eval/query_gen workload generator, and
 /// ppr_cli --updates). Updates apply strictly in order, so a batch may
-/// delete an edge it inserted earlier.
+/// delete an edge it inserted earlier, wire edges to a node it added,
+/// or remove a node whose edges it just created.
 struct UpdateBatch {
   std::vector<EdgeUpdate> updates;
 
@@ -38,6 +46,14 @@ struct UpdateBatch {
   }
   UpdateBatch& Delete(NodeId u, NodeId v) {
     updates.push_back({UpdateKind::kDelete, u, v});
+    return *this;
+  }
+  UpdateBatch& AddNode() {
+    updates.push_back({UpdateKind::kAddNode, 0, 0});
+    return *this;
+  }
+  UpdateBatch& RemoveNode(NodeId u) {
+    updates.push_back({UpdateKind::kRemoveNode, u, 0});
     return *this;
   }
 
@@ -53,8 +69,10 @@ struct UpdateBatch {
 /// (PowerPush's scan phase depends on its layout); Snapshot() bridges to
 /// it for cross-checking.
 ///
-/// Versioning: every applied mutation advances the epoch by one, so an
-/// UpdateBatch of k updates moves the graph from epoch e to e + k.
+/// Versioning: every applied mutation advances the epoch by one. An
+/// edge-only UpdateBatch of k updates moves the graph from epoch e to
+/// e + k; a kRemoveNode update advances it by its incident edge count
+/// plus one (the lowering described at RemoveNode()).
 /// Epochs are monotonically increasing and never reused; fingerprint()
 /// is a 64-bit hash of the construction state plus the full mutation
 /// history, so two DynamicGraphs agree on (epoch, fingerprint) iff they
@@ -104,11 +122,33 @@ class DynamicGraph {
   /// must exist (PPR_CHECK); use Apply() for validated batches.
   void RemoveEdge(NodeId u, NodeId v);
 
+  /// Appends one isolated node (a dead end until it gains an out-edge)
+  /// and advances the epoch. Returns the new node's id, always the
+  /// previous num_nodes() — ids are dense and never reused.
+  NodeId AddNode();
+
+  /// Detaches node u: removes every in-edge (scanning rows 0..n-1 in
+  /// order, each parallel occurrence separately), then every out-edge
+  /// in row order, then records one kRemoveNode marker mutation — so
+  /// the epoch advances by (incident edges + 1). The id stays allocated
+  /// as an isolated dead end; later batches may wire edges back to it.
+  /// Each constituent edge removal is surfaced to the optional hooks as
+  /// a kDelete EdgeUpdate — `before` fires while the edge still exists,
+  /// `after` right after it is gone — which is how the residue trackers
+  /// and the walk index observe the lowering (DynamicSspprPool). O(n +
+  /// incident edges). Returns the number of edges removed.
+  size_t RemoveNode(NodeId u,
+                    const std::function<void(const EdgeUpdate&)>& before = {},
+                    const std::function<void(const EdgeUpdate&)>& after = {});
+
   /// Validates the whole batch against the current state (bounds,
   /// self-loops, deletions of edges that will not exist when reached —
-  /// honoring in-batch ordering), then applies it. On error nothing is
-  /// applied and the epoch does not move; on success the epoch advances
-  /// by batch.size().
+  /// honoring in-batch ordering, including nodes the batch adds or
+  /// removes), then applies it. On error nothing is applied and the
+  /// epoch does not move; on success the epoch advances by one per
+  /// mutation — batch.size() for edge-only batches, more when the batch
+  /// removes nodes (each kRemoveNode lowers to its incident edge
+  /// deletions plus the marker).
   Status Apply(const UpdateBatch& batch);
 
   /// Apply()'s validation without the mutation — shared with callers

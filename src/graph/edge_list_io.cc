@@ -72,6 +72,33 @@ Result<UpdateBatch> ReadUpdateStreamText(const std::string& path) {
     ++line_no;
     if (IsCommentOrBlank(line)) continue;
     auto fields = SplitAndTrim(line, " \t\r,");
+    // Node ops carry fewer fields than edge ops: "n" alone adds one
+    // isolated node, "x u" detaches node u.
+    if (fields[0] == "n") {
+      if (fields.size() != 1) {
+        return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                  ": 'n' (add node) takes no operands");
+      }
+      batch.AddNode();
+      continue;
+    }
+    if (fields[0] == "x") {
+      if (fields.size() != 2) {
+        return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                  ": expected 'x u' (remove node)");
+      }
+      uint64_t u = 0;
+      if (!ParseUint64(fields[1], &u)) {
+        return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                  ": malformed node id");
+      }
+      if (u > std::numeric_limits<NodeId>::max()) {
+        return Status::OutOfRange(path + ":" + std::to_string(line_no) +
+                                  ": node id exceeds 32 bits");
+      }
+      batch.RemoveNode(static_cast<NodeId>(u));
+      continue;
+    }
     if (fields.size() < 3) {
       return Status::Corruption(path + ":" + std::to_string(line_no) +
                                 ": expected '+|- src dst'");
@@ -83,7 +110,8 @@ Result<UpdateBatch> ReadUpdateStreamText(const std::string& path) {
       kind = UpdateKind::kDelete;
     } else {
       return Status::Corruption(path + ":" + std::to_string(line_no) +
-                                ": update kind must be '+'/'-' (or 'a'/'d')");
+                                ": update kind must be '+'/'-'/'n'/'x' "
+                                "(or 'a'/'d')");
     }
     uint64_t src = 0;
     uint64_t dst = 0;
@@ -108,8 +136,20 @@ Status WriteUpdateStreamText(const std::string& path,
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out << "# edge-update stream, " << batch.size() << " updates\n";
   for (const EdgeUpdate& up : batch.updates) {
-    out << (up.kind == UpdateKind::kInsert ? '+' : '-') << "\t" << up.u
-        << "\t" << up.v << "\n";
+    switch (up.kind) {
+      case UpdateKind::kInsert:
+        out << "+\t" << up.u << "\t" << up.v << "\n";
+        break;
+      case UpdateKind::kDelete:
+        out << "-\t" << up.u << "\t" << up.v << "\n";
+        break;
+      case UpdateKind::kAddNode:
+        out << "n\n";
+        break;
+      case UpdateKind::kRemoveNode:
+        out << "x\t" << up.u << "\n";
+        break;
+    }
   }
   out.flush();
   if (!out) return Status::IOError("write failed on " + path);

@@ -32,8 +32,10 @@ Result<Graph> ReadGraphBinary(const std::string& path);
 /// Reads an edge-update stream for the evolving-graph subsystem
 /// (ppr_cli --updates=<file>). One update per line,
 ///
-///   + src dst     insertion
-///   - src dst     deletion
+///   + src dst     edge insertion
+///   - src dst     edge deletion
+///   n             node addition (appends one isolated node)
+///   x u           node removal (detaches node u)
 ///
 /// with '#'/'%' comments and blank lines allowed; "a"/"d" are accepted
 /// as aliases for "+"/"-". Validation against a concrete graph happens

@@ -68,39 +68,68 @@ class BoundedQueue {
   /// — starting at kInitialBackoff and doubling up to kMaxBackoff,
   /// never past the remaining deadline budget — and a consumer freeing
   /// a slot wakes the producer early, so latency stays notify-driven
-  /// while wakeup storms stay bounded. The closed flag is re-checked
-  /// first on every round: a Close() racing a backoff sleep fails the
-  /// push at the next wakeup instead of sleeping through further
-  /// rounds against a queue that can never drain.
+  /// while wakeup storms stay bounded. The backoff escalates only after
+  /// a wait that ran its full interval: a consumer-notified early
+  /// wakeup (or a spurious one) means the queue is draining and losing
+  /// the race, not that the producer should slow down — doubling on
+  /// those would walk a producer racing a fast-draining queue up to the
+  /// 8ms max for no reason. The closed flag is re-checked first on
+  /// every round: a Close() racing a backoff sleep fails the push at
+  /// the next wakeup instead of sleeping through further rounds against
+  /// a queue that can never drain.
   ///
   /// `*saw_full`, when non-null, is set to true iff at least one check
   /// found the queue full — one flag per submission no matter how many
   /// backoff rounds it took, which is what lets the server count one
   /// refused submission exactly once in stats().rejected.
+  ///
+  /// `*backoff_after`, when non-null, receives the backoff interval the
+  /// producer ended at — observable pacing for the regression tests
+  /// (kInitialBackoff when the queue was never full at a check).
   QueuePushResult PushUntil(T item,
                             std::chrono::steady_clock::time_point deadline,
-                            bool* saw_full = nullptr) PPR_EXCLUDES(mu_) {
+                            bool* saw_full = nullptr,
+                            std::chrono::microseconds* backoff_after = nullptr)
+      PPR_EXCLUDES(mu_) {
     constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+    std::chrono::microseconds delay = kInitialBackoff;
+    auto record_backoff = [&] {
+      if (backoff_after != nullptr) *backoff_after = delay;
+    };
     {
       MutexLock lock(mu_);
-      std::chrono::microseconds delay = kInitialBackoff;
       while (items_.size() >= capacity_) {
-        if (closed_) return QueuePushResult::kClosed;
+        if (closed_) {
+          record_backoff();
+          return QueuePushResult::kClosed;
+        }
         if (saw_full != nullptr) *saw_full = true;
         std::chrono::microseconds wait = delay;
         if (deadline != kNoDeadline) {
           const auto now = std::chrono::steady_clock::now();
-          if (now >= deadline) return QueuePushResult::kTimedOut;
+          if (now >= deadline) {
+            record_backoff();
+            return QueuePushResult::kTimedOut;
+          }
           wait = std::min(
               delay, std::chrono::ceil<std::chrono::microseconds>(deadline -
                                                                   now));
         }
+        const auto wait_start = std::chrono::steady_clock::now();
         producer_cv_.WaitFor(lock, wait);
-        delay = std::min(delay * 2, kMaxBackoff);
+        if (std::chrono::steady_clock::now() - wait_start >= wait) {
+          // The full interval elapsed with no slot: genuine sustained
+          // pressure, escalate. Early wakeups keep the current pace.
+          delay = std::min(delay * 2, kMaxBackoff);
+        }
       }
-      if (closed_) return QueuePushResult::kClosed;
+      if (closed_) {
+        record_backoff();
+        return QueuePushResult::kClosed;
+      }
       items_.push_back(std::move(item));
     }
+    record_backoff();
     consumer_cv_.NotifyOne();
     return QueuePushResult::kAdmitted;
   }

@@ -497,6 +497,72 @@ TEST(PprServerQueueTest, PushUntilAdmitsOnceAConsumerDrains) {
   EXPECT_EQ(queue.size(), 1u);
 }
 
+TEST(PprServerQueueTest, BackoffEscalatesOnlyOnFullyElapsedWaits) {
+  // A producer left waiting on a full queue with no consumer sees every
+  // wait run its full interval, so the backoff must walk all the way up
+  // to kMaxBackoff — the bounded-wakeup half of the pacing contract.
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(1));
+  bool saw_full = false;
+  std::chrono::microseconds backoff{0};
+  const QueuePushResult result =
+      queue.PushUntil(2, steady_clock::now() + std::chrono::milliseconds(80),
+                      &saw_full, &backoff);
+  EXPECT_EQ(result, QueuePushResult::kTimedOut);
+  EXPECT_TRUE(saw_full);
+  // 64µs doubling per elapsed round reaches 8192µs well inside 80ms.
+  EXPECT_EQ(backoff, BoundedQueue<int>::kMaxBackoff);
+}
+
+TEST(PprServerQueueTest, ConsumerNotifiedWakeupsDoNotEscalateBackoff) {
+  // The regression the elapsed-time check fixes: a producer racing a
+  // fast-draining queue is woken early by every Pop, loses the slot race
+  // to TryPush, and goes back to waiting. Those notified wakeups are not
+  // congestion — doubling on them walked the producer up to the 8ms max
+  // and throttled it against a queue that was never saturated for long.
+  // With the fix, a backoff round only escalates after a wait that ran
+  // its full interval, so hundreds of notify-then-lose cycles leave the
+  // pace near the initial interval.
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(1));
+
+  std::atomic<bool> stop{false};
+  // The racing pair: a consumer that frees the slot (waking the waiting
+  // producer) and a rival producer that immediately re-fills it. The
+  // waiting PushUntil keeps losing without ever seeing a full interval
+  // elapse uninterrupted.
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (queue.Pop().has_value()) {
+        while (!queue.TryPush(0) && !stop.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+
+  bool saw_full = false;
+  std::chrono::microseconds backoff{0};
+  const QueuePushResult result =
+      queue.PushUntil(2, steady_clock::now() + std::chrono::milliseconds(150),
+                      &saw_full, &backoff);
+  stop.store(true, std::memory_order_release);
+  queue.Close();
+  churn.join();
+  // Whether the producer eventually won the race or timed out, 150ms of
+  // consumer-notified wakeups must not have walked the backoff anywhere
+  // near the max. The bound leaves room for a few genuinely-elapsed
+  // rounds on a loaded CI machine (64 → 1024µs is four escalations)
+  // while still failing the always-double behavior, which reaches
+  // 8192µs within the first ~16ms.
+  EXPECT_TRUE(result == QueuePushResult::kAdmitted ||
+              result == QueuePushResult::kTimedOut ||
+              result == QueuePushResult::kClosed);
+  EXPECT_TRUE(saw_full);
+  EXPECT_LE(backoff, std::chrono::microseconds(1024))
+      << "early wakeups escalated the backoff";
+}
+
 TEST(PprServerQueueTest, CloseDuringBackoffFailsThePushFast) {
   BoundedQueue<int> queue(1);
   ASSERT_TRUE(queue.TryPush(1));

@@ -9,7 +9,9 @@
 
 #include "api/dynamic_solver.h"
 
+#include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "api/registry.h"
 #include "eval/metrics.h"
 #include "eval/query_gen.h"
+#include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "test_util.h"
 
@@ -299,6 +302,251 @@ TEST(DynamicSolverTest, UpdateStatsReportWalksResampledForTheIndexedTier) {
       EXPECT_GT(stats.walks_resampled, 0u) << name;
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// DynamicResizeTest — node additions/removals and drift-aware index
+// resizing through the DynamicSolver interface (graph resize at serving
+// scale; runs under TSAN via scripts/check.sh's DynamicResize* filter).
+// ---------------------------------------------------------------------
+
+TEST(DynamicResizeTest, NodeOpsStayConformantAcrossSolversAndLayouts) {
+  // The acceptance criterion with dimension changes in the stream: a
+  // batch that adds nodes, wires them in, removes a node, and keeps
+  // mutating must leave every dynamic solver within its advertised
+  // bound of a from-scratch solve on the (resized) snapshot — including
+  // under order= layouts, whose Prepare-time permutation must extend
+  // identically over nodes it has never seen.
+  Rng rng(21);
+  Graph graph = ErdosRenyi(40, 3.0, rng);
+  const NodeId n0 = graph.num_nodes();
+  for (const char* spec :
+       {"dynfwdpush:rmax=1e-9", "dynfwdpush:rmax=1e-9,order=degree",
+        "dynfwdpush:rmax=1e-9,order=bfs", "dynfora:eps=0.3",
+        "dynfora:eps=0.3,order=degree", "dynspeedppr:eps=0.3",
+        "dynspeedppr:eps=0.3,order=bfs"}) {
+    Prepared p = MakeDynamic(spec, graph);
+
+    UpdateBatch batch;
+    batch.AddNode();                 // id n0
+    batch.Insert(n0, 0).Insert(3, n0).Insert(n0, 7);
+    batch.AddNode();                 // id n0 + 1
+    batch.Insert(n0 + 1, n0);
+    batch.RemoveNode(5);
+    batch.Insert(1, 2).RemoveNode(n0 + 1);
+    UpdateStats stats;
+    ASSERT_TRUE(p.dynamic->ApplyUpdates(batch, &stats).ok()) << spec;
+    EXPECT_EQ(stats.epoch, p.dynamic->epoch()) << spec;
+
+    Graph snapshot = p.dynamic->Snapshot();
+    ASSERT_EQ(snapshot.num_nodes(), n0 + 2) << spec;
+    EXPECT_EQ(snapshot.OutDegree(5), 0u) << spec;
+    EXPECT_EQ(snapshot.OutDegree(n0 + 1), 0u) << spec;
+    EXPECT_TRUE(snapshot.HasEdge(n0, 0)) << spec;
+
+    SolverContext context(kSeed);
+    // Sources: an original node, the surviving added node, and the
+    // removed node (still addressable as an isolated dead end).
+    for (NodeId source : {NodeId{1}, n0, NodeId{5}}) {
+      PprQuery query;
+      query.source = source;
+      PprResult result;
+      ASSERT_TRUE(p.solver->Solve(query, context, &result).ok())
+          << spec << " source=" << source;
+      ASSERT_EQ(result.scores.size(), snapshot.num_nodes())
+          << spec << " source=" << source;
+      const std::vector<double> exact = ExactPprDense(snapshot, source, 0.2);
+      ASSERT_LT(L1Distance(result.scores, exact), result.l1_bound + 1e-11)
+          << spec << " source=" << source;
+    }
+
+    // Beyond the grown range is still out of range.
+    PprQuery oob;
+    oob.source = n0 + 2;
+    PprResult result;
+    EXPECT_EQ(p.solver->Solve(oob, context, &result).code(),
+              StatusCode::kInvalidArgument)
+        << spec;
+  }
+}
+
+TEST(DynamicResizeTest, GeneratedStreamsWithNodeOpsStayConformant) {
+  // The same conformance bar against the synthetic generator with node
+  // churn enabled — chunked, so dimension changes land mid-lifetime,
+  // with queries between chunks.
+  Rng rng(22);
+  Graph graph = BarabasiAlbert(50, 3, rng);
+  UpdateWorkloadOptions workload;
+  workload.count = 60;
+  workload.delete_fraction = 0.25;
+  workload.node_add_fraction = 0.15;
+  workload.node_remove_fraction = 0.05;
+  workload.seed = 41;
+  UpdateBatch stream = GenerateUpdateStream(graph, workload).ValueOrDie();
+  const bool has_node_ops =
+      std::any_of(stream.updates.begin(), stream.updates.end(),
+                  [](const EdgeUpdate& up) {
+                    return up.kind == UpdateKind::kAddNode ||
+                           up.kind == UpdateKind::kRemoveNode;
+                  });
+  ASSERT_TRUE(has_node_ops) << "workload fixture lost its node churn";
+
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    SolverContext context(kSeed);
+    constexpr size_t kChunks = 3;
+    for (size_t c = 0; c < kChunks; ++c) {
+      UpdateBatch chunk;
+      chunk.updates.assign(
+          stream.updates.begin() + c * stream.size() / kChunks,
+          stream.updates.begin() + (c + 1) * stream.size() / kChunks);
+      ASSERT_TRUE(p.dynamic->ApplyUpdates(chunk, nullptr).ok())
+          << name << " chunk " << c;
+
+      Graph snapshot = p.dynamic->Snapshot();
+      PprQuery query;
+      query.source = 1;
+      PprResult result;
+      ASSERT_TRUE(p.solver->Solve(query, context, &result).ok())
+          << name << " chunk " << c;
+      ASSERT_EQ(result.scores.size(), snapshot.num_nodes())
+          << name << " chunk " << c;
+      const std::vector<double> exact = ExactPprDense(snapshot, 1, 0.2);
+      ASSERT_LT(L1Distance(result.scores, exact), result.l1_bound + 1e-11)
+          << name << " chunk " << c;
+    }
+  }
+}
+
+TEST(DynamicResizeTest, DriftResizeFiresThroughApplyUpdatesForDynfora) {
+  // CompleteGraph(6) has m = 30; deleting 16 edges halves the live m,
+  // which must trip exactly one kForaPlus ratio re-derivation in the
+  // dynfora index — surfaced through UpdateStats.resize_events — while
+  // the degree-sized dynspeedppr and the index-free dynfwdpush report
+  // none. Conformance must hold across the resize.
+  Graph graph = CompleteGraph(6);
+  UpdateBatch deletes;
+  int deleted = 0;
+  for (NodeId u = 1; u < 6 && deleted < 16; ++u) {
+    for (NodeId v = 1; v < 6 && deleted < 16; ++v) {
+      if (u == v) continue;
+      deletes.Delete(u, v);
+      ++deleted;
+    }
+  }
+  ASSERT_EQ(deleted, 16);
+
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    UpdateStats stats;
+    ASSERT_TRUE(p.dynamic->ApplyUpdates(deletes, &stats).ok()) << name;
+    if (std::string(name) == "dynfora") {
+      EXPECT_EQ(stats.resize_events, 1u) << name;
+    } else {
+      EXPECT_EQ(stats.resize_events, 0u) << name;
+    }
+
+    Graph snapshot = p.dynamic->Snapshot();
+    SolverContext context(kSeed);
+    PprQuery query;
+    query.source = 0;
+    PprResult result;
+    ASSERT_TRUE(p.solver->Solve(query, context, &result).ok()) << name;
+    const std::vector<double> exact = ExactPprDense(snapshot, 0, 0.2);
+    ASSERT_LT(L1Distance(result.scores, exact), result.l1_bound + 1e-11)
+        << name;
+  }
+
+  // drift=0 restores the frozen-ratio behavior.
+  Prepared frozen = MakeDynamic("dynfora:drift=0", graph);
+  UpdateStats stats;
+  ASSERT_TRUE(frozen.dynamic->ApplyUpdates(deletes, &stats).ok());
+  EXPECT_EQ(stats.resize_events, 0u);
+}
+
+TEST(DynamicResizeTest, DriftOptionIsValidatedAtCreation) {
+  // A factor in (0, 1] can never stop firing (every m "drifts" past
+  // it); only 0 (off) or > 1 make sense.
+  for (const char* spec : {"dynfora:drift=1", "dynfora:drift=0.5",
+                           "dynfora:drift=-2", "dynfora:drift=nan"}) {
+    auto created = SolverRegistry::Global().Create(spec);
+    ASSERT_FALSE(created.ok()) << spec;
+    EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+  // The degree-sized tier has no ratio to re-derive; the option does
+  // not exist there.
+  EXPECT_FALSE(SolverRegistry::Global().Create("dynspeedppr:drift=2").ok());
+}
+
+TEST(DynamicResizeTest, IndexBytesIsReachableWithoutDowncasting) {
+  Graph graph = PathGraph(6);
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    if (std::string(name) == "dynfwdpush") {
+      EXPECT_EQ(p.solver->IndexBytes(), 0u) << name;
+    } else {
+      EXPECT_GT(p.solver->IndexBytes(), 0u) << name;
+    }
+  }
+  // Before Prepare there is no index yet.
+  auto unprepared = SolverRegistry::Global().Create("dynspeedppr");
+  ASSERT_TRUE(unprepared.ok());
+  EXPECT_EQ(unprepared.value()->IndexBytes(), 0u);
+}
+
+TEST(DynamicResizeTest, InvalidNodeBatchesLeaveStateUntouched) {
+  Graph graph = PathGraph(5);
+  for (const char* name : kDynamicNames) {
+    Prepared p = MakeDynamic(name, graph);
+    for (const auto& make_bad : {
+             +[](UpdateBatch* b) { b->RemoveNode(99); },  // out of range
+             +[](UpdateBatch* b) {
+               // The removal detaches (3, 4); deleting it afterwards
+               // must fail — the batch-running multiplicity is zeroed.
+               b->RemoveNode(4).Delete(3, 4);
+             },
+             +[](UpdateBatch* b) {
+               // An added node starts isolated: nothing to delete.
+               b->AddNode().Delete(5, 0);
+             },
+         }) {
+      UpdateBatch bad;
+      make_bad(&bad);
+      Status status = p.dynamic->ApplyUpdates(bad, nullptr);
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << name;
+      EXPECT_EQ(p.dynamic->epoch(), 0u) << name;
+      EXPECT_EQ(p.dynamic->Snapshot().num_nodes(), graph.num_nodes()) << name;
+    }
+  }
+}
+
+TEST(DynamicResizeTest, UpdateStreamTextRoundTripsNodeOps) {
+  UpdateBatch batch;
+  batch.Insert(0, 1).AddNode().RemoveNode(2).Delete(1, 3).AddNode();
+  const std::string path = ::testing::TempDir() + "/node_ops_stream.txt";
+  ASSERT_TRUE(WriteUpdateStreamText(path, batch).ok());
+  auto read = ReadUpdateStreamText(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(read.value().updates[i].kind, batch.updates[i].kind) << i;
+    EXPECT_EQ(read.value().updates[i].u, batch.updates[i].u) << i;
+  }
+  // Malformed node-op lines fail cleanly with the line number.
+  {
+    std::ofstream out(path);
+    out << "n 3\n";  // 'n' takes no operands
+  }
+  auto bad = ReadUpdateStreamText(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  {
+    std::ofstream out(path);
+    out << "x\n";  // 'x' needs a node id
+  }
+  bad = ReadUpdateStreamText(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
 }
 
 TEST(DynamicSolverTest, WantResiduesExportsTheSignedCertificate) {

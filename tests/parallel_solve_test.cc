@@ -491,6 +491,35 @@ TEST(WalkIndexCacheTest, PrepareSavesAndSecondPrepareLoads) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(WalkIndexCacheTest, TruncatedCacheFromMidWriteCrashRebuilds) {
+  // Simulate the wreckage of a crash mid-save: a prefix of a valid
+  // index at the canonical name (what the old write-in-place SaveTo
+  // could leave). Load must reject it on the exact-size check and
+  // Prepare must fall back to a rebuild — same answer as the first,
+  // uncorrupted run — and then replace the file with a complete one.
+  const Graph graph = testing::SmallGraphZoo()[7].graph;  // ba_120
+  const std::string dir = CacheDir();
+  const std::string spec =
+      "speedppr-index:eps=0.4,seed=5,cache_dir=" + dir;
+  const std::string cache_path =
+      dir + "/" + WalkIndex::CacheFileName(WalkIndex::Sizing::kSpeedPpr, 0.2,
+                                           0, 5, graph.Fingerprint());
+
+  const std::vector<double> first = SolveOnce(spec, graph);
+  ASSERT_TRUE(std::filesystem::exists(cache_path)) << cache_path;
+  const auto full_size = std::filesystem::file_size(cache_path);
+  std::filesystem::resize_file(cache_path, full_size / 2);
+
+  auto direct = WalkIndex::LoadFrom(cache_path);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kCorruption);
+
+  EXPECT_EQ(SolveOnce(spec, graph), first);
+  EXPECT_EQ(std::filesystem::file_size(cache_path), full_size);
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(WalkIndexCacheTest, StaleCacheFromAnEarlierEpochIsRejected) {
   // The stale-cache hazard: an index saved for the pre-update CSR must
   // never be served for the post-update graph. The filename encodes the

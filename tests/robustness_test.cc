@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "approx/walk_index.h"
 #include "core/power_push.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_builder.h"
@@ -60,7 +61,7 @@ TEST(RobustnessTest, UpdateStreamReaderSurvivesRandomBytes) {
         char c;
         const uint64_t pick = rng.NextBounded(12);
         if (pick < 2) {
-          c = "+-ad"[rng.NextBounded(4)];
+          c = "+-adnx"[rng.NextBounded(6)];
         } else if (pick < 6) {
           c = static_cast<char>('0' + rng.NextBounded(10));
         } else if (pick < 9) {
@@ -77,12 +78,64 @@ TEST(RobustnessTest, UpdateStreamReaderSurvivesRandomBytes) {
     if (result.ok()) {
       for (const auto& update : result.value().updates) {
         EXPECT_TRUE(update.kind == UpdateKind::kInsert ||
-                    update.kind == UpdateKind::kDelete);
+                    update.kind == UpdateKind::kDelete ||
+                    update.kind == UpdateKind::kAddNode ||
+                    update.kind == UpdateKind::kRemoveNode);
       }
     } else {
       EXPECT_NE(result.status().code(), StatusCode::kOk);
     }
   }
+}
+
+TEST(RobustnessTest, WalkIndexLoaderSurvivesRandomBytes) {
+  // The index cache loader shares the threat model of the binary graph
+  // reader: cache_dir= files arrive from disk, possibly truncated by a
+  // crashed saver or scribbled on — random bytes must produce a clean
+  // Status, never a crash or a giant allocation.
+  Rng rng(5);
+  const std::string path = ::testing::TempDir() + "/fuzz_walk_index.bin";
+  for (int trial = 0; trial < 50; ++trial) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      const size_t len = rng.NextBounded(512);
+      // Half the trials start with the real magic so the fuzz reaches
+      // the count validation and offset checks, not just the first read.
+      if (rng.NextBounded(2) == 1) {
+        const uint64_t magic = 0x5050523257494458ULL;  // "PPR2WIDX"
+        out.write(reinterpret_cast<const char*>(&magic), 8);
+      }
+      for (size_t i = 0; i < len; ++i) {
+        out.put(static_cast<char>(rng.NextBounded(256)));
+      }
+    }
+    auto result = WalkIndex::LoadFrom(path);
+    if (!result.ok()) {
+      EXPECT_NE(result.status().code(), StatusCode::kOk);
+    }
+  }
+}
+
+TEST(RobustnessTest, WalkIndexLoaderRejectsHostileHeader) {
+  // A hostile file with a valid magic claiming 2^60 walks must fail the
+  // size validation, not OOM inside resize(): the header's counts are
+  // only trusted after they reconcile with the actual file size.
+  Graph g = PathGraph(3);
+  Rng rng(6);
+  WalkIndex valid =
+      WalkIndex::Build(g, 0.2, WalkIndex::Sizing::kSpeedPpr, 0, rng);
+  const std::string path = ::testing::TempDir() + "/hostile_walk_index.bin";
+  ASSERT_TRUE(valid.SaveTo(path).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const uint64_t huge = uint64_t{1} << 60;
+    f.seekp(8);  // node count, then walk count
+    f.write(reinterpret_cast<const char*>(&huge), 8);
+    f.write(reinterpret_cast<const char*>(&huge), 8);
+  }
+  auto result = WalkIndex::LoadFrom(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
 }
 
 TEST(RobustnessTest, GraphBinaryReaderSurvivesRandomBytes) {

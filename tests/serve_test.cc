@@ -852,6 +852,90 @@ TEST(PprServerDynamicTest, EpochConsistentUnderConcurrentUpdatesAndQueries) {
   }
 }
 
+TEST(PprServerDynamicTest, NodeResizeUnderServingStaysEpochConsistent) {
+  // Graph resize under load: batches that add and remove nodes apply
+  // while clients stream queries. Every served result must be sized for
+  // exactly one boundary snapshot's node count, stamp that boundary's
+  // epoch, and match its dense solution within the advertised bound —
+  // no query may ever observe a half-resized dimension.
+  constexpr NodeId kSource = 1;
+  Rng rng(47);
+  Graph graph = ErdosRenyi(30, 3.0, rng);
+  const NodeId n0 = graph.num_nodes();
+
+  std::vector<UpdateBatch> batches(4);
+  batches[0].Insert(0, 7).AddNode().Insert(n0, kSource).Insert(2, n0);
+  batches[1].RemoveNode(5).Insert(kSource, n0);
+  batches[2].AddNode().Insert(n0 + 1, n0).Insert(0, n0 + 1);
+  batches[3].RemoveNode(n0);
+
+  std::map<uint64_t, std::vector<double>> exact;
+  {
+    DynamicGraph replay(graph);
+    exact[0] = ppr::testing::ExactPprDense(replay.Snapshot(), kSource, 0.2);
+    for (const UpdateBatch& batch : batches) {
+      ASSERT_TRUE(replay.Apply(batch).ok());
+      exact[replay.epoch()] =
+          ppr::testing::ExactPprDense(replay.Snapshot(), kSource, 0.2);
+    }
+    ASSERT_EQ(replay.num_nodes(), n0 + 2);
+  }
+
+  for (const char* spec : {"dynfwdpush:rmax=1e-9", "dynfora:eps=0.3",
+                           "dynspeedppr:eps=0.3"}) {
+    PprServer server({.workers = 3, .contexts = 2});
+    ASSERT_TRUE(server.AddSolver(spec, graph).ok()) << spec;
+    ASSERT_TRUE(server.Start().ok()) << spec;
+
+    std::atomic<bool> done{false};
+    std::vector<std::vector<PprFuture>> futures(2);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < futures.size(); ++c) {
+      clients.emplace_back([&, c] {
+        PprQuery query;
+        query.source = kSource;
+        while (!done.load(std::memory_order_relaxed)) {
+          auto submitted = server.Submit(query);
+          if (submitted.ok()) {
+            futures[c].push_back(std::move(submitted).ValueOrDie());
+          }
+          std::this_thread::yield();
+        }
+      });
+    }
+
+    for (const UpdateBatch& batch : batches) {
+      auto applied = server.ApplyUpdates(batch);
+      ASSERT_TRUE(applied.ok()) << spec << ": " << applied.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true);
+    for (std::thread& t : clients) t.join();
+    server.Stop();
+
+    size_t checked = 0;
+    for (const auto& client_futures : futures) {
+      for (const PprFuture& future : client_futures) {
+        PprResult result;
+        Status status = future.Get(&result);
+        if (!status.ok()) continue;  // shutdown race rejections only
+        auto it = exact.find(result.epoch);
+        ASSERT_NE(it, exact.end())
+            << spec << ": result stamped epoch " << result.epoch
+            << ", which is not a batch boundary — a torn resize leaked";
+        ASSERT_EQ(result.scores.size(), it->second.size())
+            << spec << " epoch " << result.epoch
+            << ": score vector sized for a different epoch's graph";
+        ASSERT_LT(L1Distance(result.scores, it->second),
+                  result.l1_bound + 1e-11)
+            << spec << " epoch " << result.epoch;
+        checked++;
+      }
+    }
+    EXPECT_GT(checked, 0u) << spec;
+  }
+}
+
 TEST(PprServerDynamicTest, UpdatesInvalidateWarmPoolContexts) {
   // After an applied batch the warm contexts must not trust their
   // recorded support: the pool invalidates each once, costing exactly
