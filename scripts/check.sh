@@ -44,9 +44,14 @@ done
 # ApplyUpdates' exclusive epoch barrier against concurrent queries, the
 # chaos suites (PprServerChaosTest / PprServerQueueTest), which race
 # cancellation, deadlines, injected faults and bounded-drain shutdown
-# against all of the above, and the dynamic resize conformance suite
+# against all of the above, the dynamic resize conformance suite
 # (DynamicResizeTest), whose node add/remove batches grow and shrink
-# tracker and walk-index dimensions under the same epoch machinery.
+# tracker and walk-index dimensions under the same epoch machinery, and
+# the fused multi-source tier (BatchFusedTest / BatchForaTest /
+# BatchTopKEarlyTest for the threaded kernel, BatchQueueTest /
+# PprServerBatchTest for queue coalescing), which races multi-threaded
+# SolveMany blocks and worker-side batch draining against the queue and
+# epoch barrier.
 TSAN_FILTER='WorkerPool*:ThreadBudget*:PprServer*:ParallelFor*:Batch*:DynamicResize*'
 
 case "${MODE}" in

@@ -1,0 +1,80 @@
+#ifndef PPR_API_BATCH_SOLVER_H_
+#define PPR_API_BATCH_SOLVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "api/context.h"
+#include "api/query.h"
+#include "api/solver.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace ppr {
+
+/// A solver that can advance a block of queries through one fused
+/// kernel pass (the `batch=` registry option on powitr / fwdpush /
+/// fora). The contract is strict per-query equivalence: query i of
+/// SolveMany() behaves exactly like
+///
+///   context.Reseed(seeds[i]);
+///   solver.Solve(queries[i], context, &results[i]);
+///
+/// on the *same solver spec* — bit-identical for the walk-based
+/// solvers, equal to ≤1e-12 FP reassociation for the SpMV kernels at
+/// threads > 1 — at every batch size and thread count, with the same
+/// advertised per-query ℓ1 bound. Queries are fused in submission
+/// order into blocks of at most max_fused(); validation, cancellation
+/// and result stamping mirror Solver::Solve per query.
+class BatchSolver : public Solver {
+ public:
+  /// Widest block one fused kernel call advances (the batch= option);
+  /// 0 means the solver is configured for classic per-query execution
+  /// and AsBatch() hides it from batch-routing drivers.
+  size_t max_fused() const { return max_fused_; }
+
+  BatchSolver* AsBatch() override { return max_fused_ > 0 ? this : nullptr; }
+
+  /// Answers `queries` in blocks of up to max_fused(). `results` is
+  /// resized to queries.size(); entry i is valid iff its status is OK.
+  /// `statuses` (optional) receives the per-query outcomes — a bad
+  /// query (out-of-range source, expired token) fails alone without
+  /// poisoning its block. `seeds` (optional, size queries.size())
+  /// fixes each query's RNG stream; empty derives per-query seeds by
+  /// SplitStream from one context RNG draw. `cancels` (optional, size
+  /// queries.size(), entries nullable) attaches per-query cancellation,
+  /// polled at sweep boundaries; the context's own token, when set,
+  /// cancels whole blocks. Returns the first non-OK per-query status
+  /// in submission order (OK when everything succeeded).
+  [[nodiscard]] Status SolveMany(
+      std::span<const PprQuery> queries, SolverContext& context,
+      std::vector<PprResult>* results, std::vector<Status>* statuses = nullptr,
+      std::span<const uint64_t> seeds = {},
+      std::span<const CancelToken* const> cancels = {});
+
+ protected:
+  /// Registry factories configure the batch= option through this.
+  void set_max_fused(size_t max_fused) { max_fused_ = max_fused; }
+
+  /// Fused kernel body. Queries arrive validated and in layout space
+  /// (like DoSolve); `statuses` arrives all-OK and may be downgraded
+  /// per query (e.g. a per-query parameter the spec cannot serve) —
+  /// a failed query's column must not affect its siblings. The return
+  /// Status is structural and fails the whole block. `results[j]` must
+  /// receive scores (residues when queries[j].want_residues) and stats;
+  /// the wrapper stamps solver/l1_bound/top_nodes and remaps layouts.
+  virtual Status DoSolveMany(std::span<const PprQuery> queries,
+                             std::span<const uint64_t> seeds,
+                             std::span<const CancelToken* const> cancels,
+                             SolverContext& context,
+                             std::span<PprResult> results,
+                             std::span<Status> statuses) = 0;
+
+ private:
+  size_t max_fused_ = 0;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_API_BATCH_SOLVER_H_

@@ -12,6 +12,7 @@
 
 namespace ppr {
 
+class BatchSolver;
 class DynamicSolver;
 
 /// Prepare-time CSR layouts selectable with the order= solver option
@@ -123,6 +124,11 @@ class Solver {
   /// nullptr — how drivers (PprServer, ppr_cli --updates) reach
   /// ApplyUpdates without downcasting by name.
   virtual DynamicSolver* AsDynamic() { return nullptr; }
+
+  /// The fused-batch interface when the solver was configured with
+  /// batch= > 0, else nullptr — how drivers (PprServer coalescing,
+  /// eval/topk batch runners) reach SolveMany without downcasting.
+  virtual BatchSolver* AsBatch() { return nullptr; }
 
   // ---- cross-cutting options (set by the registry factories) ----------
 

@@ -53,7 +53,16 @@ double Median(std::vector<double> values) {
 
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
-  PPR_CHECK(p >= 0.0 && p <= 100.0);
+  // Out-of-range (or NaN) percentiles clamp instead of crashing: p < 0
+  // and NaN behave as p = 0 (the sample minimum), p > 100 as p = 100
+  // (the maximum). Harness code computes p from user-facing knobs, and
+  // a slightly-off request should degrade to the nearest defined
+  // percentile, not take the process down mid-report.
+  if (!(p >= 0.0)) {
+    p = 0.0;
+  } else if (p > 100.0) {
+    p = 100.0;
+  }
   // Nearest-rank on the sorted sample: index ⌈p/100·n⌉-1, clamped. The
   // convention is simple and never interpolates beyond observed values —
   // right for latency reporting, where p99 should be a real latency.

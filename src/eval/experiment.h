@@ -31,9 +31,11 @@ std::vector<NamedGraph> LoadBenchDatasets(double scale = 1.0,
 double Mean(const std::vector<double>& values);
 double Median(std::vector<double> values);
 
-/// Nearest-rank percentile of a sample, p in [0, 100] — the latency
-/// reporter for the serve path (p=50/p=99 in bench_serve and ppr_cli
-/// --serve).
+/// Nearest-rank percentile of a sample — the latency reporter for the
+/// serve path (p=50/p=99 in bench_serve and ppr_cli --serve). Defined
+/// for every input: an empty sample reports 0.0, p is clamped into
+/// [0, 100] (NaN behaves as 0), p=0 is the sample minimum and p=100
+/// the maximum.
 double Percentile(std::vector<double> values, double p);
 
 /// Times `fn` over each source and returns per-source seconds.

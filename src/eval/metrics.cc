@@ -40,9 +40,20 @@ std::vector<uint32_t> TopK(std::span<const double> values, size_t k) {
   k = std::min(k, values.size());
   std::vector<uint32_t> ids(values.size());
   std::iota(ids.begin(), ids.end(), 0);
+  // Total order even in the presence of NaNs: descending by value, NaNs
+  // after every number, equal values (and NaN pairs) broken ascending by
+  // node id. A plain `values[a] > values[b]` comparator is not a strict
+  // weak ordering once a NaN appears (NaN compares false against
+  // everything), which makes partial_sort undefined; this one stays
+  // deterministic for any input.
   std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
                     [&](uint32_t a, uint32_t b) {
-                      if (values[a] != values[b]) return values[a] > values[b];
+                      const double va = values[a];
+                      const double vb = values[b];
+                      const bool nan_a = std::isnan(va);
+                      const bool nan_b = std::isnan(vb);
+                      if (nan_a != nan_b) return nan_b;
+                      if (!nan_a && va != vb) return va > vb;
                       return a < b;
                     });
   ids.resize(k);

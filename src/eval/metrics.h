@@ -24,7 +24,10 @@ double MaxRelativeError(std::span<const double> estimate,
 double PrecisionAtK(std::span<const double> estimate,
                     std::span<const double> truth, size_t k);
 
-/// Indices of the k largest values (ties by lower id first).
+/// Indices of the k largest values under a deterministic total order:
+/// descending by value, equal values broken by lower id first, NaNs
+/// ordered after every number (and among themselves by id). The same
+/// input always yields the same ids, NaN or not.
 std::vector<uint32_t> TopK(std::span<const double> values, size_t k);
 
 }  // namespace ppr

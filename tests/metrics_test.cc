@@ -1,5 +1,7 @@
 #include "eval/metrics.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace ppr {
@@ -45,6 +47,24 @@ TEST(MetricsTest, TopKOrdersByValueThenId) {
 TEST(MetricsTest, TopKClampsToSize) {
   std::vector<double> values = {0.3, 0.1};
   EXPECT_EQ(TopK(values, 10).size(), 2u);
+}
+
+TEST(MetricsTest, TopKAllTiesStableByNodeId) {
+  std::vector<double> values(6, 0.25);
+  auto top = TopK(values, 4);
+  EXPECT_EQ(top, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(MetricsTest, TopKNansOrderLastDeterministically) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> values = {nan, 0.2, nan, 0.9, 0.2};
+  // NaNs sort after every number; within each tie class, lower id first.
+  auto top = TopK(values, 5);
+  EXPECT_EQ(top, (std::vector<uint32_t>{3, 1, 4, 0, 2}));
+  // The same input always produces the same answer — run it again.
+  EXPECT_EQ(TopK(values, 5), top);
+  // A k that cuts inside the NaN tail still picks the lower ids.
+  EXPECT_EQ(TopK(values, 4), (std::vector<uint32_t>{3, 1, 4, 0}));
 }
 
 TEST(MetricsTest, PrecisionAtKPerfectAndDisjoint) {

@@ -191,6 +191,18 @@ TEST(ExperimentHelpersTest, PercentileNearestRank) {
   EXPECT_DOUBLE_EQ(Percentile({1.0, 10.0}, 75.0), 10.0);
 }
 
+TEST(ExperimentHelpersTest, PercentileClampsOutOfRangeRequests) {
+  std::vector<double> sample = {3.0, 1.0, 2.0};
+  // Below 0 (and NaN) behave as p=0 — the minimum; above 100 as the
+  // maximum. A slightly-off request degrades, never crashes.
+  EXPECT_DOUBLE_EQ(Percentile(sample, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 250.0), 3.0);
+  EXPECT_DOUBLE_EQ(
+      Percentile(sample, std::numeric_limits<double>::quiet_NaN()), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 250.0), 0.0);
+}
+
 TEST(ExperimentHelpersTest, TimePerQueryRunsEachSource) {
   std::vector<NodeId> sources = {1, 2, 3};
   int calls = 0;
