@@ -118,7 +118,7 @@ int main() {
         PPR_CHECK_OK(server.SolveBatch(queries, &results));
         served_best = std::min(served_best, timer.ElapsedSeconds());
       }
-      const uint64_t coalesced = server.stats().coalesced;
+      const uint64_t coalesced = server.Snapshot().coalesced;
       server.Stop();
       emit("served", batch, options.workers, served_best);
       if (batch > 1) {

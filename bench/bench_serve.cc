@@ -94,7 +94,7 @@ ServeLoad DriveLoad(PprServer& server, const std::vector<PprQuery>& queries,
     load.deadline_misses += misses[c];
     load.accepted += accepted[c];
   }
-  load.rejected = server.stats().rejected;
+  load.rejected = server.Snapshot().rejected;
   return load;
 }
 
@@ -177,7 +177,7 @@ int main(int argc, char** argv) {
         PPR_CHECK_OK(server.Start());
         const unsigned clients = workers;  // closed loop, one per worker
         ServeLoad load = DriveLoad(server, queries, clients, deadline_ms);
-        const uint64_t shed = server.stats().shed;
+        const uint64_t shed = server.Snapshot().shed;
         server.Stop();
 
         const double qps =

@@ -25,6 +25,8 @@
 //     --duration=5       seconds of load
 //     --serve-workers=0  server worker threads (0 = thread budget)
 //     --serve-queue=1024 bounded queue capacity
+//     --shards=1         >1 serves through a sharded tier instead
+//     --partition=hash   node-ownership scheme (hash, range, degree)
 //
 // Every solver is dispatched through SolverRegistry — run with --help to
 // see the registered names and their option keys. The spec may carry
@@ -50,7 +52,9 @@
 #include "eval/query_gen.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
+#include "graph/partition.h"
 #include "serve/ppr_server.h"
+#include "serve/sharded_server.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -64,6 +68,132 @@ bool IsDatasetName(const std::string& name) {
     if (spec.name == name || spec.paper_name == name) return true;
   }
   return false;
+}
+
+/// Open-loop load: --qps paces submissions (0 floods) until --duration
+/// elapses. Works against PprServer and ShardedPprServer alike — both
+/// speak Submit → PprFuture. Rejected submissions (full queue) are
+/// counted by the server, not retried.
+struct OpenLoopLoad {
+  uint64_t fired = 0;
+  std::vector<PprFuture> futures;
+  double wall = 0.0;
+};
+
+template <typename Server>
+OpenLoopLoad DriveOpenLoop(Server& server, const Graph& graph, double qps,
+                           double duration) {
+  OpenLoopLoad load;
+  Rng rng(20260731);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (qps > 0) {
+      const auto due =
+          start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(static_cast<double>(load.fired) /
+                                            qps));
+      // Check before sleeping: a slot past the deadline must not extend
+      // the probe by one inter-arrival interval.
+      if (due >= deadline) break;
+      std::this_thread::sleep_until(due);
+    }
+    PprQuery query;
+    query.source = static_cast<NodeId>(rng.NextBounded(graph.num_nodes()));
+    auto submitted = server.Submit(query);
+    load.fired++;
+    if (submitted.ok()) {
+      load.futures.push_back(std::move(submitted).ValueOrDie());
+    } else {
+      // Backpressure hit. The server already tallied the rejection;
+      // back off briefly instead of hammering Submit millions of times.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  for (const PprFuture& f : load.futures) f.Wait();
+  load.wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return load;
+}
+
+void PrintLatencies(const std::vector<PprFuture>& futures) {
+  if (futures.empty()) return;
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (const PprFuture& f : futures) latencies.push_back(f.latency_seconds());
+  std::printf("latency: p50=%.3fms p99=%.3fms max=%.3fms\n",
+              Percentile(latencies, 50.0) * 1e3,
+              Percentile(latencies, 99.0) * 1e3,
+              Percentile(latencies, 100.0) * 1e3);
+}
+
+/// --serve with --shards > 1: the same load probe against a sharded
+/// tier — N in-process PprServer shards over a --partition split of the
+/// graph — reporting the aggregated (cross-shard) counter taxonomy.
+int RunShardedServeMode(const std::string& algo, const Graph& graph,
+                        double qps, double duration, uint64_t workers,
+                        uint64_t queue_capacity, uint64_t shards,
+                        const std::string& partition) {
+  auto scheme = ParsePartitionScheme(partition);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "serve: %s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+  ShardedPprServerOptions options;
+  options.shards = static_cast<size_t>(shards);
+  options.partition = scheme.value();
+  options.shard.workers = static_cast<unsigned>(workers);
+  options.shard.queue_capacity = static_cast<size_t>(queue_capacity);
+  ShardedPprServer server(options);
+  Status added = server.AddSolver(algo, graph);
+  if (!added.ok()) {
+    std::fprintf(stderr, "serve: %s\n", added.ToString().c_str());
+    return 1;
+  }
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  char qps_text[32] = "unlimited";
+  if (qps > 0) std::snprintf(qps_text, sizeof(qps_text), "%g", qps);
+  const PartitionReport& report = server.partition().report();
+  std::printf("serving %s: shards=%zu partition=%s cut=%.1f%% "
+              "workers/shard=%u queue/shard=%zu qps=%s duration=%.1fs\n",
+              algo.c_str(), server.num_shards(),
+              std::string(PartitionSchemeName(scheme.value())).c_str(),
+              report.cut_fraction * 100.0, options.shard.workers,
+              options.shard.queue_capacity, qps_text, duration);
+
+  OpenLoopLoad load = DriveOpenLoop(server, graph, qps, duration);
+  server.Stop();
+
+  const ShardedPprServerStats stats = server.stats();
+  std::printf("aggregated: submitted=%llu rejected=%llu completed=%llu "
+              "failed=%llu shed=%llu cancelled=%llu updates=%llu "
+              "(fired %llu)\n",
+              static_cast<unsigned long long>(stats.total.submitted),
+              static_cast<unsigned long long>(stats.total.rejected),
+              static_cast<unsigned long long>(stats.total.completed),
+              static_cast<unsigned long long>(stats.total.failed),
+              static_cast<unsigned long long>(stats.total.shed),
+              static_cast<unsigned long long>(stats.total.cancelled),
+              static_cast<unsigned long long>(stats.updates_applied),
+              static_cast<unsigned long long>(load.fired));
+  for (size_t s = 0; s < stats.per_shard.size(); ++s) {
+    std::printf("  shard %zu: submitted=%llu completed=%llu\n", s,
+                static_cast<unsigned long long>(stats.per_shard[s].submitted),
+                static_cast<unsigned long long>(stats.per_shard[s].completed));
+  }
+  std::printf("throughput: %.1f queries/s over %.2fs\n",
+              static_cast<double>(stats.total.completed) / load.wall,
+              load.wall);
+  PrintLatencies(load.futures);
+  return 0;
 }
 
 /// --serve: open-loop load generation against a PprServer hosting the
@@ -92,61 +222,20 @@ int RunServeMode(const std::string& algo, const Graph& graph, double qps,
               algo.c_str(), server.options().workers,
               server.options().queue_capacity, qps_text, duration);
 
-  Rng rng(20260731);
-  std::vector<PprFuture> futures;
-  const auto start = std::chrono::steady_clock::now();
-  const auto deadline =
-      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                  std::chrono::duration<double>(duration));
-  uint64_t fired = 0;
-  while (std::chrono::steady_clock::now() < deadline) {
-    if (qps > 0) {
-      const auto due =
-          start +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(static_cast<double>(fired) / qps));
-      // Check before sleeping: a slot past the deadline must not extend
-      // the probe by one inter-arrival interval.
-      if (due >= deadline) break;
-      std::this_thread::sleep_until(due);
-    }
-    PprQuery query;
-    query.source = static_cast<NodeId>(rng.NextBounded(graph.num_nodes()));
-    auto submitted = server.Submit(query);
-    fired++;
-    if (submitted.ok()) {
-      futures.push_back(std::move(submitted).ValueOrDie());
-    } else {
-      // Backpressure hit. The server already tallied the rejection;
-      // back off briefly instead of hammering Submit millions of times.
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
-  }
-  for (const PprFuture& f : futures) f.Wait();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  OpenLoopLoad load = DriveOpenLoop(server, graph, qps, duration);
   server.Stop();
 
-  std::vector<double> latencies;
-  latencies.reserve(futures.size());
-  for (const PprFuture& f : futures) latencies.push_back(f.latency_seconds());
-  const PprServerStats stats = server.stats();
+  const PprServerStats stats = server.Snapshot();
   std::printf("submitted: %llu  accepted: %llu  rejected: %llu  "
               "completed: %llu  failed: %llu\n",
-              static_cast<unsigned long long>(fired),
+              static_cast<unsigned long long>(load.fired),
               static_cast<unsigned long long>(stats.submitted),
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.failed));
   std::printf("throughput: %.1f queries/s over %.2fs\n",
-              static_cast<double>(stats.completed) / wall, wall);
-  if (!latencies.empty()) {
-    std::printf("latency: p50=%.3fms p99=%.3fms max=%.3fms\n",
-                Percentile(latencies, 50.0) * 1e3,
-                Percentile(latencies, 99.0) * 1e3,
-                Percentile(latencies, 100.0) * 1e3);
-  }
+              static_cast<double>(stats.completed) / load.wall, load.wall);
+  PrintLatencies(load.futures);
   return 0;
 }
 
@@ -198,6 +287,8 @@ int main(int argc, char** argv) {
   double duration = 5.0;
   uint64_t serve_workers = 0;
   uint64_t serve_queue = 1024;
+  uint64_t shards = 1;
+  std::string partition = "hash";
 
   FlagParser parser;
   parser.AddString("algo", &algo,
@@ -218,6 +309,10 @@ int main(int argc, char** argv) {
                    "serve: worker threads (0 = thread budget)");
   parser.AddUint64("serve-queue", &serve_queue,
                    "serve: bounded queue capacity");
+  parser.AddUint64("shards", &shards,
+                   "serve: shard count (>1 runs a sharded tier)");
+  parser.AddString("partition", &partition,
+                   "serve: node-ownership scheme (hash, range, degree)");
 
   Status parse_status = parser.Parse(argc, argv);
   if (!parse_status.ok()) {
@@ -253,11 +348,15 @@ int main(int argc, char** argv) {
   }
   if (solver->capabilities().needs_in_adjacency) graph.BuildInAdjacency();
   if (serve) {
-    // The server prepares its own solver instance from the spec; the
+    // The server prepares its own solver instance(s) from the spec; the
     // <source> positional is ignored (sources are sampled).
     std::printf("graph: n=%u m=%llu | serve --algo=%s\n", graph.num_nodes(),
                 static_cast<unsigned long long>(graph.num_edges()),
                 algo.c_str());
+    if (shards > 1) {
+      return RunShardedServeMode(algo, graph, qps, duration, serve_workers,
+                                 serve_queue, shards, partition);
+    }
     return RunServeMode(algo, graph, qps, duration, serve_workers,
                         serve_queue);
   }

@@ -14,6 +14,10 @@ namespace ppr {
 /// Sentinel for PprQuery::target: "this is a whole-vector query".
 inline constexpr NodeId kNoTarget = ~NodeId{0};
 
+/// Sentinels for PprResult::shard.
+inline constexpr int32_t kShardNone = -1;    ///< not served by a sharded tier
+inline constexpr int32_t kShardMerged = -2;  ///< merged from a shard fan-out
+
 /// One SSPPR query, understood by every solver behind the unified API.
 ///
 /// Numeric fields use 0 (or kNoTarget) as "unset": an unset field falls
@@ -98,6 +102,13 @@ struct PprResult {
   /// solver the query would normally route to. Always false outside the
   /// serving tier. See docs/serving.md, "Load shedding & degraded mode".
   bool degraded = false;
+
+  /// Which shard of a sharded serving tier answered: the owning shard's
+  /// index for an owner-routed query, kShardMerged (-2) for a result the
+  /// router merged from a cross-shard fan-out, and kShardNone (-1) —
+  /// the default — everywhere outside the sharded tier. See
+  /// docs/serving.md, "Sharded serving".
+  int32_t shard = -1;
 
   bool has_residues() const { return !residues.empty(); }
 };

@@ -1,0 +1,221 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/string_utils.h"
+
+namespace ppr {
+
+Result<PartitionScheme> ParsePartitionScheme(std::string_view name) {
+  if (name == "hash") return PartitionScheme::kHash;
+  if (name == "range") return PartitionScheme::kRange;
+  if (name == "degree") return PartitionScheme::kDegree;
+  return Status::InvalidArgument("unknown partition scheme '" +
+                                 std::string(name) +
+                                 "' (want hash, range, or degree)");
+}
+
+std::string_view PartitionSchemeName(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kHash:
+      return "hash";
+    case PartitionScheme::kRange:
+      return "range";
+    case PartitionScheme::kDegree:
+      return "degree";
+  }
+  return "?";
+}
+
+size_t GraphPartition::HashOwner(NodeId global, size_t fragments) {
+  // Seeded so owner(v) is not correlated with the splitmix streams the
+  // solvers draw their walk seeds from.
+  return static_cast<size_t>(
+      SplitMix64(0x9aa7d1b3c5e2f041ULL ^ global).Next() % fragments);
+}
+
+namespace {
+
+// Node-to-fragment assignment for each scheme. Deterministic in the
+// graph and k alone.
+std::vector<uint32_t> AssignOwners(const Graph& graph, size_t k,
+                                   PartitionScheme scheme) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint32_t> owner(n);
+  switch (scheme) {
+    case PartitionScheme::kHash: {
+      for (NodeId v = 0; v < n; ++v) {
+        owner[v] = static_cast<uint32_t>(GraphPartition::HashOwner(v, k));
+      }
+      break;
+    }
+    case PartitionScheme::kRange: {
+      const NodeId block = static_cast<NodeId>((n + k - 1) / k);
+      for (NodeId v = 0; v < n; ++v) {
+        owner[v] = static_cast<uint32_t>(std::min<size_t>(v / block, k - 1));
+      }
+      break;
+    }
+    case PartitionScheme::kDegree: {
+      // LPT greedy: nodes in decreasing out-degree order (ties by id,
+      // so the result is deterministic), each to the fragment with the
+      // least total degree so far (ties by fragment id). k is small, so
+      // the linear argmin beats a heap in practice.
+      std::vector<NodeId> order(n);
+      std::iota(order.begin(), order.end(), NodeId{0});
+      std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return graph.OutDegree(a) > graph.OutDegree(b);
+      });
+      std::vector<uint64_t> load(k, 0);
+      for (NodeId v : order) {
+        size_t best = 0;
+        for (size_t f = 1; f < k; ++f) {
+          if (load[f] < load[best]) best = f;
+        }
+        owner[v] = static_cast<uint32_t>(best);
+        // +1 so isolated nodes still spread instead of all landing on
+        // fragment 0.
+        load[best] += graph.OutDegree(v) + 1;
+      }
+      break;
+    }
+  }
+  return owner;
+}
+
+}  // namespace
+
+Result<GraphPartition> GraphPartition::Build(const Graph& graph,
+                                             size_t fragments,
+                                             PartitionScheme scheme) {
+  if (fragments == 0) {
+    return Status::InvalidArgument("partition: fragment count must be >= 1");
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("partition: graph is empty");
+  }
+
+  GraphPartition partition;
+  partition.scheme_ = scheme;
+  partition.owner_ = AssignOwners(graph, fragments, scheme);
+  const NodeId n = graph.num_nodes();
+
+  // Local ids: ascending global order within each fragment.
+  partition.local_id_.assign(n, 0);
+  std::vector<std::vector<NodeId>> members(fragments);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& m = members[partition.owner_[v]];
+    partition.local_id_[v] = static_cast<NodeId>(m.size());
+    m.push_back(v);
+  }
+
+  partition.fragments_.resize(fragments);
+  PartitionReport& report = partition.report_;
+  report.scheme = scheme;
+  report.fragments = fragments;
+  report.total_edges = graph.num_edges();
+  report.fragment_stats.resize(fragments);
+
+  uint64_t max_owned_edges = 0;
+  size_t max_nodes = 0;
+  for (size_t f = 0; f < fragments; ++f) {
+    GraphFragment& frag = partition.fragments_[f];
+    frag.local_to_global = std::move(members[f]);
+
+    std::vector<EdgeId> offsets;
+    offsets.reserve(frag.local_to_global.size() + 1);
+    offsets.push_back(0);
+    std::vector<NodeId> targets;
+    EdgeId ghosts = 0;
+    NodeId dead = 0;
+    for (NodeId g : frag.local_to_global) {
+      for (NodeId h : graph.OutNeighbors(g)) {
+        if (partition.owner_[h] == f) {
+          targets.push_back(partition.local_id_[h]);
+        } else {
+          ++ghosts;
+        }
+      }
+      if (graph.OutDegree(g) == 0) ++dead;
+      offsets.push_back(static_cast<EdgeId>(targets.size()));
+    }
+    frag.subgraph = Graph(std::move(offsets), std::move(targets));
+
+    // Subgraph stats, then the two fields the subgraph alone cannot
+    // know: the edge cut this fragment contributes, and dead ends by
+    // *global* out-degree (a node whose edges are all ghosts is cut,
+    // not dead).
+    frag.stats = ComputeGraphStats(frag.subgraph);
+    frag.stats.ghost_edges = ghosts;
+    frag.stats.dead_ends = dead;
+    report.fragment_stats[f] = frag.stats;
+
+    report.internal_edges += frag.subgraph.num_edges();
+    report.cut_edges += ghosts;
+    max_owned_edges =
+        std::max<uint64_t>(max_owned_edges, frag.subgraph.num_edges() + ghosts);
+    max_nodes = std::max<size_t>(max_nodes, frag.local_to_global.size());
+  }
+
+  if (report.total_edges > 0) {
+    report.cut_fraction = static_cast<double>(report.cut_edges) /
+                          static_cast<double>(report.total_edges);
+    report.edge_imbalance =
+        static_cast<double>(max_owned_edges) /
+        (static_cast<double>(report.total_edges) / static_cast<double>(fragments));
+  }
+  report.node_imbalance =
+      static_cast<double>(max_nodes) /
+      (static_cast<double>(n) / static_cast<double>(fragments));
+  return partition;
+}
+
+UpdateSplit GraphPartition::SplitBatch(const UpdateBatch& batch) const {
+  UpdateSplit split;
+  split.per_fragment.resize(fragments_.size());
+  for (const EdgeUpdate& update : batch.updates) {
+    switch (update.kind) {
+      case UpdateKind::kInsert:
+      case UpdateKind::kDelete: {
+        split.per_fragment[FragmentOf(update.u)].updates.push_back(update);
+        if (FragmentOf(update.u) != FragmentOf(update.v)) {
+          ++split.cross_fragment;
+        }
+        break;
+      }
+      case UpdateKind::kAddNode:
+      case UpdateKind::kRemoveNode: {
+        // Node-id-space changes are broadcast: every fragment must agree
+        // on which ids exist (RemoveNode may detach in-edges anywhere).
+        for (UpdateBatch& slice : split.per_fragment) {
+          slice.updates.push_back(update);
+        }
+        break;
+      }
+    }
+  }
+  return split;
+}
+
+std::string FormatReport(const PartitionReport& report) {
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", report.cut_fraction * 100.0);
+  out << "partition scheme=" << PartitionSchemeName(report.scheme)
+      << " k=" << report.fragments << " cut=" << HumanCount(report.cut_edges)
+      << "/" << HumanCount(report.total_edges) << " (" << buf << ")";
+  std::snprintf(buf, sizeof(buf), " node_imb=%.2f edge_imb=%.2f",
+                report.node_imbalance, report.edge_imbalance);
+  out << buf;
+  for (size_t f = 0; f < report.fragment_stats.size(); ++f) {
+    out << "\n  f" << f << ": " << FormatGraphStats(report.fragment_stats[f]);
+  }
+  return out.str();
+}
+
+}  // namespace ppr

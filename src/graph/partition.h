@@ -1,0 +1,145 @@
+#ifndef PPR_GRAPH_PARTITION_H_
+#define PPR_GRAPH_PARTITION_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "graph/graph_stats.h"
+#include "util/status.h"
+
+namespace ppr {
+
+/// Deterministic node-to-fragment assignment strategies. All three are
+/// pure functions of (graph, fragment count): the same inputs always
+/// produce the same partition, so shards agree on ownership without any
+/// coordination.
+enum class PartitionScheme {
+  /// owner(v) = splitmix64(v) mod k. Ignores structure; gives near-
+  /// perfect node balance and a cut fraction near (k-1)/k.
+  kHash,
+  /// Contiguous blocks of ~n/k node ids. Preserves id locality, which
+  /// keeps the cut low on graphs whose ids correlate with communities
+  /// (BFS/degree relabeled CSRs, generator output).
+  kRange,
+  /// Greedy longest-processing-time bin packing on out-degree: nodes in
+  /// decreasing degree order, each to the fragment with the least total
+  /// degree so far. Balances *edges* rather than nodes, which is what
+  /// equalizes per-shard solve cost on heavy-tailed graphs.
+  kDegree,
+};
+
+Result<PartitionScheme> ParsePartitionScheme(std::string_view name);
+std::string_view PartitionSchemeName(PartitionScheme scheme);
+
+/// One fragment of an edge-cut partition: the subgraph induced on the
+/// owned nodes (intra-fragment edges only, compacted to local ids) plus
+/// the maps to translate between local and global id spaces.
+struct GraphFragment {
+  /// Intra-fragment edges, re-indexed to [0, stats.num_nodes).
+  Graph subgraph;
+
+  /// local_to_global[l] = global id of local node l; ascending.
+  std::vector<NodeId> local_to_global;
+
+  /// Fragment-level stats. num_edges counts intra-fragment edges only;
+  /// ghost_edges counts edges whose tail is owned here but whose head
+  /// lives on another fragment (the edge-cut contribution of this
+  /// fragment); dead_ends counts owned nodes with *global* out-degree 0
+  /// — a node whose edges are all ghosts is cut, not dead.
+  GraphStats stats;
+};
+
+/// Per-fragment slices of one UpdateBatch (see GraphPartition::SplitBatch).
+struct UpdateSplit {
+  /// per_fragment[f] holds, in original batch order, the updates whose
+  /// owner is fragment f. Node add/remove updates are broadcast into
+  /// every slice (all replicas must agree on the node-id space).
+  std::vector<UpdateBatch> per_fragment;
+
+  /// Edge updates whose endpoints live on different fragments — the
+  /// updates a distributed transport would need to forward.
+  size_t cross_fragment = 0;
+};
+
+/// Partition-quality summary (see FormatReport for the one-line form).
+struct PartitionReport {
+  PartitionScheme scheme = PartitionScheme::kHash;
+  size_t fragments = 0;
+  EdgeId total_edges = 0;
+  EdgeId internal_edges = 0;
+  /// Edges with tail and head on different fragments (= sum of the
+  /// per-fragment ghost_edges).
+  EdgeId cut_edges = 0;
+  /// cut_edges / total_edges; 0 on an edgeless graph.
+  double cut_fraction = 0.0;
+  /// max over fragments of nodes / (n/k); 1.0 = perfectly balanced.
+  double node_imbalance = 0.0;
+  /// max over fragments of owned out-edges / (m/k). Owned out-edges
+  /// (internal + ghost) approximate per-fragment push/walk work.
+  double edge_imbalance = 0.0;
+  /// Per-fragment stats, indexed by fragment id (== GraphFragment::stats).
+  std::vector<GraphStats> fragment_stats;
+};
+
+std::string FormatReport(const PartitionReport& report);
+
+/// A deterministic edge-cut partition of a CSR graph into k fragments.
+///
+/// Ownership is total: every node (including ids beyond the snapshot the
+/// partition was built from — see FragmentOf) maps to exactly one
+/// fragment. The partition is immutable after Build; it never observes
+/// later graph mutations, which is why ids appended afterwards fall back
+/// to hash ownership under every scheme.
+class GraphPartition {
+ public:
+  /// Builds a k-way partition. Fails on k == 0 or an empty graph.
+  static Result<GraphPartition> Build(const Graph& graph, size_t fragments,
+                                      PartitionScheme scheme);
+
+  /// Owner fragment of a global node id. Ids beyond the build-time node
+  /// count (nodes appended by later UpdateBatches) are hash-owned under
+  /// every scheme, so all parties can compute ownership of a node that
+  /// did not exist when the partition was built.
+  size_t FragmentOf(NodeId global) const {
+    if (global < owner_.size()) return owner_[global];
+    return HashOwner(global, fragments_.size());
+  }
+
+  /// Local id of `global` inside its owner fragment. Precondition:
+  /// global was part of the build-time graph.
+  NodeId LocalId(NodeId global) const { return local_id_[global]; }
+
+  size_t num_fragments() const { return fragments_.size(); }
+  NodeId num_nodes() const { return static_cast<NodeId>(owner_.size()); }
+  PartitionScheme scheme() const { return scheme_; }
+
+  const GraphFragment& fragment(size_t f) const { return fragments_[f]; }
+  const PartitionReport& report() const { return report_; }
+
+  /// Slices a batch into per-fragment sub-batches: edge updates go to
+  /// the owner of their tail u (ownership of edge state follows the
+  /// CSR row), node add/remove is broadcast to every fragment. Also
+  /// counts cross-fragment edge updates. Pure routing — no validation.
+  UpdateSplit SplitBatch(const UpdateBatch& batch) const;
+
+  /// The stable hash-ownership function (splitmix64(v) mod k) used by
+  /// kHash and by every scheme for post-build node ids.
+  static size_t HashOwner(NodeId global, size_t fragments);
+
+ private:
+  GraphPartition() = default;
+
+  PartitionScheme scheme_ = PartitionScheme::kHash;
+  std::vector<GraphFragment> fragments_;
+  std::vector<uint32_t> owner_;    // global -> fragment
+  std::vector<NodeId> local_id_;   // global -> local id within owner
+  PartitionReport report_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_PARTITION_H_

@@ -1,0 +1,59 @@
+#ifndef PPR_SERVE_FUTURE_STATE_H_
+#define PPR_SERVE_FUTURE_STATE_H_
+
+#include <chrono>
+#include <utility>
+
+#include "api/query.h"
+#include "serve/ppr_server.h"
+#include "util/cancellation.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace ppr {
+
+/// Shared completion state behind a PprFuture. Serving-tier internal:
+/// PprServer publishes worker results into it, and ShardedPprServer
+/// reuses it verbatim so a routed or merged query hands back the exact
+/// same future type (Wait/Get/Cancel/latency semantics included) as a
+/// single-server Submit.
+struct PprFuture::State {
+  Mutex mu;
+  CondVar cv;
+  bool done PPR_GUARDED_BY(mu) = false;
+  Status status PPR_GUARDED_BY(mu);
+  PprResult result PPR_GUARDED_BY(mu);
+  std::chrono::steady_clock::time_point submitted;
+  double latency_seconds PPR_GUARDED_BY(mu) = 0.0;
+  /// Lives here (not in the queued request) so Cancel() keeps working
+  /// while the query is in flight and the token outlives the server if
+  /// the future does. Armed/chained before the request is published to
+  /// the queue; only polled (atomics) afterwards.
+  CancelToken token;
+};
+
+namespace internal {
+
+/// Publishes one terminal (status, result) pair: stamps the latency
+/// clock, marks the state done and wakes every waiter. Exactly-once per
+/// state — the single point where a future completes, shared by the
+/// worker path (PprServer::FinishRequest) and the router's merge path.
+inline void PublishToFuture(PprFuture::State& state, Status status,
+                            PprResult result) {
+  {
+    MutexLock lock(state.mu);
+    state.status = std::move(status);
+    state.result = std::move(result);
+    state.latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      state.submitted)
+            .count();
+    state.done = true;
+  }
+  state.cv.NotifyAll();
+}
+
+}  // namespace internal
+}  // namespace ppr
+
+#endif  // PPR_SERVE_FUTURE_STATE_H_

@@ -192,8 +192,9 @@ TEST(PprServerChaosTest, SolveFaultPointFailsTheQueryNotTheServer) {
   ASSERT_TRUE(healthy.ok());
   EXPECT_TRUE(healthy.value().Get(nullptr).ok());
   server.Stop();
-  EXPECT_EQ(server.stats().failed, 1u);
-  EXPECT_EQ(server.stats().completed, 1u);
+  const PprServerStats stats = server.Snapshot();  // one coherent read
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
 }
 
 TEST(PprServerChaosTest, ApplyUpdatesFaultPointSurfacesAndAppliesNothing) {
@@ -291,8 +292,9 @@ TEST(PprServerChaosTest, MidSolveDeadlineStopsComputeAndCountsAsFailed) {
   server.Stop();
   // Compute was spent before the budget ran out mid-solve: that is a
   // failure, not a shed (the query did run).
-  EXPECT_EQ(server.stats().failed, 1u);
-  EXPECT_EQ(server.stats().shed, 0u);
+  const PprServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.shed, 0u);
 }
 
 TEST(PprServerChaosTest, BoundedDrainStopCancelsPendingWork) {
@@ -339,8 +341,9 @@ TEST(PprServerChaosTest, BoundedDrainWithIdleQueueStopsPromptly) {
   ASSERT_TRUE(submitted.ok());
   ASSERT_TRUE(submitted.value().Get(nullptr).ok());
   server.Stop(std::chrono::seconds(30));  // nothing pending: returns now
-  EXPECT_EQ(server.stats().completed, 1u);
-  EXPECT_EQ(server.stats().cancelled, 0u);
+  const PprServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -444,7 +447,7 @@ TEST(PprServerChaosTest, SoakReconcilesUnderFaultsDeadlinesAndUpdates) {
 
   // Invariant 2: exact reconciliation — each accepted query lands in
   // exactly one terminal bucket.
-  const PprServerStats stats = server.stats();
+  const PprServerStats stats = server.Snapshot();
   EXPECT_EQ(stats.submitted, accepted.load());
   EXPECT_EQ(stats.completed + stats.failed + stats.shed + stats.cancelled,
             stats.submitted)

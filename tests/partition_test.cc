@@ -1,0 +1,267 @@
+// GraphPartition: deterministic ownership, exact edge accounting
+// (internal + ghost == m), ghost-vs-dead-end separation, id-map
+// round-trips, and UpdateBatch routing.
+
+#include "graph/partition.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "util/rng.h"
+
+namespace ppr {
+namespace {
+
+constexpr PartitionScheme kSchemes[] = {
+    PartitionScheme::kHash, PartitionScheme::kRange, PartitionScheme::kDegree};
+
+Graph TestGraph() {
+  Rng rng(7);
+  return BarabasiAlbert(120, 3, rng);
+}
+
+TEST(PartitionScheme_, ParseRoundTrips) {
+  for (PartitionScheme scheme : kSchemes) {
+    auto parsed = ParsePartitionScheme(PartitionSchemeName(scheme));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), scheme);
+  }
+  EXPECT_FALSE(ParsePartitionScheme("modulo").ok());
+  EXPECT_FALSE(ParsePartitionScheme("").ok());
+}
+
+TEST(PartitionBuild, RejectsZeroFragmentsAndEmptyGraph) {
+  Graph graph = TestGraph();
+  EXPECT_FALSE(GraphPartition::Build(graph, 0, PartitionScheme::kHash).ok());
+  Graph empty;
+  EXPECT_FALSE(GraphPartition::Build(empty, 2, PartitionScheme::kHash).ok());
+}
+
+// Every (scheme, k): nodes partition exactly, edges split exactly into
+// internal + ghost, id maps round-trip, and the subgraph rows mirror
+// the parent's intra-fragment adjacency.
+TEST(PartitionBuild, ExactNodeAndEdgeAccounting) {
+  Graph graph = TestGraph();
+  for (PartitionScheme scheme : kSchemes) {
+    for (size_t k : {1u, 2u, 4u, 7u}) {
+      SCOPED_TRACE(std::string(PartitionSchemeName(scheme)) +
+                   " k=" + std::to_string(k));
+      auto built = GraphPartition::Build(graph, k, scheme);
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      const GraphPartition& partition = built.value();
+      ASSERT_EQ(partition.num_fragments(), k);
+      ASSERT_EQ(partition.num_nodes(), graph.num_nodes());
+
+      NodeId nodes = 0;
+      EdgeId internal = 0;
+      EdgeId ghosts = 0;
+      for (size_t f = 0; f < k; ++f) {
+        const GraphFragment& frag = partition.fragment(f);
+        ASSERT_EQ(frag.subgraph.num_nodes(), frag.local_to_global.size());
+        ASSERT_EQ(frag.stats.num_nodes, frag.subgraph.num_nodes());
+        ASSERT_EQ(frag.stats.num_edges, frag.subgraph.num_edges());
+        nodes += frag.subgraph.num_nodes();
+        internal += frag.subgraph.num_edges();
+        ghosts += frag.stats.ghost_edges;
+        for (NodeId local = 0; local < frag.subgraph.num_nodes(); ++local) {
+          const NodeId global = frag.local_to_global[local];
+          ASSERT_EQ(partition.FragmentOf(global), f);
+          ASSERT_EQ(partition.LocalId(global), local);
+          // Row check: local neighbors are exactly the parent's
+          // same-fragment neighbors, in order.
+          std::vector<NodeId> expected;
+          for (NodeId h : graph.OutNeighbors(global)) {
+            if (partition.FragmentOf(h) == f) {
+              expected.push_back(partition.LocalId(h));
+            }
+          }
+          auto got = frag.subgraph.OutNeighbors(local);
+          ASSERT_EQ(std::vector<NodeId>(got.begin(), got.end()), expected);
+        }
+      }
+      EXPECT_EQ(nodes, graph.num_nodes());
+      EXPECT_EQ(internal + ghosts, graph.num_edges());
+
+      const PartitionReport& report = partition.report();
+      EXPECT_EQ(report.fragments, k);
+      EXPECT_EQ(report.internal_edges, internal);
+      EXPECT_EQ(report.cut_edges, ghosts);
+      EXPECT_EQ(report.total_edges, graph.num_edges());
+      EXPECT_GE(report.cut_fraction, 0.0);
+      EXPECT_LE(report.cut_fraction, 1.0);
+      if (k == 1) {
+        EXPECT_EQ(report.cut_edges, 0u);
+        EXPECT_EQ(report.cut_fraction, 0.0);
+      }
+      EXPECT_GE(report.node_imbalance, k == 1 ? 1.0 : 0.0);
+      EXPECT_FALSE(FormatReport(report).empty());
+      EXPECT_NE(FormatReport(report).find(PartitionSchemeName(scheme)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(PartitionBuild, DeterministicAcrossRebuilds) {
+  Graph graph = TestGraph();
+  for (PartitionScheme scheme : kSchemes) {
+    auto a = GraphPartition::Build(graph, 4, scheme);
+    auto b = GraphPartition::Build(graph, 4, scheme);
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      ASSERT_EQ(a.value().FragmentOf(v), b.value().FragmentOf(v));
+      ASSERT_EQ(a.value().LocalId(v), b.value().LocalId(v));
+    }
+    for (size_t f = 0; f < 4; ++f) {
+      ASSERT_EQ(a.value().fragment(f).subgraph.Fingerprint(),
+                b.value().fragment(f).subgraph.Fingerprint());
+    }
+  }
+}
+
+// The satellite fix pinned down: a node whose every edge leaves the
+// fragment contributes ghost_edges, NOT dead_ends — dead ends count
+// global out-degree 0 only.
+TEST(PartitionGhosts, CutEdgesAreNotDeadEnds) {
+  // 4 nodes; range k=2 puts {0,1} on f0, {2,3} on f1.
+  //   0 -> 2, 0 -> 3   (both ghosts from f0)
+  //   1 -> 0           (internal to f0)
+  //   2 -> 3           (internal to f1)
+  //   3 has no out-edges: the only true dead end.
+  std::vector<EdgeId> offsets = {0, 2, 3, 4, 4};
+  std::vector<NodeId> targets = {2, 3, 0, 3};
+  Graph graph(std::move(offsets), std::move(targets));
+  auto built = GraphPartition::Build(graph, 2, PartitionScheme::kRange);
+  ASSERT_TRUE(built.ok());
+  const GraphPartition& partition = built.value();
+
+  const GraphStats& f0 = partition.fragment(0).stats;
+  EXPECT_EQ(f0.ghost_edges, 2u);
+  // Node 0 has local out-degree 0 but global out-degree 2: not dead.
+  EXPECT_EQ(f0.dead_ends, 0u);
+  EXPECT_EQ(f0.num_edges, 1u);
+
+  const GraphStats& f1 = partition.fragment(1).stats;
+  EXPECT_EQ(f1.ghost_edges, 0u);
+  EXPECT_EQ(f1.dead_ends, 1u);  // node 3, globally dead
+  EXPECT_EQ(f1.num_edges, 1u);
+
+  // The ghost count surfaces in the one-line rendering (and a plain
+  // whole-graph FormatGraphStats stays unchanged).
+  EXPECT_NE(FormatGraphStats(f0).find("ghost="), std::string::npos);
+  EXPECT_EQ(FormatGraphStats(ComputeGraphStats(graph)).find("ghost="),
+            std::string::npos);
+}
+
+TEST(PartitionOwnership, PostBuildIdsAreHashOwnedUnderEveryScheme) {
+  Graph graph = TestGraph();
+  const NodeId n = graph.num_nodes();
+  for (PartitionScheme scheme : kSchemes) {
+    auto built = GraphPartition::Build(graph, 4, scheme);
+    ASSERT_TRUE(built.ok());
+    for (NodeId v = n; v < n + 16; ++v) {
+      EXPECT_EQ(built.value().FragmentOf(v), GraphPartition::HashOwner(v, 4));
+    }
+  }
+}
+
+TEST(PartitionSplitBatch, RoutesByTailAndBroadcastsNodeOps) {
+  Graph graph = TestGraph();
+  auto built = GraphPartition::Build(graph, 3, PartitionScheme::kHash);
+  ASSERT_TRUE(built.ok());
+  const GraphPartition& partition = built.value();
+
+  // Pick a guaranteed cross-fragment and a guaranteed intra-fragment
+  // pair from the ownership map itself.
+  NodeId same_a = 0, same_b = 0, cross_a = 0, cross_b = 0;
+  bool have_same = false, have_cross = false;
+  for (NodeId u = 0; u < graph.num_nodes() && !(have_same && have_cross);
+       ++u) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (u == v) continue;
+      if (partition.FragmentOf(u) == partition.FragmentOf(v) && !have_same) {
+        same_a = u;
+        same_b = v;
+        have_same = true;
+      }
+      if (partition.FragmentOf(u) != partition.FragmentOf(v) && !have_cross) {
+        cross_a = u;
+        cross_b = v;
+        have_cross = true;
+      }
+    }
+  }
+  ASSERT_TRUE(have_same && have_cross);
+
+  UpdateBatch batch;
+  batch.Insert(same_a, same_b)
+      .Insert(cross_a, cross_b)
+      .Delete(cross_a, cross_b)
+      .AddNode()
+      .RemoveNode(same_a);
+  UpdateSplit split = partition.SplitBatch(batch);
+  ASSERT_EQ(split.per_fragment.size(), 3u);
+  EXPECT_EQ(split.cross_fragment, 2u);  // the insert + delete of the pair
+
+  // Edge updates land exactly once, on the tail's owner.
+  size_t edge_updates = 0;
+  for (const UpdateBatch& slice : split.per_fragment) {
+    for (const EdgeUpdate& update : slice.updates) {
+      if (update.kind == UpdateKind::kInsert ||
+          update.kind == UpdateKind::kDelete) {
+        ++edge_updates;
+      }
+    }
+  }
+  EXPECT_EQ(edge_updates, 3u);
+  EXPECT_FALSE(split.per_fragment[partition.FragmentOf(same_a)].empty());
+  EXPECT_FALSE(split.per_fragment[partition.FragmentOf(cross_a)].empty());
+
+  // Node ops are broadcast: every slice carries one AddNode and one
+  // RemoveNode, in batch order.
+  for (const UpdateBatch& slice : split.per_fragment) {
+    size_t adds = 0, removes = 0;
+    for (const EdgeUpdate& update : slice.updates) {
+      if (update.kind == UpdateKind::kAddNode) ++adds;
+      if (update.kind == UpdateKind::kRemoveNode) ++removes;
+    }
+    EXPECT_EQ(adds, 1u);
+    EXPECT_EQ(removes, 1u);
+  }
+}
+
+// Degree-aware partitioning must beat hash on edge balance for a
+// heavy-tailed graph — that is its entire reason to exist.
+TEST(PartitionDegree, BalancesEdgesOnHeavyTail) {
+  Rng rng(11);
+  Graph graph = BarabasiAlbert(400, 4, rng);
+  auto degree = GraphPartition::Build(graph, 4, PartitionScheme::kDegree);
+  ASSERT_TRUE(degree.ok());
+  // LPT on out-degree gets within a few percent of perfect edge balance.
+  EXPECT_LT(degree.value().report().edge_imbalance, 1.15);
+}
+
+TEST(PartitionBuild, MoreFragmentsThanNodes) {
+  std::vector<EdgeId> offsets = {0, 1, 2, 2};
+  std::vector<NodeId> targets = {1, 2};
+  Graph graph(std::move(offsets), std::move(targets));  // 3 nodes
+  for (PartitionScheme scheme : kSchemes) {
+    auto built = GraphPartition::Build(graph, 5, scheme);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    NodeId nodes = 0;
+    EdgeId edges = 0;
+    for (size_t f = 0; f < 5; ++f) {
+      nodes += built.value().fragment(f).subgraph.num_nodes();
+      edges += built.value().fragment(f).subgraph.num_edges() +
+               built.value().fragment(f).stats.ghost_edges;
+    }
+    EXPECT_EQ(nodes, 3u);
+    EXPECT_EQ(edges, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ppr

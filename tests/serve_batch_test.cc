@@ -149,7 +149,7 @@ TEST(PprServerBatchTest, CompatibleQueuedQueriesCoalesce) {
   ASSERT_EQ(sizes.size(), 1u);
   EXPECT_EQ(sizes[0], 3u);
 
-  const PprServerStats stats = server.stats();
+  const PprServerStats stats = server.Snapshot();
   EXPECT_EQ(stats.submitted, 4u);
   EXPECT_EQ(stats.completed, 4u);
   EXPECT_EQ(stats.coalesced, 3u);
@@ -232,7 +232,7 @@ TEST(PprServerBatchTest, ExpiredCoalescedQueriesAreShed) {
   ASSERT_TRUE(first.value().Get(nullptr).ok());
   server.Stop();
 
-  const PprServerStats stats = server.stats();
+  const PprServerStats stats = server.Snapshot();
   EXPECT_EQ(stats.submitted, 4u);
   EXPECT_EQ(stats.shed, 2u);
   EXPECT_EQ(stats.completed, 2u);

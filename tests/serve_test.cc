@@ -173,7 +173,7 @@ TEST(PprServerTest, ConcurrentResultsBitIdenticalToSerialForEverySolver) {
       }
     }
     server.Stop();
-    const PprServerStats stats = server.stats();
+    const PprServerStats stats = server.Snapshot();
     EXPECT_EQ(stats.submitted, kClients * kQueriesPerClient) << name;
     EXPECT_EQ(stats.completed, kClients * kQueriesPerClient) << name;
     EXPECT_EQ(stats.failed, 0u) << name;
@@ -290,7 +290,7 @@ TEST(PprServerTest, SolveBatchBacksOffUnderBackpressureAndCountsOnce) {
   gate_ptr->Open();
   batcher.join();
   ASSERT_EQ(results.size(), queries.size());
-  const PprServerStats stats = server.stats();
+  const PprServerStats stats = server.Snapshot();
   EXPECT_EQ(stats.submitted, queries.size());
   // Query 2 was certainly refused at least once; queries 1 and 3 may
   // have been too, depending on pop/drain timing — but each at most
@@ -597,8 +597,9 @@ TEST(PprServerTest, DegradedPolicyRoutesToFallbackOverWatermark) {
   EXPECT_EQ(degraded_result.solver, "mc");
   EXPECT_FALSE(explicit_result.degraded);
   server.Stop();
-  EXPECT_EQ(server.stats().degraded, 1u);
-  EXPECT_EQ(server.stats().completed, 4u);
+  const PprServerStats stats = server.Snapshot();  // one coherent read
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.completed, 4u);
 }
 
 TEST(PprServerTest, StartValidatesDegradedFallbackIsHosted) {
@@ -704,8 +705,9 @@ TEST(PprServerTest, CancelledWhileQueuedCompletesWithCancelled) {
   EXPECT_EQ(parked.value().Get(nullptr).code(), StatusCode::kCancelled);
   EXPECT_TRUE(inflight.value().Get(nullptr).ok());
   server.Stop();
-  EXPECT_EQ(server.stats().cancelled, 1u);
-  EXPECT_EQ(server.stats().completed, 1u);
+  const PprServerStats stats = server.Snapshot();  // one coherent read
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(gate_ptr->entered(), 1u);  // the cancelled query never ran
 }
 
